@@ -1,0 +1,147 @@
+"""A1-A4 — Ablations of IOAgent's design choices (DESIGN.md index).
+
+A1: RAG on/off — accuracy and hallucination rate.
+A2: judge augmentations on/off — positional bias (paper §VI-B).
+A3: merge fan-in sweep — finding retention vs number of summaries merged
+    at once (generalizes Fig. 6).
+A4: self-reflection filter on/off — fraction of off-topic sources reaching
+    the diagnosis prompt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agent import IOAgent, IOAgentConfig
+from repro.core.merge import one_step_merge
+from repro.evaluation.accuracy import match_stats
+from repro.evaluation.ranking import JudgeConfig, rank_candidates
+from repro.llm.client import LLMClient
+from repro.llm.findings import Finding, parse_findings, render_findings
+from repro.llm.misconceptions import misconception_in_text
+
+_ABLATION_TRACES = (
+    "sb01-small-writes",
+    "sb06-shared-file",
+    "io500-14-mpiio-8k-shared",
+    "io500-17-mpiio-hard-47008",
+    "ra01-amrex",
+    "ra04-openpmd-original",
+)
+
+
+def test_a1_rag_ablation(benchmark, bench_suite):
+    """Without RAG: no references, more surviving misconceptions."""
+
+    def run():
+        rows = []
+        for with_rag in (True, False):
+            agent = IOAgent(IOAgentConfig(model="gpt-4o", use_rag=with_rag, seed=0))
+            refs = 0
+            f1 = 0.0
+            notes = 0
+            for tid in _ABLATION_TRACES:
+                trace = bench_suite.get(tid)
+                report = agent.diagnose(trace.log, trace_id=f"{tid}-rag{with_rag}")
+                refs += len(report.references)
+                f1 += match_stats(report.text, trace.labels).f1 / len(_ABLATION_TRACES)
+                notes += len(misconception_in_text(report.text))
+            rows.append((with_rag, refs, f1, notes))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'RAG':>5s} {'references':>11s} {'mean F1':>9s} {'misconceptions':>15s}")
+    for with_rag, refs, f1, notes in rows:
+        print(f"{str(with_rag):>5s} {refs:>11d} {f1:>9.3f} {notes:>15d}")
+    (on_refs, on_f1, on_notes) = rows[0][1:]
+    (off_refs, off_f1, off_notes) = rows[1][1:]
+    assert on_refs > 0 and off_refs == 0
+    assert on_notes <= off_notes  # RAG suppresses popular misconceptions
+    assert on_f1 >= off_f1 - 0.05
+
+
+def test_a2_judge_augmentation_ablation(benchmark):
+    """Disabling anonymization+rotations lets positional bias through."""
+    client = LLMClient(seed=0)
+    tied = {
+        f"tool{i}": render_findings(
+            [Finding(issue_key="small_write", evidence="E 123", assessment="A", recommendation="R")]
+        )
+        for i in range(4)
+    }
+
+    def run():
+        biased, fair = 0.0, 0.0
+        n = 40
+        for i in range(n):
+            b = rank_candidates(
+                tied,
+                "utility",
+                client=client,
+                config=JudgeConfig(anonymize=False, rotate_rank_slots=False, rotate_content=False),
+                call_id=f"b{i}",
+            )
+            f = rank_candidates(tied, "utility", client=client, config=JudgeConfig(), call_id=f"f{i}")
+            biased += b["tool0"] / n
+            fair += f["tool0"] / n
+        return biased, fair
+
+    biased, fair = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"first-presented candidate mean rank: augment OFF={biased:.2f}  ON={fair:.2f} (unbiased=2.50)")
+    assert biased < 2.3  # bias inflates the first candidate
+    assert abs(fair - 2.5) < abs(biased - 2.5)
+
+
+@pytest.mark.parametrize("fan_in", [2, 4, 8, 13])
+def test_a3_merge_fanin_sweep(benchmark, fan_in):
+    """Finding retention of a single-prompt merge degrades with fan-in."""
+    from repro.core.issues import ISSUE_KEYS
+
+    client = LLMClient(seed=0)
+    keys = list(ISSUE_KEYS)[:fan_in]
+    summaries = [
+        render_findings([Finding(issue_key=k, evidence="E", assessment="A", recommendation="R")])
+        for k in keys
+    ]
+
+    def run():
+        kept = 0
+        rounds = 12
+        for i in range(rounds):
+            merged = one_step_merge(summaries, client, "gpt-4o", call_id_prefix=f"fan{fan_in}/{i}")
+            kept += len(parse_findings(merged)) / rounds
+        return kept / fan_in
+
+    retention = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nfan-in {fan_in:2d}: mean finding retention {retention:.2f}")
+    if fan_in == 2:
+        assert retention > 0.95  # pairwise merging is reliable
+    if fan_in == 13:
+        assert retention < 0.8  # "13 summaries ... extremely challenging" (§VI-F)
+
+
+def test_a4_reflection_ablation(benchmark, bench_suite):
+    """Self-reflection rules out a large share of retrieved sources."""
+
+    def run():
+        stats = {}
+        for use_reflection in (True, False):
+            agent = IOAgent(
+                IOAgentConfig(model="gpt-4o", use_reflection=use_reflection, seed=0)
+            )
+            trace = bench_suite.get("sb01-small-writes")
+            report = agent.diagnose(trace.log, trace_id=f"refl{use_reflection}")
+            stats[use_reflection] = (report.sources_retrieved, report.sources_kept)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for use_reflection, (retrieved, kept) in stats.items():
+        print(f"reflection={use_reflection}: retrieved={retrieved} kept={kept}")
+    retrieved_on, kept_on = stats[True]
+    retrieved_off, kept_off = stats[False]
+    assert kept_off == retrieved_off  # filter off: everything flows through
+    # Paper: reflection "rules out nearly half of the retrieved sources".
+    assert 0.3 <= 1.0 - kept_on / retrieved_on <= 0.85

@@ -1,0 +1,45 @@
+"""E1 — Regenerate paper Fig. 1: plain-LLM diagnosis of the AMReX trace.
+
+gpt-4 produces an analysis *plan* instead of a diagnosis; gpt-4o produces
+concrete findings but (a) misses the POSIX-instead-of-MPI-IO issue whose
+evidence sits in the truncated middle of the trace text, and (b) asserts
+the "1 MiB stripe size is optimal" misconception.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ion import IONTool
+from repro.evaluation.accuracy import issue_assertions
+from repro.llm.client import LLMClient
+from repro.tracebench.build import build_trace
+from repro.tracebench.spec import TRACE_SPECS
+
+
+def test_fig1_plain_llm_diagnosis(benchmark):
+    spec = next(s for s in TRACE_SPECS if s.trace_id == "ra01-amrex")
+    trace = build_trace(spec, seed=0)
+    client = LLMClient(seed=0)
+
+    def run_both():
+        gpt4 = IONTool(client=client, model="gpt-4").diagnose(trace)
+        gpt4o = IONTool(client=client, model="gpt-4o").diagnose(trace)
+        return gpt4, gpt4o
+
+    gpt4_text, gpt4o_text = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    print()
+    print("=" * 30, "gpt-4 (plain prompt)", "=" * 30)
+    print(gpt4_text[:900])
+    print()
+    print("=" * 30, "gpt-4o (plain prompt)", "=" * 30)
+    print(gpt4o_text[:1600])
+
+    # gpt-4: a plan, not a diagnosis (Fig. 1 left).
+    assert "### Finding" not in gpt4_text
+    assert issue_assertions(gpt4_text) == set()
+    # gpt-4o: concrete findings (Fig. 1 right) ...
+    asserted = issue_assertions(gpt4o_text)
+    assert asserted, "gpt-4o should produce concrete diagnoses"
+    labels = set(trace.labels)
+    # ... but not all labeled issues are found by direct prompting.
+    assert labels - asserted, "plain prompting should miss part of the ground truth"

@@ -1,0 +1,73 @@
+"""E7 — Regenerate paper Fig. 6: pairwise tree merge vs 1-step merge.
+
+Four diagnosis summaries (Size, Request Count, Metadata, Request Order)
+merged by the weaker llama-3-70b model: the 1-step merge loses
+mid-positioned findings and their reference sources, while the tree merge
+retains every distinct finding.
+"""
+
+from __future__ import annotations
+
+from repro.core.merge import one_step_merge, tree_merge
+from repro.llm.client import LLMClient
+from repro.llm.findings import Finding, parse_findings, render_findings
+
+_SUMMARIES = {
+    "Size": Finding(
+        issue_key="small_write",
+        evidence="Median write request of 8 KiB across 24000 requests.",
+        assessment="Small transfers leave bandwidth unused.",
+        recommendation="Aggregate writes to at least 1 MiB.",
+        references=('[S01] Nguyen, "Request Aggregation for Small I/O"',),
+    ),
+    "Request Count": Finding(
+        issue_key="no_collective_write",
+        evidence="24000 independent MPI-IO writes, zero collective.",
+        assessment="Independent operations bypass collective buffering.",
+        recommendation="Use MPI_File_write_all (higher-level parallel I/O library).",
+        references=('[S30] Costa, "Two-Phase Collective I/O in Practice"',),
+    ),
+    "Metadata": Finding(
+        issue_key="high_metadata_load",
+        evidence="4800 metadata operations at 41% of I/O time.",
+        assessment="The metadata server serializes creates.",
+        recommendation="Batch file creation; keep files open.",
+        references=('[S22] Kim, "Metadata Scalability in Many-File Workloads"',),
+    ),
+    "Request Order": Finding(
+        issue_key="random_write",
+        evidence="Only 52% of writes are sequential; stride of 393216 bytes.",
+        assessment="Non-sequential patterns defeat prefetching.",
+        recommendation="Sort work items by offset before writing.",
+        references=('[S12] Rossi, "Sequentializing Access Patterns"',),
+    ),
+}
+
+
+def test_fig6_tree_vs_one_step(benchmark):
+    client = LLMClient(seed=0)
+    summaries = [render_findings([f]) for f in _SUMMARIES.values()]
+
+    def merge_both():
+        tree = tree_merge(summaries, client, "llama-3-70b", call_id_prefix="fig6-tree")
+        one = one_step_merge(summaries, client, "llama-3-70b", call_id_prefix="fig6-one")
+        return tree, one
+
+    tree_text, one_text = benchmark.pedantic(merge_both, rounds=1, iterations=1)
+    tree_keys = {f.issue_key for f in parse_findings(tree_text)}
+    one_keys = {f.issue_key for f in parse_findings(one_text)}
+    tree_refs = sum(len(f.references) for f in parse_findings(tree_text))
+    one_refs = sum(len(f.references) for f in parse_findings(one_text))
+    all_keys = {f.issue_key for f in _SUMMARIES.values()}
+
+    print()
+    print(f"input summaries: {sorted(all_keys)}")
+    print(f"tree merge kept: {sorted(tree_keys)} ({tree_refs} references)")
+    print(f"1-step merge kept: {sorted(one_keys)} ({one_refs} references)")
+    print()
+    print("---- tree-merged report ----")
+    print(tree_text[:1200])
+
+    assert tree_keys == all_keys  # the tree merge keeps every finding
+    assert one_keys < all_keys  # the 1-step merge loses mid-positioned content
+    assert tree_refs > one_refs  # ... along with its references

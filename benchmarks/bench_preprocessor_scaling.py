@@ -1,0 +1,56 @@
+"""P1 — Pre-processor scaling: why module summaries beat raw prompting.
+
+Sweeps trace size and reports the raw darshan-parser token count versus
+the token count of IOAgent's summary fragments: raw text grows linearly
+with file count and overflows every model's window, while the fragment
+representation stays bounded — the §IV-A claim.
+"""
+
+from __future__ import annotations
+
+from repro.core.describe import context_sentences
+from repro.core.summaries import app_context_facts, extract_fragments
+from repro.darshan.writer import render_darshan_text
+from repro.llm.facts import render_fact
+from repro.llm.models import get_model
+from repro.llm.tokenizer import approx_tokens
+from repro.workloads.base import Workload
+from repro.workloads.patterns import metadata_phase
+
+
+def _storm(n_files: int) -> Workload:
+    return Workload(
+        name=f"storm-{n_files}",
+        exe="/bin/storm",
+        nprocs=4,
+        jobid=900 + n_files,
+        phases=(metadata_phase("/scratch/storm", files_per_rank=n_files),),
+    )
+
+
+def test_preprocessor_scaling(benchmark):
+    def run():
+        rows = []
+        for files_per_rank in (10, 100, 400, 1000):
+            log, _ = _storm(files_per_rank).run(seed=0)
+            raw_tokens = approx_tokens(render_darshan_text(log))
+            fragments = extract_fragments(log)
+            summary_tokens = approx_tokens(
+                context_sentences(app_context_facts(log))
+                + " ".join(render_fact(f) for frag in fragments for f in frag.facts)
+            )
+            rows.append((files_per_rank * 4, raw_tokens, summary_tokens))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    window = get_model("gpt-4o").context_tokens
+    print()
+    print(f"{'files':>8s} {'raw tokens':>12s} {'summary tokens':>15s} {'gpt-4o window':>14s}")
+    for files, raw, summary in rows:
+        print(f"{files:>8d} {raw:>12d} {summary:>15d} {window:>14d}")
+
+    # Raw grows ~linearly with files; the summary stays bounded.
+    assert rows[-1][1] > rows[0][1] * 20
+    assert rows[-1][2] < 3 * rows[0][2]
+    assert rows[-1][1] > window  # raw overflows the model window
+    assert all(summary < window // 4 for _, _, summary in rows)  # summaries always fit

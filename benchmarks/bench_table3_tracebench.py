@@ -1,0 +1,20 @@
+"""E4 — Regenerate paper Table III: TraceBench composition.
+
+Builds the full suite and prints the per-source label counts, asserting
+they match the paper's numbers exactly (182 issues over 40 traces).
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.tables import render_table3
+from repro.tracebench import build_tracebench
+from repro.tracebench.spec import TABLE3_EXPECTED, table3_counts
+
+
+def test_table3_composition(benchmark):
+    suite = benchmark.pedantic(lambda: build_tracebench(0), rounds=1, iterations=1)
+    assert len(suite) == 40
+    assert suite.total_labels() == 182
+    assert table3_counts() == TABLE3_EXPECTED
+    print()
+    print(render_table3())

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The TraceBench build and the full Table IV evaluation are expensive, so
+both are session-scoped: every bench that reports on them shares one run.
+Each benchmark prints the table/figure rows it regenerates, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation artifacts end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import evaluate_tools
+from repro.llm.client import LLMClient
+from repro.tracebench import build_tracebench
+
+
+@pytest.fixture(scope="session")
+def bench_suite():
+    """The full 40-trace TraceBench."""
+    return build_tracebench(0)
+
+
+@pytest.fixture(scope="session")
+def table4_result(bench_suite):
+    """The full Table IV evaluation (runs once per session)."""
+    return evaluate_tools(bench_suite)
+
+
+@pytest.fixture()
+def client():
+    return LLMClient(seed=0)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavyweight function a single time, returning its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Head-to-head tool comparison on a TraceBench subset (mini Table IV).
+
+Runs all four diagnosis tools over one trace from each source, prints each
+tool's output excerpt and its accuracy against the expert labels, then the
+judged normalized scores for the subset.
+
+Usage:  python examples/compare_tools.py
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.accuracy import match_stats
+from repro.evaluation.harness import evaluate_tools
+from repro.evaluation.tables import render_table4
+from repro.tracebench import build_tracebench
+from repro.tracebench.dataset import TraceBench
+
+
+def main() -> None:
+    full = build_tracebench(0)
+    subset = TraceBench(
+        traces=[
+            full.get("sb01-small-writes"),
+            full.get("io500-17-mpiio-hard-47008"),
+            full.get("ra04-openpmd-original"),
+        ],
+        seed=0,
+    )
+    result = evaluate_tools(subset)
+
+    for trace in subset:
+        print("=" * 72)
+        print(f"trace {trace.trace_id} — labels: {sorted(trace.labels)}")
+        for tool, text in result.texts[trace.trace_id].items():
+            stats = match_stats(text, trace.labels)
+            first_line = next((l for l in text.splitlines() if l.strip()), "")
+            print(
+                f"  {tool:24s} matched={stats.matched} missed={stats.missed} "
+                f"false={stats.false_positives}  | {first_line[:60]}"
+            )
+    print()
+    print(render_table4(result))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Post-diagnosis interactive Q&A (paper Fig. 5).
+
+Diagnoses an IO500 trace whose large transfers run against default Lustre
+stripe settings, then asks IOAgent follow-up questions — receiving
+tailored explanations and runnable commands (``lfs setstripe ...``).
+
+Usage:  python examples/interactive_session.py
+"""
+
+from __future__ import annotations
+
+from repro import IOAgent, IOAgentConfig, InteractiveSession, LLMClient
+from repro.tracebench.build import build_trace
+from repro.tracebench.spec import TRACE_SPECS
+
+
+def main() -> None:
+    spec = next(s for s in TRACE_SPECS if s.trace_id == "io500-02-posix-8k-shared")
+    trace = build_trace(spec, seed=0)
+    client = LLMClient(seed=0)
+    agent = IOAgent(IOAgentConfig(model="gpt-4o", seed=0), client=client)
+    report = agent.diagnose(trace.log, trace_id=trace.trace_id)
+
+    print("---- final diagnosis (excerpt) ----")
+    print(report.text[:1200])
+    print()
+
+    session = InteractiveSession(report=report, client=client)
+    for question in (
+        "How can I fix the server load imbalance issue?",
+        "And what should I do about the small write requests?",
+        "Can you remind me why shared file access is a problem here?",
+    ):
+        print(f">>> user: {question}")
+        print(session.ask(question))
+        print()
+
+
+if __name__ == "__main__":
+    main()

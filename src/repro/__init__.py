@@ -1,0 +1,61 @@
+"""repro — reproduction of *IOAgent: Democratizing Trustworthy HPC I/O
+Performance Diagnosis Capability via LLMs* (IPDPS 2025).
+
+Public API highlights:
+
+* :class:`repro.core.agent.IOAgent` — the diagnosis agent (paper Fig. 2);
+* :func:`repro.tracebench.build_tracebench` — the TraceBench suite (§V);
+* :class:`repro.baselines.DrishtiTool` / :class:`repro.baselines.IONTool`
+  — the comparison tools;
+* :func:`repro.evaluation.evaluate_tools` — the Table IV harness;
+* :mod:`repro.sim` + :mod:`repro.darshan` + :mod:`repro.workloads` — the
+  simulated HPC substrate that generates Darshan traces offline;
+* :mod:`repro.llm` — the deterministic, capability-tiered SimLLM substrate.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IOAgent",
+    "IOAgentConfig",
+    "InteractiveSession",
+    "DiagnosisReport",
+    "DrishtiTool",
+    "IONTool",
+    "build_tracebench",
+    "evaluate_tools",
+    "LLMClient",
+]
+
+
+def __getattr__(name: str):
+    # Lazy top-level exports: keep `import repro` light.
+    if name in ("IOAgent", "IOAgentConfig"):
+        from repro.core.agent import IOAgent, IOAgentConfig
+
+        return {"IOAgent": IOAgent, "IOAgentConfig": IOAgentConfig}[name]
+    if name == "InteractiveSession":
+        from repro.core.session import InteractiveSession
+
+        return InteractiveSession
+    if name == "DiagnosisReport":
+        from repro.core.report import DiagnosisReport
+
+        return DiagnosisReport
+    if name in ("DrishtiTool", "IONTool"):
+        import repro.baselines as baselines
+
+        return getattr(baselines, name)
+    if name == "build_tracebench":
+        from repro.tracebench import build_tracebench
+
+        return build_tracebench
+    if name == "evaluate_tools":
+        from repro.evaluation import evaluate_tools
+
+        return evaluate_tools
+    if name == "LLMClient":
+        from repro.llm.client import LLMClient
+
+        return LLMClient
+    raise AttributeError(name)

@@ -1,0 +1,13 @@
+"""Baseline diagnosis tools the paper compares against.
+
+* :mod:`repro.baselines.drishti` — a reimplementation of Drishti's
+  trigger-based analysis (30 heuristic triggers, fixed thresholds,
+  hard-coded explanation/recommendation strings);
+* :mod:`repro.baselines.ion` — ION, the proof-of-concept tool that sends
+  an engineered prompt plus the raw parsed trace straight to an LLM.
+"""
+
+from repro.baselines.drishti import DrishtiTool
+from repro.baselines.ion import IONTool
+
+__all__ = ["DrishtiTool", "IONTool"]

@@ -1,0 +1,6 @@
+"""Drishti reimplementation (Bez et al., PDSW'22; paper §II-B)."""
+
+from repro.baselines.drishti.tool import DrishtiTool
+from repro.baselines.drishti.triggers import TRIGGERS, TriggerResult, run_triggers
+
+__all__ = ["DrishtiTool", "TRIGGERS", "TriggerResult", "run_triggers"]

@@ -1,0 +1,42 @@
+"""The Drishti tool wrapper: triggers → the familiar insight report."""
+
+from __future__ import annotations
+
+from repro.baselines.drishti.triggers import TriggerResult, run_triggers
+from repro.darshan.log import DarshanLog
+
+__all__ = ["DrishtiTool"]
+
+_LEVEL_MARK = {"HIGH": "▶ HIGH", "WARN": "▶ WARN", "OK": "✓ OK  ", "INFO": "i INFO"}
+_LEVEL_ORDER = {"HIGH": 0, "WARN": 1, "INFO": 2, "OK": 3}
+
+
+class DrishtiTool:
+    """Heuristic baseline: fixed triggers, canned text, no interaction."""
+
+    name = "drishti"
+
+    def __init__(self, include_ok: bool = False) -> None:
+        self.include_ok = include_ok
+
+    def diagnose_log(self, log: DarshanLog) -> str:
+        """Produce the insight report for one Darshan log."""
+        results = run_triggers(log)
+        if not self.include_ok:
+            results = [r for r in results if r.level != "OK"]
+        results.sort(key=lambda r: _LEVEL_ORDER.get(r.level, 9))
+        lines = [
+            "DRISHTI v.reproduction — insights from Darshan counters",
+            "=" * 60,
+        ]
+        for r in results:
+            lines.append(f"{_LEVEL_MARK.get(r.level, r.level)} [{r.code}] {r.message}")
+            if r.recommendation:
+                lines.append(f"        Recommendation: {r.recommendation}")
+        if not results:
+            lines.append("No insights triggered.")
+        return "\n".join(lines)
+
+    def diagnose(self, trace) -> str:
+        """Diagnose a TraceBench LabeledTrace (tool-harness interface)."""
+        return self.diagnose_log(trace.log)

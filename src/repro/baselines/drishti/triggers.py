@@ -1,0 +1,674 @@
+"""Drishti's heuristic triggers.
+
+Thirty named triggers over Darshan counters, in the spirit of the real
+tool: fixed thresholds "determined via expert knowledge", per-trigger
+hard-coded messages, and insight levels (HIGH / WARN / OK / INFO).  The
+limitations the paper calls out are reproduced deliberately:
+
+* thresholds are absolute and not personalized (e.g. small I/O fires at
+  >10% small requests regardless of whether the volume matters);
+* metadata triggers use an absolute time threshold (the real tool's 30 s,
+  scaled here to the simulation's compressed timescale);
+* explanations are canned strings with counter jargon, not tailored text;
+* whole issue families (multi-process-without-MPI, repetitive reads
+  beyond a simple heuristic) have no trigger at all.
+
+Time thresholds are scaled by ``TIME_SCALE`` because the simulated traces
+run ~15x faster than the production runs Drishti's defaults assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.darshan.log import DarshanLog
+
+__all__ = ["TriggerResult", "TRIGGERS", "run_triggers", "THRESHOLDS"]
+
+# Simulation-scale factor applied to Drishti's absolute time thresholds.
+TIME_SCALE = 15.0
+
+THRESHOLDS = {
+    "small_requests_fraction": 0.10,  # >10% of requests under 1 MiB
+    "small_request_bytes": 1_048_576,
+    "misaligned_fraction": 0.10,
+    "random_fraction": 0.20,  # >20% non-sequential
+    "metadata_seconds": 30.0 / TIME_SCALE,
+    "shared_file_min_bytes": 1_048_576,
+    "imbalance_fraction": 0.15,  # (slowest-fastest)/slowest > 15%
+    "stripe_small_file_bytes": 16 * 1_048_576,
+    "redundant_read_ratio": 2.0,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TriggerResult:
+    """One fired (or informational) trigger."""
+
+    code: str
+    level: str  # 'HIGH' | 'WARN' | 'OK' | 'INFO'
+    message: str
+    recommendation: str = ""
+
+
+TriggerFn = Callable[[DarshanLog], list[TriggerResult]]
+TRIGGERS: dict[str, TriggerFn] = {}
+
+
+def _trigger(code: str):
+    def deco(fn: TriggerFn) -> TriggerFn:
+        TRIGGERS[code] = fn
+        return fn
+
+    return deco
+
+
+def _posix(log: DarshanLog):
+    return log.records_for("POSIX")
+
+
+def _total(log: DarshanLog, counter: str) -> float:
+    return log.total(counter)
+
+
+def _small_ops(log: DarshanLog, direction: str) -> int:
+    # Bins strictly below 1 MiB (Drishti's small-request threshold).
+    suffixes = ("0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M")
+    return int(sum(_total(log, f"POSIX_SIZE_{direction}_{s}") for s in suffixes))
+
+
+# -- size triggers (1-4) -----------------------------------------------------
+
+
+@_trigger("POSIX_SMALL_READS")
+def t_small_reads(log: DarshanLog) -> list[TriggerResult]:
+    reads = _total(log, "POSIX_READS")
+    if reads == 0:
+        return []
+    frac = _small_ops(log, "READ") / reads
+    if frac > THRESHOLDS["small_requests_fraction"]:
+        return [
+            TriggerResult(
+                "POSIX_SMALL_READS",
+                "HIGH",
+                f"Application issues a high number ({100 * frac:.1f}%) of small read "
+                f"requests (i.e., POSIX_SIZE_READ_* below 1 MB) out of "
+                f"{int(reads)} total POSIX_READS.",
+                "Consider buffering read operations into larger, more contiguous ones.",
+            )
+        ]
+    return [TriggerResult("POSIX_SMALL_READS", "OK", "Read request sizes look adequate.")]
+
+
+@_trigger("POSIX_SMALL_WRITES")
+def t_small_writes(log: DarshanLog) -> list[TriggerResult]:
+    writes = _total(log, "POSIX_WRITES")
+    if writes == 0:
+        return []
+    frac = _small_ops(log, "WRITE") / writes
+    if frac > THRESHOLDS["small_requests_fraction"]:
+        return [
+            TriggerResult(
+                "POSIX_SMALL_WRITES",
+                "HIGH",
+                f"Application issues a high number ({100 * frac:.1f}%) of small write "
+                f"requests (i.e., POSIX_SIZE_WRITE_* below 1 MB) out of "
+                f"{int(writes)} total POSIX_WRITES.",
+                "Consider buffering write operations into larger, more contiguous ones.",
+            )
+        ]
+    return [TriggerResult("POSIX_SMALL_WRITES", "OK", "Write request sizes look adequate.")]
+
+
+@_trigger("POSIX_SMALL_READ_VOLUME")
+def t_small_read_volume(log: DarshanLog) -> list[TriggerResult]:
+    reads = _total(log, "POSIX_READS")
+    if reads == 0:
+        return []
+    frac = _small_ops(log, "READ") / reads
+    if frac > 0.9:
+        return [
+            TriggerResult(
+                "POSIX_SMALL_READ_VOLUME",
+                "WARN",
+                "Nearly all read traffic is carried by small read requests.",
+                "Aggregate reads via MPI-IO collectives or application-side buffering.",
+            )
+        ]
+    return []
+
+
+@_trigger("POSIX_SMALL_WRITE_VOLUME")
+def t_small_write_volume(log: DarshanLog) -> list[TriggerResult]:
+    writes = _total(log, "POSIX_WRITES")
+    if writes == 0:
+        return []
+    frac = _small_ops(log, "WRITE") / writes
+    if frac > 0.9:
+        return [
+            TriggerResult(
+                "POSIX_SMALL_WRITE_VOLUME",
+                "WARN",
+                "Nearly all write traffic is carried by small write requests.",
+                "Aggregate writes via MPI-IO collectives or application-side buffering.",
+            )
+        ]
+    return []
+
+
+# -- alignment triggers (5-6) -------------------------------------------------
+
+
+@_trigger("POSIX_STRIPE_MISALIGNMENT")
+def t_file_alignment(log: DarshanLog) -> list[TriggerResult]:
+    """Drishti checks request sizes against the Lustre *stripe size*.
+
+    Two consequences the paper's critique anticipates: any sub-stripe
+    transfer size trips the trigger even when the access is block-aligned
+    and harmless, and offset-shifted misalignment with stripe-multiple
+    sizes is invisible to it.
+    """
+    lustre = {r.path: r for r in log.records_for("LUSTRE")}
+    for rec in _posix(log):
+        reads = rec.counters.get("POSIX_READS", 0)
+        writes = rec.counters.get("POSIX_WRITES", 0)
+        nbytes = rec.counters.get("POSIX_BYTES_READ", 0) + rec.counters.get(
+            "POSIX_BYTES_WRITTEN", 0
+        )
+        access = rec.counters.get("POSIX_ACCESS1_ACCESS", 0)
+        if nbytes < 1_048_576 or access <= 0:
+            continue  # too little traffic on this file to matter
+        stripe = 1_048_576
+        lrec = lustre.get(rec.path)
+        if lrec is not None:
+            stripe = lrec.counters.get("LUSTRE_STRIPE_SIZE", stripe) or stripe
+        if access % stripe != 0:
+            directions = []
+            if reads > 0:
+                directions.append("misaligned read requests")
+            if writes > 0:
+                directions.append("misaligned write requests")
+            return [
+                TriggerResult(
+                    "POSIX_STRIPE_MISALIGNMENT",
+                    "HIGH",
+                    f"Requests of {access} bytes on {rec.path} are not aligned "
+                    f"with the file system's stripe size of {stripe} bytes "
+                    f"({' and '.join(directions)}).",
+                    "Align requests with the file system block/stripe boundaries.",
+                )
+            ]
+    return [TriggerResult("POSIX_STRIPE_MISALIGNMENT", "OK", "Requests are stripe-aligned.")]
+
+
+@_trigger("POSIX_MEM_NOT_ALIGNED")
+def t_mem_alignment(log: DarshanLog) -> list[TriggerResult]:
+    ops = _total(log, "POSIX_READS") + _total(log, "POSIX_WRITES")
+    if ops == 0:
+        return []
+    frac = _total(log, "POSIX_MEM_NOT_ALIGNED") / ops
+    if frac > THRESHOLDS["misaligned_fraction"]:
+        return [
+            TriggerResult(
+                "POSIX_MEM_NOT_ALIGNED",
+                "WARN",
+                f"{100 * frac:.1f}% of requests use memory-misaligned buffers "
+                f"(POSIX_MEM_NOT_ALIGNED).",
+                "Allocate I/O buffers aligned to the memory alignment (posix_memalign).",
+            )
+        ]
+    return []
+
+
+# -- access-pattern triggers (7-10) --------------------------------------------
+
+
+def _random_fraction(log: DarshanLog, stem: str) -> float | None:
+    ops = _total(log, f"POSIX_{stem}S")
+    if ops == 0:
+        return None
+    seq = _total(log, f"POSIX_SEQ_{stem}S")
+    return 1.0 - seq / ops
+
+
+@_trigger("POSIX_RANDOM_READS")
+def t_random_reads(log: DarshanLog) -> list[TriggerResult]:
+    frac = _random_fraction(log, "READ")
+    if frac is None:
+        return []
+    if frac > THRESHOLDS["random_fraction"]:
+        return [
+            TriggerResult(
+                "POSIX_RANDOM_READS",
+                "HIGH",
+                f"Application issues a random access pattern on read: {100 * frac:.1f}% "
+                f"of reads are non-sequential (POSIX_SEQ_READS/POSIX_READS).",
+                "Reorder reads into increasing offsets or use collective buffering.",
+            )
+        ]
+    return [TriggerResult("POSIX_RANDOM_READS", "OK", "Reads are mostly sequential.")]
+
+
+@_trigger("POSIX_RANDOM_WRITES")
+def t_random_writes(log: DarshanLog) -> list[TriggerResult]:
+    frac = _random_fraction(log, "WRITE")
+    if frac is None:
+        return []
+    if frac > THRESHOLDS["random_fraction"]:
+        return [
+            TriggerResult(
+                "POSIX_RANDOM_WRITES",
+                "HIGH",
+                f"Application issues a random access pattern on write: {100 * frac:.1f}% "
+                f"of writes are non-sequential (POSIX_SEQ_WRITES/POSIX_WRITES).",
+                "Reorder writes into increasing offsets or use collective buffering.",
+            )
+        ]
+    return [TriggerResult("POSIX_RANDOM_WRITES", "OK", "Writes are mostly sequential.")]
+
+
+@_trigger("POSIX_SEQ_READ_INSIGHT")
+def t_seq_read_insight(log: DarshanLog) -> list[TriggerResult]:
+    frac = _random_fraction(log, "READ")
+    if frac is not None and frac < 0.05:
+        return [
+            TriggerResult(
+                "POSIX_SEQ_READ_INSIGHT", "INFO", "Read accesses are highly sequential."
+            )
+        ]
+    return []
+
+
+@_trigger("POSIX_SEQ_WRITE_INSIGHT")
+def t_seq_write_insight(log: DarshanLog) -> list[TriggerResult]:
+    frac = _random_fraction(log, "WRITE")
+    if frac is not None and frac < 0.05:
+        return [
+            TriggerResult(
+                "POSIX_SEQ_WRITE_INSIGHT", "INFO", "Write accesses are highly sequential."
+            )
+        ]
+    return []
+
+
+# -- metadata triggers (11-13) ---------------------------------------------------
+
+
+@_trigger("POSIX_HIGH_METADATA_TIME")
+def t_metadata_time(log: DarshanLog) -> list[TriggerResult]:
+    meta = sum(r.fcounters.get("POSIX_F_META_TIME", 0.0) for r in _posix(log))
+    if meta > THRESHOLDS["metadata_seconds"]:
+        return [
+            TriggerResult(
+                "POSIX_HIGH_METADATA_TIME",
+                "HIGH",
+                f"Application spends a high metadata load: {meta:.2f} s in metadata "
+                f"operations (POSIX_F_META_TIME exceeds the threshold).",
+                "Avoid per-iteration open/close cycles and excessive stat calls.",
+            )
+        ]
+    return [TriggerResult("POSIX_HIGH_METADATA_TIME", "OK", "Metadata time within bounds.")]
+
+
+@_trigger("POSIX_MANY_OPENS")
+def t_many_opens(log: DarshanLog) -> list[TriggerResult]:
+    opens = _total(log, "POSIX_OPENS")
+    if opens > 4000:
+        return [
+            TriggerResult(
+                "POSIX_MANY_OPENS",
+                "WARN",
+                f"Application performs {int(opens)} POSIX_OPENS, indicating heavy "
+                f"file-creation or reopen churn (high metadata load).",
+                "Keep files open across phases or consolidate into fewer files.",
+            )
+        ]
+    return []
+
+
+@_trigger("POSIX_MANY_STATS")
+def t_many_stats(log: DarshanLog) -> list[TriggerResult]:
+    stats = _total(log, "POSIX_STATS")
+    if stats > 4000:
+        return [
+            TriggerResult(
+                "POSIX_MANY_STATS",
+                "WARN",
+                f"Application performs {int(stats)} POSIX_STATS calls (high metadata load).",
+                "Cache stat results instead of re-querying the file system.",
+            )
+        ]
+    return []
+
+
+# -- shared file / rank triggers (14-17) --------------------------------------------
+
+
+@_trigger("POSIX_SHARED_FILE")
+def t_shared_file(log: DarshanLog) -> list[TriggerResult]:
+    shared = [
+        r
+        for r in _posix(log)
+        if r.shared
+        and r.counters.get("POSIX_BYTES_READ", 0) + r.counters.get("POSIX_BYTES_WRITTEN", 0)
+        > THRESHOLDS["shared_file_min_bytes"]
+    ]
+    if shared and log.header.nprocs > 1:
+        return [
+            TriggerResult(
+                "POSIX_SHARED_FILE",
+                "WARN",
+                f"Application uses shared file access: {len(shared)} file(s) are "
+                f"accessed by multiple ranks (rank -1 records).",
+                "Combine shared files with collective I/O and wide striping.",
+            )
+        ]
+    return []
+
+
+@_trigger("POSIX_RANK_IMBALANCE")
+def t_rank_imbalance(log: DarshanLog) -> list[TriggerResult]:
+    for rec in _posix(log) + log.records_for("MPIIO"):
+        if not rec.shared:
+            continue
+        prefix = rec.module
+        fastest = rec.counters.get(f"{prefix}_FASTEST_RANK_BYTES", 0)
+        slowest = rec.counters.get(f"{prefix}_SLOWEST_RANK_BYTES", 0)
+        if slowest <= 0:
+            continue
+        imbalance = (slowest - fastest) / slowest
+        if imbalance > THRESHOLDS["imbalance_fraction"] and slowest > 1_048_576:
+            return [
+                TriggerResult(
+                    "POSIX_RANK_IMBALANCE",
+                    "HIGH",
+                    f"Detected rank load imbalance of {100 * imbalance:.1f}% on "
+                    f"{rec.path} ({prefix}_SLOWEST_RANK_BYTES vs "
+                    f"{prefix}_FASTEST_RANK_BYTES).",
+                    "Rebalance the data distribution among ranks or use collective I/O.",
+                )
+            ]
+    return []
+
+
+@_trigger("POSIX_TIME_IMBALANCE")
+def t_time_imbalance(log: DarshanLog) -> list[TriggerResult]:
+    for rec in _posix(log):
+        if not rec.shared:
+            continue
+        fast = rec.fcounters.get("POSIX_F_FASTEST_RANK_TIME", 0.0)
+        slow = rec.fcounters.get("POSIX_F_SLOWEST_RANK_TIME", 0.0)
+        if slow > 0.5 and fast >= 0 and (slow - fast) / slow > 0.5:
+            return [
+                TriggerResult(
+                    "POSIX_TIME_IMBALANCE",
+                    "WARN",
+                    f"Stragglers detected on {rec.path}: slowest rank spends "
+                    f"{slow:.2f} s vs fastest {fast:.2f} s.",
+                    "Investigate rank-level stragglers (imbalance across ranks).",
+                )
+            ]
+    return []
+
+
+@_trigger("POSIX_RW_SWITCHES")
+def t_rw_switches(log: DarshanLog) -> list[TriggerResult]:
+    switches = _total(log, "POSIX_RW_SWITCHES")
+    ops = _total(log, "POSIX_READS") + _total(log, "POSIX_WRITES")
+    if ops > 0 and switches / ops > 0.3:
+        return [
+            TriggerResult(
+                "POSIX_RW_SWITCHES",
+                "INFO",
+                f"Frequent read/write switching ({int(switches)} POSIX_RW_SWITCHES).",
+                "Separate read and write phases where possible.",
+            )
+        ]
+    return []
+
+
+# -- redundant access (18) -----------------------------------------------------------
+
+
+@_trigger("POSIX_REDUNDANT_READS")
+def t_redundant_reads(log: DarshanLog) -> list[TriggerResult]:
+    for rec in _posix(log):
+        bytes_read = rec.counters.get("POSIX_BYTES_READ", 0)
+        extent = rec.counters.get("POSIX_MAX_BYTE_READ", 0) + 1
+        if extent > 1 and bytes_read / extent > THRESHOLDS["redundant_read_ratio"]:
+            return [
+                TriggerResult(
+                    "POSIX_REDUNDANT_READS",
+                    "WARN",
+                    f"Application reads the same data repeatedly from {rec.path}: "
+                    f"POSIX_BYTES_READ is {bytes_read / extent:.1f}x the file extent.",
+                    "Cache repeatedly accessed data in memory.",
+                )
+            ]
+    return []
+
+
+# -- MPI-IO triggers (19-23) -----------------------------------------------------------
+
+
+@_trigger("MPIIO_NO_COLLECTIVE_READS")
+def t_no_coll_reads(log: DarshanLog) -> list[TriggerResult]:
+    indep = _total(log, "MPIIO_INDEP_READS")
+    coll = _total(log, "MPIIO_COLL_READS")
+    if indep > 0 and coll == 0 and log.header.nprocs > 1:
+        return [
+            TriggerResult(
+                "MPIIO_NO_COLLECTIVE_READS",
+                "HIGH",
+                f"Application uses MPI-IO but performs no collective I/O on read: "
+                f"{int(indep)} MPIIO_INDEP_READS and zero MPIIO_COLL_READS.",
+                "Use collective read operations (e.g. MPI_File_read_all).",
+            )
+        ]
+    return []
+
+
+@_trigger("MPIIO_NO_COLLECTIVE_WRITES")
+def t_no_coll_writes(log: DarshanLog) -> list[TriggerResult]:
+    indep = _total(log, "MPIIO_INDEP_WRITES")
+    coll = _total(log, "MPIIO_COLL_WRITES")
+    if indep > 0 and coll == 0 and log.header.nprocs > 1:
+        return [
+            TriggerResult(
+                "MPIIO_NO_COLLECTIVE_WRITES",
+                "HIGH",
+                f"Application uses MPI-IO but performs no collective I/O on write: "
+                f"{int(indep)} MPIIO_INDEP_WRITES and zero MPIIO_COLL_WRITES.",
+                "Use collective write operations (e.g. MPI_File_write_all).",
+            )
+        ]
+    return []
+
+
+@_trigger("MPIIO_COLLECTIVE_INSIGHT")
+def t_collective_insight(log: DarshanLog) -> list[TriggerResult]:
+    coll = _total(log, "MPIIO_COLL_READS") + _total(log, "MPIIO_COLL_WRITES")
+    if coll > 0:
+        return [
+            TriggerResult(
+                "MPIIO_COLLECTIVE_INSIGHT",
+                "INFO",
+                f"Application performs {int(coll)} collective MPI-IO operations.",
+            )
+        ]
+    return []
+
+
+@_trigger("MPIIO_BLOCKING_READS")
+def t_nb_reads(log: DarshanLog) -> list[TriggerResult]:
+    nb = _total(log, "MPIIO_NB_READS")
+    reads = _total(log, "MPIIO_INDEP_READS") + _total(log, "MPIIO_COLL_READS")
+    if reads > 100 and nb == 0:
+        return [
+            TriggerResult(
+                "MPIIO_BLOCKING_READS",
+                "INFO",
+                "Application could benefit from non-blocking (asynchronous) reads.",
+            )
+        ]
+    return []
+
+
+@_trigger("MPIIO_BLOCKING_WRITES")
+def t_nb_writes(log: DarshanLog) -> list[TriggerResult]:
+    nb = _total(log, "MPIIO_NB_WRITES")
+    writes = _total(log, "MPIIO_INDEP_WRITES") + _total(log, "MPIIO_COLL_WRITES")
+    if writes > 100 and nb == 0:
+        return [
+            TriggerResult(
+                "MPIIO_BLOCKING_WRITES",
+                "INFO",
+                "Application could benefit from non-blocking (asynchronous) writes.",
+            )
+        ]
+    return []
+
+
+# -- STDIO triggers (24-25) ---------------------------------------------------------------
+
+
+@_trigger("STDIO_HIGH_USAGE")
+def t_stdio_usage(log: DarshanLog) -> list[TriggerResult]:
+    stdio = _total(log, "STDIO_BYTES_READ") + _total(log, "STDIO_BYTES_WRITTEN")
+    posix = _total(log, "POSIX_BYTES_READ") + _total(log, "POSIX_BYTES_WRITTEN")
+    total = stdio + posix
+    if total > 0 and stdio / total > 0.1 and stdio > 1_048_576:
+        reads = _total(log, "STDIO_BYTES_READ")
+        writes = _total(log, "STDIO_BYTES_WRITTEN")
+        directions = []
+        if reads > writes:
+            directions.append("stdio reads")
+        if writes >= reads and writes > 0:
+            directions.append("stdio writes")
+        return [
+            TriggerResult(
+                "STDIO_HIGH_USAGE",
+                "WARN",
+                f"Application relies on a low-level library (STDIO) for "
+                f"{100 * stdio / total:.1f}% of its I/O volume ({' and '.join(directions)}).",
+                "Use POSIX or MPI-IO for bulk transfers instead of fread/fwrite.",
+            )
+        ]
+    return []
+
+
+@_trigger("STDIO_FLUSHES")
+def t_stdio_flushes(log: DarshanLog) -> list[TriggerResult]:
+    flushes = _total(log, "STDIO_FLUSHES")
+    if flushes > 1000:
+        return [
+            TriggerResult(
+                "STDIO_FLUSHES",
+                "INFO",
+                f"Application issues {int(flushes)} STDIO_FLUSHES; frequent flushing "
+                f"defeats stream buffering.",
+            )
+        ]
+    return []
+
+
+# -- LUSTRE triggers (26-30) ------------------------------------------------------------------
+
+
+@_trigger("LUSTRE_STRIPE_WIDTH_ONE")
+def t_stripe_one(log: DarshanLog) -> list[TriggerResult]:
+    posix_bytes = {
+        r.path: r.counters.get("POSIX_BYTES_READ", 0) + r.counters.get("POSIX_BYTES_WRITTEN", 0)
+        for r in _posix(log)
+    }
+    hot = []
+    for rec in log.records_for("LUSTRE"):
+        width = rec.counters.get("LUSTRE_STRIPE_WIDTH", 0)
+        if width == 1 and posix_bytes.get(rec.path, 0) > THRESHOLDS["stripe_small_file_bytes"]:
+            hot.append(rec.path)
+    if hot:
+        return [
+            TriggerResult(
+                "LUSTRE_STRIPE_WIDTH_ONE",
+                "HIGH",
+                f"{len(hot)} heavily-used file(s) have LUSTRE_STRIPE_WIDTH = 1 "
+                f"(e.g. {hot[0]}), causing server load imbalance: all traffic for "
+                f"each file is served by a single OST.",
+                "Increase the stripe count (lfs setstripe -c) for large files.",
+            )
+        ]
+    return []
+
+
+@_trigger("LUSTRE_STRIPE_SIZE_MISMATCH")
+def t_stripe_size(log: DarshanLog) -> list[TriggerResult]:
+    for rec in log.records_for("LUSTRE"):
+        stripe = rec.counters.get("LUSTRE_STRIPE_SIZE", 0)
+        if stripe and stripe < 1_048_576:
+            return [
+                TriggerResult(
+                    "LUSTRE_STRIPE_SIZE_MISMATCH",
+                    "INFO",
+                    f"Stripe size of {stripe} bytes on {rec.path} is below the common "
+                    f"1 MiB default.",
+                    "Match the stripe size to the dominant transfer size.",
+                )
+            ]
+    return []
+
+
+@_trigger("LUSTRE_OST_USAGE")
+def t_ost_usage(log: DarshanLog) -> list[TriggerResult]:
+    lustre = log.records_for("LUSTRE")
+    if not lustre:
+        return []
+    used = set()
+    for rec in lustre:
+        width = rec.counters.get("LUSTRE_STRIPE_WIDTH", 0)
+        for i in range(width):
+            used.add(rec.counters.get(f"LUSTRE_OST_ID_{i}", 0))
+    num = max(r.counters.get("LUSTRE_OSTS", 0) for r in lustre)
+    if num and len(used) / num < 0.25:
+        return [
+            TriggerResult(
+                "LUSTRE_OST_USAGE",
+                "WARN",
+                f"Application data touches only {len(used)} of {num} OSTs, "
+                f"underutilizing the available storage servers (server load imbalance).",
+                "Spread files across more OSTs via wider striping.",
+            )
+        ]
+    return []
+
+
+@_trigger("LUSTRE_MOUNT_INFO")
+def t_mount_info(log: DarshanLog) -> list[TriggerResult]:
+    mounts = {(rec.fs_type, rec.mount_point) for rec in log.records_for("LUSTRE")}
+    return [
+        TriggerResult(
+            "LUSTRE_MOUNT_INFO", "INFO", f"Files reside on {fs} mounted at {mount}."
+        )
+        for fs, mount in sorted(mounts)
+    ]
+
+
+@_trigger("JOB_SUMMARY")
+def t_job_summary(log: DarshanLog) -> list[TriggerResult]:
+    read, written = log.module_bytes("POSIX")
+    return [
+        TriggerResult(
+            "JOB_SUMMARY",
+            "INFO",
+            f"Job ran {log.header.run_time:.1f} s with {log.header.nprocs} processes; "
+            f"POSIX volume: {read} bytes read, {written} bytes written.",
+        )
+    ]
+
+
+def run_triggers(log: DarshanLog) -> list[TriggerResult]:
+    """Run all 30 triggers over ``log``."""
+    results: list[TriggerResult] = []
+    for fn in TRIGGERS.values():
+        results.extend(fn(log))
+    return results

@@ -1,0 +1,38 @@
+"""ION: LLM diagnosis by direct prompting (Egersdoerfer et al., HotStorage'24).
+
+The proof-of-concept predecessor of IOAgent: take ``darshan-parser``
+output, wrap it in an engineered prompt, and send the whole thing to the
+model.  Everything the paper criticizes follows from that design — the
+trace may vastly exceed the context window (lost-in-the-middle losses),
+there is no injected domain knowledge (misconceptions go unchecked), and
+no references can be produced.
+"""
+
+from __future__ import annotations
+
+from repro.darshan.log import DarshanLog
+from repro.darshan.writer import render_darshan_text
+from repro.llm.client import LLMClient
+from repro.llm.tasks.plain import build_plain_prompt
+
+__all__ = ["IONTool"]
+
+
+class IONTool:
+    """Plain-prompt LLM baseline."""
+
+    name = "ion"
+
+    def __init__(self, client: LLMClient | None = None, model: str = "gpt-4o", seed: int = 0):
+        self.client = client or LLMClient(seed=seed)
+        self.model = model
+
+    def diagnose_log(self, log: DarshanLog, trace_id: str = "trace") -> str:
+        """Diagnose one Darshan log by direct prompting."""
+        text = render_darshan_text(log)
+        prompt = build_plain_prompt(text)
+        return self.client.complete(prompt, model=self.model, call_id=f"ion/{trace_id}").text
+
+    def diagnose(self, trace) -> str:
+        """Diagnose a TraceBench LabeledTrace (tool-harness interface)."""
+        return self.diagnose_log(trace.log, trace_id=trace.trace_id)

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``diagnose <trace.darshan.txt>`` — run IOAgent on a darshan-parser text
+  file and print the report (optionally ``--model``, ``--no-rag``);
+* ``drishti <trace.darshan.txt>`` — run the Drishti baseline;
+* ``ion <trace.darshan.txt>`` — run the plain-prompt ION baseline;
+* ``tracebench export <dir>`` — write the 40-trace suite + labels to disk;
+* ``tracebench table3`` — print the Table III composition;
+* ``evaluate [--traces id,id,...]`` — run the Table IV harness and print it;
+* ``chat <trace.darshan.txt>`` — diagnose, then answer questions from stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IOAgent reproduction: HPC I/O diagnosis from Darshan traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_cmd(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("trace", help="path to darshan-parser text output")
+        p.add_argument("--seed", type=int, default=0)
+        return p
+
+    p = add_trace_cmd("diagnose", "diagnose a trace with IOAgent")
+    p.add_argument("--model", default="gpt-4o")
+    p.add_argument("--no-rag", action="store_true", help="disable knowledge retrieval")
+    p.add_argument("--merge", choices=("tree", "one-step"), default="tree")
+
+    add_trace_cmd("drishti", "run the Drishti heuristic baseline")
+
+    p = add_trace_cmd("ion", "run the plain-prompt ION baseline")
+    p.add_argument("--model", default="gpt-4o")
+
+    p = add_trace_cmd("chat", "diagnose, then answer questions interactively")
+    p.add_argument("--model", default="gpt-4o")
+
+    tb = sub.add_parser("tracebench", help="TraceBench suite operations")
+    tb_sub = tb.add_subparsers(dest="tb_command", required=True)
+    export = tb_sub.add_parser("export", help="write all traces + labels to a directory")
+    export.add_argument("directory")
+    export.add_argument("--seed", type=int, default=0)
+    tb_sub.add_parser("table3", help="print the Table III composition")
+
+    ev = sub.add_parser("evaluate", help="run the Table IV evaluation harness")
+    ev.add_argument("--traces", default="", help="comma-separated trace ids (default: all 40)")
+    ev.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _load_log(path: str):
+    from repro.darshan.parser import parse_darshan_text
+
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_darshan_text(fh.read())
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.core.agent import IOAgent, IOAgentConfig
+
+    log = _load_log(args.trace)
+    agent = IOAgent(
+        IOAgentConfig(
+            model=args.model,
+            use_rag=not args.no_rag,
+            merge_strategy=args.merge,
+            seed=args.seed,
+        )
+    )
+    report = agent.diagnose(log, trace_id=args.trace)
+    print(report.render())
+    return 0
+
+
+def _cmd_drishti(args) -> int:
+    from repro.baselines.drishti import DrishtiTool
+
+    print(DrishtiTool().diagnose_log(_load_log(args.trace)))
+    return 0
+
+
+def _cmd_ion(args) -> int:
+    from repro.baselines.ion import IONTool
+
+    print(IONTool(model=args.model, seed=args.seed).diagnose_log(_load_log(args.trace)))
+    return 0
+
+
+def _cmd_chat(args) -> int:
+    from repro.core.agent import IOAgent, IOAgentConfig
+    from repro.core.session import InteractiveSession
+
+    log = _load_log(args.trace)
+    agent = IOAgent(IOAgentConfig(model=args.model, seed=args.seed))
+    report = agent.diagnose(log, trace_id=args.trace)
+    print(report.render())
+    session = InteractiveSession(report=report, client=agent.client, model=args.model)
+    print("\nAsk follow-up questions (empty line to exit).")
+    for line in sys.stdin:
+        question = line.strip()
+        if not question:
+            break
+        print(session.ask(question))
+        print()
+    return 0
+
+
+def _cmd_tracebench(args) -> int:
+    if args.tb_command == "table3":
+        from repro.evaluation.tables import render_table3
+
+        print(render_table3())
+        return 0
+    # export
+    import os
+
+    from repro.tracebench import build_tracebench
+
+    os.makedirs(args.directory, exist_ok=True)
+    suite = build_tracebench(args.seed)
+    manifest = ["trace_id\tsource\tnprocs\tlabels"]
+    for trace in suite:
+        path = os.path.join(args.directory, f"{trace.trace_id}.darshan.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(trace.text)
+        manifest.append(
+            f"{trace.trace_id}\t{trace.source}\t{trace.log.header.nprocs}\t"
+            + ",".join(sorted(trace.labels))
+        )
+    with open(os.path.join(args.directory, "labels.tsv"), "w", encoding="utf-8") as fh:
+        fh.write("\n".join(manifest) + "\n")
+    print(f"wrote {len(suite)} traces to {args.directory}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.evaluation.harness import evaluate_tools
+    from repro.evaluation.tables import render_table4
+    from repro.tracebench import build_tracebench
+    from repro.tracebench.dataset import TraceBench
+
+    suite = build_tracebench(args.seed)
+    if args.traces:
+        wanted = [t.strip() for t in args.traces.split(",") if t.strip()]
+        suite = TraceBench(traces=[suite.get(t) for t in wanted], seed=args.seed)
+    result = evaluate_tools(suite, progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    print(render_table4(result))
+    return 0
+
+
+_COMMANDS = {
+    "diagnose": _cmd_diagnose,
+    "drishti": _cmd_drishti,
+    "ion": _cmd_ion,
+    "chat": _cmd_chat,
+    "tracebench": _cmd_tracebench,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

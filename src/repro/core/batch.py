@@ -1,0 +1,90 @@
+"""Batch diagnosis with cost accounting (the paper's production concern).
+
+The paper motivates IOAgent partly by cost: o1-preview is "largely
+impractical for our large-scale use", and the design must make *open*
+models viable.  This module runs IOAgent (or a plain-prompt baseline)
+over many traces and reports per-backbone token/cost totals, so the
+"democratization" trade-off — open-weights quality at zero marginal API
+cost vs. frontier quality at list price — is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.agent import IOAgent, IOAgentConfig
+from repro.core.report import DiagnosisReport
+from repro.evaluation.accuracy import match_stats
+from repro.llm.client import LLMClient
+from repro.tracebench.dataset import LabeledTrace
+
+__all__ = ["BatchResult", "run_batch", "cost_comparison"]
+
+
+@dataclass
+class BatchResult:
+    """Aggregate outcome of diagnosing a set of traces with one backbone."""
+
+    model: str
+    reports: dict[str, DiagnosisReport] = field(default_factory=dict)
+    mean_f1: float = 0.0
+    llm_calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_usd: float = 0.0
+
+    @property
+    def cost_per_trace(self) -> float:
+        return self.cost_usd / max(1, len(self.reports))
+
+
+def run_batch(
+    traces: list[LabeledTrace],
+    model: str = "gpt-4o",
+    reflection_model: str = "gpt-4o-mini",
+    seed: int = 0,
+    **config_kwargs,
+) -> BatchResult:
+    """Diagnose every trace with a fresh agent on one backbone."""
+    client = LLMClient(seed=seed)
+    agent = IOAgent(
+        IOAgentConfig(
+            model=model, reflection_model=reflection_model, seed=seed, **config_kwargs
+        ),
+        client=client,
+    )
+    result = BatchResult(model=model)
+    f1_total = 0.0
+    for trace in traces:
+        report = agent.diagnose(trace.log, trace_id=trace.trace_id)
+        result.reports[trace.trace_id] = report
+        f1_total += match_stats(report.text, trace.labels).f1
+    usage = client.total_usage()
+    result.mean_f1 = f1_total / max(1, len(traces))
+    result.llm_calls = usage.calls
+    result.prompt_tokens = usage.prompt_tokens
+    result.completion_tokens = usage.completion_tokens
+    result.cost_usd = usage.cost_usd
+    return result
+
+
+def cost_comparison(
+    traces: list[LabeledTrace],
+    models: tuple[str, ...] = ("gpt-4o", "llama-3.1-70b"),
+    seed: int = 0,
+) -> dict[str, BatchResult]:
+    """Run the same trace set through several backbones.
+
+    The reflection model follows the backbone's ecosystem: proprietary
+    backbones use gpt-4o-mini (as in the paper), open backbones reuse
+    themselves so the whole pipeline stays free to run.
+    """
+    results: dict[str, BatchResult] = {}
+    for model in models:
+        from repro.llm.models import get_model
+
+        reflection = model if get_model(model).open_source else "gpt-4o-mini"
+        results[model] = run_batch(
+            traces, model=model, reflection_model=reflection, seed=seed
+        )
+    return results

@@ -1,0 +1,38 @@
+"""JSON-fragment → natural-language transformation (paper §IV-B1, Fig. 3).
+
+The paper's insight: JSON summaries embed poorly against prose-form domain
+knowledge, so each fragment is first turned into descriptive natural
+language by the LLM — prompted with the extraction code, the JSON values,
+and the broader application context — and *that* text becomes the RAG
+query.
+"""
+
+from __future__ import annotations
+
+from repro.core.summaries import SummaryFragment
+from repro.llm.client import LLMClient
+from repro.llm.facts import Fact, render_fact
+from repro.llm.tasks.describe import build_describe_prompt
+
+__all__ = ["context_sentences", "describe_fragment"]
+
+
+def context_sentences(app_facts: list[Fact]) -> str:
+    """Render the application-context facts into one context string."""
+    return " ".join(render_fact(f) for f in app_facts)
+
+
+def describe_fragment(
+    fragment: SummaryFragment,
+    app_facts: list[Fact],
+    client: LLMClient,
+    model: str,
+    call_id: str,
+) -> str:
+    """Run the describe step for one fragment."""
+    prompt = build_describe_prompt(
+        fragment_json=fragment.to_json(),
+        code=fragment.code,
+        context_sentences=context_sentences(app_facts),
+    )
+    return client.complete(prompt, model=model, call_id=call_id).text

@@ -1,0 +1,23 @@
+"""Fragment-level diagnosis step (paper §IV-B3, last paragraph)."""
+
+from __future__ import annotations
+
+from repro.llm.client import LLMClient
+from repro.llm.tasks.diagnose import build_diagnose_prompt
+
+__all__ = ["diagnose_fragment"]
+
+
+def diagnose_fragment(
+    description: str,
+    sources: list[str],
+    context: str,
+    client: LLMClient,
+    model: str,
+    call_id: str,
+) -> str:
+    """Produce one fragment's diagnosis from its description + knowledge."""
+    prompt = build_diagnose_prompt(
+        context_sentences=context, description=description, sources=sources
+    )
+    return client.complete(prompt, model=model, call_id=call_id).text

@@ -1,0 +1,172 @@
+"""The I/O issue taxonomy (paper Table II).
+
+Sixteen labels (read/write variants counted separately, as in Table III).
+Every subsystem — TraceBench ground truth, IOAgent diagnoses, Drishti
+triggers, ION outputs, and the accuracy scorer — speaks this vocabulary,
+keyed by the stable ``key`` strings below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Issue", "ISSUES", "issue_by_key", "ISSUE_KEYS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Issue:
+    """One diagnosable I/O performance issue."""
+
+    key: str
+    label: str
+    description: str
+    # Phrases whose presence in free text indicates this issue is being
+    # asserted; used by the accuracy scorer to grade arbitrary tool output.
+    aliases: tuple[str, ...]
+
+
+ISSUES: tuple[Issue, ...] = (
+    Issue(
+        key="high_metadata_load",
+        label="High Metadata Load",
+        description=(
+            "The application spends a significant amount of time performing "
+            "metadata operations (e.g., directory lookups, file system "
+            "operations)."
+        ),
+        aliases=("high metadata", "metadata load", "metadata-heavy", "metadata overhead"),
+    ),
+    Issue(
+        key="misaligned_read",
+        label="Misaligned Read Requests",
+        description=(
+            "The application makes read requests that are not aligned with "
+            "the file system's stripe boundaries."
+        ),
+        aliases=("misaligned read", "unaligned read", "read requests are not aligned"),
+    ),
+    Issue(
+        key="misaligned_write",
+        label="Misaligned Write Requests",
+        description=(
+            "The application makes write requests that are not aligned with "
+            "the file system's stripe boundaries."
+        ),
+        aliases=("misaligned write", "unaligned write", "write requests are not aligned"),
+    ),
+    Issue(
+        key="random_read",
+        label="Random Access Patterns on Read",
+        description="The application issues read requests in a random access pattern.",
+        aliases=("random read", "random access pattern on read", "non-sequential read"),
+    ),
+    Issue(
+        key="random_write",
+        label="Random Access Patterns on Write",
+        description="The application issues write requests in a random access pattern.",
+        aliases=("random write", "random access pattern on write", "non-sequential write"),
+    ),
+    Issue(
+        key="shared_file_access",
+        label="Shared File Access",
+        description=(
+            "The application has multiple processes or ranks accessing the same file."
+        ),
+        aliases=("shared file", "single shared file", "same file from multiple ranks"),
+    ),
+    Issue(
+        key="small_read",
+        label="Small Read I/O Requests",
+        description=(
+            "The application is making frequent read requests with a small number of bytes."
+        ),
+        aliases=("small read", "small reads", "tiny read request"),
+    ),
+    Issue(
+        key="small_write",
+        label="Small Write I/O Requests",
+        description=(
+            "The application is making frequent write requests with a small number of bytes."
+        ),
+        aliases=("small write", "small writes", "tiny write request"),
+    ),
+    Issue(
+        key="repetitive_read",
+        label="Repetitive Data Access on Read",
+        description="The application is making read requests to the same data repeatedly.",
+        aliases=("repetitive read", "re-read", "reads the same data repeatedly"),
+    ),
+    Issue(
+        key="server_imbalance",
+        label="Server Load Imbalance",
+        description=(
+            "The application issues a disproportionate amount of I/O traffic to "
+            "some servers compared to others or does not properly utilize the "
+            "available storage resources."
+        ),
+        aliases=(
+            "server load imbalance",
+            "ost imbalance",
+            "underutilizes the available storage",
+            "single ost",
+            "stripe width of 1",
+            "stripe count of 1",
+        ),
+    ),
+    Issue(
+        key="rank_imbalance",
+        label="Rank Load Imbalance",
+        description=(
+            "The application has MPI ranks issuing a disproportionate amount of "
+            "I/O traffic compared to others."
+        ),
+        aliases=("rank load imbalance", "rank imbalance", "imbalance across ranks"),
+    ),
+    Issue(
+        key="no_mpi",
+        label="Multi-Process Without MPI",
+        description="The application has multiple processes but does not leverage MPI.",
+        aliases=("without mpi", "does not leverage mpi", "no mpi-io usage detected"),
+    ),
+    Issue(
+        key="no_collective_read",
+        label="No Collective I/O on Read",
+        description="The application does not perform collective I/O on read operations.",
+        aliases=("no collective read", "collective i/o on read", "independent read"),
+    ),
+    Issue(
+        key="no_collective_write",
+        label="No Collective I/O on Write",
+        description="The application does not perform collective I/O on write operations.",
+        aliases=("no collective write", "collective i/o on write", "independent write"),
+    ),
+    Issue(
+        key="low_level_read",
+        label="Low-Level Library on Read",
+        description=(
+            "The application relies on a low-level library like STDIO for a "
+            "significant amount of read operations outside of loading/reading "
+            "configuration or output files."
+        ),
+        aliases=("low-level library on read", "stdio for read", "stdio reads"),
+    ),
+    Issue(
+        key="low_level_write",
+        label="Low-Level Library on Write",
+        description=(
+            "The application relies on a low-level library like STDIO for a "
+            "significant amount of write operations outside of writing logs "
+            "or small outputs."
+        ),
+        aliases=("low-level library on write", "stdio for write", "stdio writes"),
+    ),
+)
+
+ISSUE_KEYS: tuple[str, ...] = tuple(issue.key for issue in ISSUES)
+
+_BY_KEY = {issue.key: issue for issue in ISSUES}
+
+
+def issue_by_key(key: str) -> Issue:
+    """Look up an issue by its stable key; raises KeyError on typos."""
+    return _BY_KEY[key]

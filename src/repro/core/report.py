@@ -1,0 +1,54 @@
+"""The final diagnosis report object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.llm.findings import Finding, parse_findings
+
+__all__ = ["DiagnosisReport"]
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """IOAgent's end product for one trace.
+
+    ``text`` is the full merged diagnosis (what a user reads and what the
+    evaluation judges); the structured views are parsed from it.
+    """
+
+    trace_id: str
+    model: str
+    text: str
+    n_fragments: int = 0
+    sources_retrieved: int = 0
+    sources_kept: int = 0
+
+    @cached_property
+    def findings(self) -> tuple[Finding, ...]:
+        """Structured findings parsed back out of the report text."""
+        return tuple(parse_findings(self.text))
+
+    @cached_property
+    def issue_keys(self) -> frozenset[str]:
+        """The set of diagnosed issue keys."""
+        return frozenset(f.issue_key for f in self.findings)
+
+    @cached_property
+    def references(self) -> tuple[str, ...]:
+        """Union of all cited references, first-seen order."""
+        seen: dict[str, None] = {}
+        for finding in self.findings:
+            for ref in finding.references:
+                seen.setdefault(ref, None)
+        return tuple(seen)
+
+    def render(self) -> str:
+        """Human-facing rendering with a short header."""
+        header = (
+            f"I/O performance diagnosis for trace '{self.trace_id}' "
+            f"(model: {self.model}; {len(self.findings)} issue(s) identified; "
+            f"{len(self.references)} reference(s))."
+        )
+        return f"{header}\n\n{self.text}"

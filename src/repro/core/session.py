@@ -1,0 +1,40 @@
+"""Post-diagnosis interactive session (paper §VI-E, Fig. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.report import DiagnosisReport
+from repro.llm.client import LLMClient
+from repro.llm.tasks.chat import build_chat_prompt
+
+__all__ = ["InteractiveSession"]
+
+
+@dataclass
+class InteractiveSession:
+    """Chat continuation grounded in a finished diagnosis.
+
+    Each question is answered against the diagnosis text plus the running
+    conversation, mirroring how IOAgent "effectively utilized the context
+    of the diagnosis and its referenced sources" in the paper's example.
+    """
+
+    report: DiagnosisReport
+    client: LLMClient
+    model: str = "gpt-4o"
+    history: list[tuple[str, str]] = field(default_factory=list)  # (question, answer)
+
+    def ask(self, question: str) -> str:
+        """Ask a follow-up question; returns (and records) the answer."""
+        context_parts = [self.report.text]
+        for q, a in self.history:
+            context_parts.append(f"Earlier question: {q}\nEarlier answer: {a}")
+        prompt = build_chat_prompt("\n\n".join(context_parts), question)
+        answer = self.client.complete(
+            prompt,
+            model=self.model,
+            call_id=f"{self.report.trace_id}/chat/{len(self.history)}",
+        ).text
+        self.history.append((question, answer))
+        return answer

@@ -1,0 +1,52 @@
+"""Darshan substrate: counters, records, logs, instrumentation, text I/O.
+
+This package reproduces the parts of Darshan 3.x that the paper's pipeline
+consumes: the POSIX / MPI-IO / STDIO / LUSTRE module counters (names, size
+bins, stride/access tables, variance counters), per-file records with
+shared-file reduction, the ``darshan-parser`` text serialization that plain
+LLMs are fed, and a parser to read that text back.
+
+The instrumentation layer (:class:`~repro.darshan.instrument.
+DarshanInstrument`) observes the simulated runtime exactly as the real
+Darshan library interposes on I/O calls, then finalizes into a
+:class:`~repro.darshan.log.DarshanLog`.
+"""
+
+from repro.darshan.counters import (
+    LUSTRE_COUNTERS,
+    MPIIO_COUNTERS,
+    MPIIO_F_COUNTERS,
+    POSIX_COUNTERS,
+    POSIX_F_COUNTERS,
+    SIZE_BIN_EDGES,
+    SIZE_BIN_LABELS,
+    SIZE_BIN_SUFFIXES,
+    STDIO_COUNTERS,
+    STDIO_F_COUNTERS,
+    size_bin_index,
+)
+from repro.darshan.instrument import DarshanInstrument
+from repro.darshan.log import DarshanLog, JobHeader
+from repro.darshan.parser import parse_darshan_text
+from repro.darshan.records import DarshanRecord
+from repro.darshan.writer import render_darshan_text
+
+__all__ = [
+    "SIZE_BIN_EDGES",
+    "SIZE_BIN_SUFFIXES",
+    "SIZE_BIN_LABELS",
+    "size_bin_index",
+    "POSIX_COUNTERS",
+    "POSIX_F_COUNTERS",
+    "MPIIO_COUNTERS",
+    "MPIIO_F_COUNTERS",
+    "STDIO_COUNTERS",
+    "STDIO_F_COUNTERS",
+    "LUSTRE_COUNTERS",
+    "DarshanRecord",
+    "JobHeader",
+    "DarshanLog",
+    "DarshanInstrument",
+    "render_darshan_text",
+    "parse_darshan_text",
+]

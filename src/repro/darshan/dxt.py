@@ -1,0 +1,162 @@
+"""Darshan eXtended Tracing (DXT) — the paper's future-work extension.
+
+The paper works from standard Darshan counters and "leave[s] working with
+Darshan DXT traces as future work" (§II-A).  This module implements that
+extension: per-operation event records (file, rank, operation, offset,
+length, start/end time — the fields DXT captures), a collector that
+attaches to the simulated runtime alongside the counter instrumentation,
+a ``darshan-dxt-parser``-style text rendering, and timeline analysis
+(phase segmentation and burst detection) that a DXT-aware IOAgent summary
+category can feed the LLM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.llm.facts import Fact
+from repro.sim.filesystem import LustreFileSystem
+from repro.sim.ops import API, IOOp, OpKind
+
+__all__ = ["DxtSegment", "DxtCollector", "render_dxt_text", "dxt_timeline_facts"]
+
+
+@dataclass(frozen=True, slots=True)
+class DxtSegment:
+    """One traced I/O operation (a DXT_POSIX / DXT_MPIIO segment)."""
+
+    module: str  # 'X_POSIX' | 'X_MPIIO' | 'X_STDIO'
+    rank: int
+    path: str
+    operation: str  # 'read' | 'write'
+    offset: int
+    length: int
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+_MODULE_TAG = {API.POSIX: "X_POSIX", API.MPIIO: "X_MPIIO", API.STDIO: "X_STDIO"}
+
+
+class DxtCollector:
+    """Observer capturing per-operation segments from the runtime.
+
+    Unlike the counter instrumentation, DXT keeps *every* data operation,
+    which is why real deployments leave it off by default (the overhead
+    the paper mentions).  ``max_segments`` bounds memory like Darshan's
+    own per-record segment limit; excess operations are counted but not
+    stored.
+    """
+
+    def __init__(self, max_segments: int = 1_000_000) -> None:
+        if max_segments <= 0:
+            raise ValueError("max_segments must be positive")
+        self.max_segments = max_segments
+        self.segments: list[DxtSegment] = []
+        self.dropped = 0
+
+    def on_op(self, op: IOOp, t_start: float, t_end: float, fs: LustreFileSystem | None) -> None:
+        """Record data operations; metadata ops are not DXT segments."""
+        if op.kind not in (OpKind.READ, OpKind.WRITE):
+            return
+        if len(self.segments) >= self.max_segments:
+            self.dropped += 1
+            return
+        self.segments.append(
+            DxtSegment(
+                module=_MODULE_TAG[op.api],
+                rank=op.rank,
+                path=op.path,
+                operation="read" if op.kind is OpKind.READ else "write",
+                offset=op.offset,
+                length=op.size,
+                start_time=t_start,
+                end_time=t_end,
+            )
+        )
+
+    def by_rank(self) -> dict[int, list[DxtSegment]]:
+        """Segments grouped per rank, preserving issue order."""
+        out: dict[int, list[DxtSegment]] = {}
+        for seg in self.segments:
+            out.setdefault(seg.rank, []).append(seg)
+        return out
+
+
+def render_dxt_text(segments: list[DxtSegment]) -> str:
+    """Render segments in darshan-dxt-parser's tabular format."""
+    lines = ["# DXT trace (module, rank, wt/rd, segment, offset, length, start, end)"]
+    per_stream: dict[tuple[str, int, str], int] = {}
+    for seg in segments:
+        key = (seg.module, seg.rank, seg.path)
+        index = per_stream.get(key, 0)
+        per_stream[key] = index + 1
+        lines.append(
+            f"{seg.module:8s} {seg.rank:5d} {seg.operation:5s} {index:7d} "
+            f"{seg.offset:12d} {seg.length:10d} {seg.start_time:10.4f} {seg.end_time:10.4f}"
+            f"  {seg.path}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def dxt_timeline_facts(
+    segments: list[DxtSegment],
+    n_bins: int = 20,
+    burst_threshold: float = 3.0,
+) -> list[Fact]:
+    """Timeline analysis: I/O phases and bursts, as LLM-ready facts.
+
+    Bins the run into ``n_bins`` equal time slices, finds slices whose
+    traffic exceeds ``burst_threshold``x the mean (checkpoint-style
+    bursts), and reports the read->write phase structure — the kind of
+    temporal insight counter-only Darshan cannot provide.
+    """
+    if not segments:
+        return []
+    t0 = min(s.start_time for s in segments)
+    t1 = max(s.end_time for s in segments)
+    span = max(t1 - t0, 1e-9)
+    starts = np.array([s.start_time for s in segments])
+    lengths = np.array([s.length for s in segments], dtype=np.float64)
+    bins = np.minimum(((starts - t0) / span * n_bins).astype(int), n_bins - 1)
+    traffic = np.bincount(bins, weights=lengths, minlength=n_bins)
+    mean_traffic = traffic.mean()
+    bursts = (
+        np.nonzero(traffic > burst_threshold * mean_traffic)[0] if mean_traffic > 0 else []
+    )
+
+    read_bytes = float(sum(s.length for s in segments if s.operation == "read"))
+    write_bytes = float(sum(s.length for s in segments if s.operation == "write"))
+    # A crude phase signature: midpoint of read traffic vs write traffic.
+    read_mid = float(
+        np.average(starts[[s.operation == "read" for s in segments]])
+        if read_bytes
+        else t0
+    )
+    write_mid = float(
+        np.average(starts[[s.operation == "write" for s in segments]])
+        if write_bytes
+        else t0
+    )
+    phase = "read-then-write" if read_mid < write_mid else "write-then-read"
+    if not read_bytes or not write_bytes:
+        phase = "read-only" if read_bytes else "write-only"
+
+    return [
+        Fact(
+            "dxt_timeline",
+            {
+                "n_segments": len(segments),
+                "span_s": float(span),
+                "n_bursts": int(len(bursts)),
+                "peak_to_mean": float(traffic.max() / mean_traffic) if mean_traffic else 0.0,
+                "phase": phase,
+            },
+        )
+    ]

@@ -1,0 +1,345 @@
+"""Darshan-like instrumentation of the simulated runtime.
+
+Registers as an observer on :class:`repro.sim.runtime.IORuntime` and
+accumulates counters with the same semantics real Darshan uses:
+
+* sequential vs. consecutive detection per record (``SEQ_*`` counts ops at
+  an offset >= the previous end, ``CONSEC_*`` at exactly the previous end);
+* read/write switch counting per record;
+* request-size histograms in Darshan's ten bins;
+* the four most common access sizes and strides per record;
+* memory/file alignment checks;
+* per-rank byte and time tallies folded into fastest/slowest/variance
+  counters by the shared-file reduction at finalize time;
+* a LUSTRE record per file residing on a Lustre mount.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.darshan.counters import (
+    MODULE_COUNTERS,
+    MODULE_F_COUNTERS,
+    N_ACCESS_SLOTS,
+    N_STRIDE_SLOTS,
+    SIZE_BIN_SUFFIXES,
+    size_bin_index,
+)
+from repro.darshan.log import DarshanLog, JobHeader
+from repro.darshan.records import DarshanRecord
+from repro.sim.filesystem import LustreFileSystem
+from repro.sim.ops import API, IOOp, OpKind
+from repro.sim.runtime import JobSpec
+
+__all__ = ["DarshanInstrument"]
+
+
+@dataclass(slots=True)
+class _RecordState:
+    """Mutable accumulation state for one (module, path) pair."""
+
+    module: str
+    path: str
+    mount_point: str
+    fs_type: str
+    counters: Counter = field(default_factory=Counter)
+    fcounters: dict[str, float] = field(default_factory=dict)
+    ranks: set[int] = field(default_factory=set)
+    rank_bytes: Counter = field(default_factory=Counter)
+    rank_time: Counter = field(default_factory=Counter)
+    # per-rank last end-offset and last op kind for SEQ/CONSEC/RW_SWITCH
+    last_end: dict[int, int] = field(default_factory=dict)
+    last_offset: dict[int, int] = field(default_factory=dict)
+    last_kind: dict[int, OpKind] = field(default_factory=dict)
+    access_sizes: Counter = field(default_factory=Counter)
+    strides: Counter = field(default_factory=Counter)
+
+    def stamp(self, name: str, value: float, how: str) -> None:
+        """Update a timestamp fcounter (first-start / last-end semantics)."""
+        cur = self.fcounters.get(name)
+        if cur is None:
+            self.fcounters[name] = value
+        elif how == "min":
+            self.fcounters[name] = min(cur, value)
+        else:
+            self.fcounters[name] = max(cur, value)
+
+    def add_time(self, name: str, dt: float) -> None:
+        self.fcounters[name] = self.fcounters.get(name, 0.0) + dt
+
+
+class DarshanInstrument:
+    """Observe executed ops and build a :class:`DarshanLog` at finalize."""
+
+    def __init__(self, spec: JobSpec, fs: LustreFileSystem) -> None:
+        self._spec = spec
+        self._fs = fs
+        self._states: dict[tuple[str, str], _RecordState] = {}
+        self._end_clock = 0.0
+
+    # -- OpObserver ------------------------------------------------------
+
+    def on_op(self, op: IOOp, t_start: float, t_end: float, fs: LustreFileSystem | None) -> None:
+        """Accumulate one executed operation into its module record."""
+        module = op.api.value
+        state = self._state_for(module, op.path, fs)
+        state.ranks.add(op.rank)
+        self._end_clock = max(self._end_clock, t_end)
+        dt = t_end - t_start
+        prefix = module
+
+        if op.kind is OpKind.OPEN:
+            if op.api is API.MPIIO:
+                state.counters["MPIIO_COLL_OPENS" if op.collective else "MPIIO_INDEP_OPENS"] += 1
+            else:
+                state.counters[f"{prefix}_OPENS"] += 1
+            state.stamp(f"{prefix}_F_OPEN_START_TIMESTAMP", t_start, "min")
+            state.stamp(f"{prefix}_F_OPEN_END_TIMESTAMP", t_end, "max")
+            state.add_time(f"{prefix}_F_META_TIME", dt)
+            state.rank_time[op.rank] += dt
+        elif op.kind in (OpKind.READ, OpKind.WRITE):
+            self._on_data_op(state, op, t_start, t_end, fs)
+        elif op.kind is OpKind.SEEK:
+            if op.api is not API.MPIIO:  # MPI-IO has no user-visible seek
+                state.counters[f"{prefix}_SEEKS"] += 1
+            state.last_end[op.rank] = op.offset
+            state.last_offset[op.rank] = op.offset
+            state.add_time(f"{prefix}_F_META_TIME", dt)
+            state.rank_time[op.rank] += dt
+        elif op.kind is OpKind.STAT:
+            if op.api is API.POSIX:
+                state.counters["POSIX_STATS"] += 1
+            state.add_time(f"{prefix}_F_META_TIME", dt)
+            state.rank_time[op.rank] += dt
+        elif op.kind is OpKind.SYNC:
+            if op.api is API.POSIX:
+                state.counters["POSIX_FSYNCS"] += 1
+            elif op.api is API.MPIIO:
+                state.counters["MPIIO_SYNCS"] += 1
+            else:
+                state.counters["STDIO_FLUSHES"] += 1
+            state.add_time(f"{prefix}_F_META_TIME", dt)
+            state.rank_time[op.rank] += dt
+        elif op.kind is OpKind.CLOSE:
+            state.stamp(f"{prefix}_F_CLOSE_END_TIMESTAMP", t_end, "max")
+            state.add_time(f"{prefix}_F_META_TIME", dt)
+            state.rank_time[op.rank] += dt
+
+    # -- data-op bookkeeping ----------------------------------------------
+
+    def _on_data_op(
+        self,
+        state: _RecordState,
+        op: IOOp,
+        t_start: float,
+        t_end: float,
+        fs: LustreFileSystem | None,
+    ) -> None:
+        prefix = state.module
+        reading = op.kind is OpKind.READ
+        direction = "READ" if reading else "WRITE"
+        dt = t_end - t_start
+
+        # Operation counts.
+        if op.api is API.MPIIO:
+            stem = "COLL" if op.collective else ("NB" if op.nonblocking else "INDEP")
+            state.counters[f"MPIIO_{stem}_{direction}S"] += 1
+        else:
+            state.counters[f"{prefix}_{direction}S"] += 1
+
+        # Volume / extent counters.
+        state.counters[f"{prefix}_BYTES_{'READ' if reading else 'WRITTEN'}"] += op.size
+        max_byte = f"{prefix}_MAX_BYTE_{'READ' if reading else 'WRITTEN'}"
+        if op.size > 0 and prefix != "MPIIO":
+            state.counters[max_byte] = max(state.counters[max_byte], op.end_offset - 1)
+
+        # Size histogram.
+        if prefix in ("POSIX", "MPIIO"):
+            suffix = SIZE_BIN_SUFFIXES[size_bin_index(op.size)]
+            agg = "_AGG" if prefix == "MPIIO" else ""
+            state.counters[f"{prefix}_SIZE_{direction}{agg}_{suffix}"] += 1
+
+        # Sequential / consecutive / stride / rw-switch (POSIX only, as in
+        # Darshan where these pattern counters live in the POSIX module).
+        if prefix == "POSIX":
+            last_end = state.last_end.get(op.rank)
+            if last_end is not None:
+                if op.offset >= last_end:
+                    state.counters[f"POSIX_SEQ_{direction}S"] += 1
+                if op.offset == last_end:
+                    state.counters[f"POSIX_CONSEC_{direction}S"] += 1
+            last_off = state.last_offset.get(op.rank)
+            if last_off is not None and op.offset != last_off:
+                state.strides[abs(op.offset - last_off)] += 1
+            state.last_end[op.rank] = op.end_offset
+            state.last_offset[op.rank] = op.offset
+            state.access_sizes[op.size] += 1
+
+            # Alignment checks.
+            if not op.mem_aligned:
+                state.counters["POSIX_MEM_NOT_ALIGNED"] += 1
+            if fs is not None:
+                state.counters["POSIX_FILE_ALIGNMENT"] = fs.block_size
+                if op.offset % fs.block_size != 0:
+                    state.counters["POSIX_FILE_NOT_ALIGNED"] += 1
+            state.counters["POSIX_MEM_ALIGNMENT"] = (
+                fs.memory_alignment if fs is not None else 8
+            )
+
+        # Read/write switches.
+        last_kind = state.last_kind.get(op.rank)
+        if last_kind is not None and last_kind is not op.kind:
+            state.counters[f"{prefix}_RW_SWITCHES"] += 1
+        state.last_kind[op.rank] = op.kind
+
+        # Timing.
+        time_name = f"{prefix}_F_{direction}_TIME"
+        state.add_time(time_name, dt)
+        state.stamp(f"{prefix}_F_{direction}_START_TIMESTAMP", t_start, "min")
+        state.stamp(f"{prefix}_F_{direction}_END_TIMESTAMP", t_end, "max")
+        state.rank_bytes[op.rank] += op.size
+        state.rank_time[op.rank] += dt
+
+    # -- record management ----------------------------------------------
+
+    def _state_for(
+        self, module: str, path: str, fs: LustreFileSystem | None
+    ) -> _RecordState:
+        key = (module, path)
+        state = self._states.get(key)
+        if state is None:
+            mount, fs_type = ("/", "unknown")
+            if fs is not None:
+                mount, fs_type = fs.mount_point, fs.fs_type
+            state = _RecordState(
+                module=module, path=path, mount_point=mount, fs_type=fs_type
+            )
+            self._states[key] = state
+            # First touch of a Lustre-resident file also creates the
+            # LUSTRE module record (real Darshan does this at open time).
+            if fs is not None and fs.fs_type == "lustre" and module != "LUSTRE":
+                lkey = ("LUSTRE", path)
+                if lkey not in self._states:
+                    layout = fs.layout_for(path)
+                    lstate = _RecordState(
+                        module="LUSTRE",
+                        path=path,
+                        mount_point=fs.mount_point,
+                        fs_type=fs.fs_type,
+                    )
+                    lstate.counters["LUSTRE_OSTS"] = fs.num_osts
+                    lstate.counters["LUSTRE_MDTS"] = fs.num_mdts
+                    lstate.counters["LUSTRE_STRIPE_OFFSET"] = layout.stripe_offset
+                    lstate.counters["LUSTRE_STRIPE_SIZE"] = layout.stripe_size
+                    lstate.counters["LUSTRE_STRIPE_WIDTH"] = layout.stripe_width
+                    for i, ost in enumerate(layout.ost_ids):
+                        lstate.counters[f"LUSTRE_OST_ID_{i}"] = ost
+                    self._states[lkey] = lstate
+        return state
+
+    # -- finalize ----------------------------------------------------------
+
+    def finalize(self, run_time: float | None = None) -> DarshanLog:
+        """Reduce accumulated state into a :class:`DarshanLog`.
+
+        Files touched by more than one rank collapse into a shared record
+        (rank -1) with fastest/slowest/variance counters filled in, exactly
+        like Darshan's shared-file reduction at MPI_Finalize.
+        """
+        spec = self._spec
+        run_time = float(run_time if run_time is not None else self._end_clock)
+        header = JobHeader(
+            exe=spec.exe,
+            uid=spec.uid,
+            jobid=spec.jobid,
+            nprocs=spec.nprocs,
+            start_time=spec.start_time,
+            end_time=spec.start_time + int(round(run_time)),
+            run_time=run_time,
+            mounts=[(self._fs.mount_point, self._fs.fs_type)],
+        )
+        records: list[DarshanRecord] = []
+        for (module, path), state in self._states.items():
+            rank = next(iter(state.ranks)) if len(state.ranks) == 1 else -1
+            if module == "LUSTRE":
+                # LUSTRE records carry layout only; attribute to rank 0 or
+                # shared depending on the data modules that touched it.
+                data_ranks: set[int] = set()
+                for m in ("POSIX", "MPIIO", "STDIO"):
+                    st = self._states.get((m, path))
+                    if st is not None:
+                        data_ranks |= st.ranks
+                rank = next(iter(data_ranks)) if len(data_ranks) == 1 else -1
+            counters = dict(state.counters)
+            fcounters = dict(state.fcounters)
+            if module in ("POSIX", "MPIIO") and state.rank_bytes:
+                self._fill_shared_reduction(module, state, counters, fcounters)
+            if module == "POSIX":
+                self._fill_common_slots(state, counters)
+            record = DarshanRecord(
+                module=module,
+                path=path,
+                rank=rank,
+                counters=self._canonicalize(module, counters),
+                fcounters=self._canonicalize_f(module, fcounters),
+                mount_point=state.mount_point,
+                fs_type=state.fs_type,
+            )
+            records.append(record)
+        records.sort(key=lambda r: (_module_sort_key(r.module), r.path))
+        return DarshanLog(header=header, records=records)
+
+    @staticmethod
+    def _fill_shared_reduction(
+        module: str,
+        state: _RecordState,
+        counters: dict[str, int],
+        fcounters: dict[str, float],
+    ) -> None:
+        ranks = sorted(state.rank_bytes)
+        byte_arr = np.array([state.rank_bytes[r] for r in ranks], dtype=np.float64)
+        time_arr = np.array([state.rank_time.get(r, 0.0) for r in ranks], dtype=np.float64)
+        fastest = int(np.argmin(time_arr))
+        slowest = int(np.argmax(time_arr))
+        counters[f"{module}_FASTEST_RANK"] = ranks[fastest]
+        counters[f"{module}_FASTEST_RANK_BYTES"] = int(byte_arr[fastest])
+        counters[f"{module}_SLOWEST_RANK"] = ranks[slowest]
+        counters[f"{module}_SLOWEST_RANK_BYTES"] = int(byte_arr[slowest])
+        fcounters[f"{module}_F_FASTEST_RANK_TIME"] = float(time_arr[fastest])
+        fcounters[f"{module}_F_SLOWEST_RANK_TIME"] = float(time_arr[slowest])
+        fcounters[f"{module}_F_VARIANCE_RANK_TIME"] = float(time_arr.var())
+        fcounters[f"{module}_F_VARIANCE_RANK_BYTES"] = float(byte_arr.var())
+
+    @staticmethod
+    def _fill_common_slots(state: _RecordState, counters: dict[str, int]) -> None:
+        for i, (size, count) in enumerate(state.access_sizes.most_common(N_ACCESS_SLOTS)):
+            counters[f"POSIX_ACCESS{i + 1}_ACCESS"] = size
+            counters[f"POSIX_ACCESS{i + 1}_COUNT"] = count
+        for i, (stride, count) in enumerate(state.strides.most_common(N_STRIDE_SLOTS)):
+            counters[f"POSIX_STRIDE{i + 1}_STRIDE"] = stride
+            counters[f"POSIX_STRIDE{i + 1}_COUNT"] = count
+
+    @staticmethod
+    def _canonicalize(module: str, counters: dict[str, int]) -> dict[str, int]:
+        """Emit every declared counter (zero-filled), preserving order."""
+        out = {name: int(counters.get(name, 0)) for name in MODULE_COUNTERS[module]}
+        if module == "LUSTRE":
+            width = counters.get("LUSTRE_STRIPE_WIDTH", 0)
+            for i in range(width):
+                name = f"LUSTRE_OST_ID_{i}"
+                out[name] = int(counters.get(name, 0))
+        return out
+
+    @staticmethod
+    def _canonicalize_f(module: str, fcounters: dict[str, float]) -> dict[str, float]:
+        return {name: float(fcounters.get(name, 0.0)) for name in MODULE_F_COUNTERS[module]}
+
+
+def _module_sort_key(module: str) -> int:
+    from repro.darshan.log import MODULE_ORDER
+
+    return MODULE_ORDER.index(module) if module in MODULE_ORDER else len(MODULE_ORDER)

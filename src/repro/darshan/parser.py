@@ -1,0 +1,83 @@
+"""Parse darshan-parser text output back into a :class:`DarshanLog`.
+
+Round-trips the output of :func:`repro.darshan.writer.render_darshan_text`
+and tolerates the benign variations real darshan-parser output exhibits
+(extra comment lines, blank lines, unknown modules are kept verbatim).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.darshan.log import DarshanLog, JobHeader
+from repro.darshan.records import DarshanRecord
+
+__all__ = ["parse_darshan_text", "DarshanParseError"]
+
+
+class DarshanParseError(ValueError):
+    """Raised when the text is not recognizable darshan-parser output."""
+
+
+_HEADER_RE = re.compile(r"^# ([a-z_ ]+): (.*)$")
+_MOUNT_RE = re.compile(r"^# mount entry:\t(\S+)\t(\S+)$")
+
+
+def parse_darshan_text(text: str) -> DarshanLog:
+    """Parse darshan-parser text into a structured log."""
+    header_fields: dict[str, str] = {}
+    mounts: list[tuple[str, str]] = []
+    records: dict[tuple[str, str], DarshanRecord] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = _MOUNT_RE.match(line)
+            if m:
+                mounts.append((m.group(1), m.group(2)))
+                continue
+            m = _HEADER_RE.match(line)
+            if m:
+                header_fields[m.group(1).strip()] = m.group(2).strip()
+            continue
+        parts = line.split("\t")
+        if len(parts) != 8:
+            raise DarshanParseError(
+                f"line {lineno}: expected 8 tab-separated fields, got {len(parts)}"
+            )
+        module, rank_s, _rid, counter, value_s, path, mount, fs_type = parts
+        key = (module, path)
+        rec = records.get(key)
+        if rec is None:
+            rec = DarshanRecord(
+                module=module,
+                path=path,
+                rank=int(rank_s),
+                mount_point=mount,
+                fs_type=fs_type,
+            )
+            records[key] = rec
+        if "." in value_s or "e" in value_s or "E" in value_s:
+            rec.fcounters[counter] = float(value_s)
+        else:
+            rec.counters[counter] = int(value_s)
+
+    required = ("exe", "uid", "jobid", "start_time", "end_time", "nprocs", "run time")
+    missing = [k for k in required if k not in header_fields]
+    if missing:
+        raise DarshanParseError(f"missing header fields: {missing}")
+
+    header = JobHeader(
+        exe=header_fields["exe"],
+        uid=int(header_fields["uid"]),
+        jobid=int(header_fields["jobid"]),
+        nprocs=int(header_fields["nprocs"]),
+        start_time=int(header_fields["start_time"]),
+        end_time=int(header_fields["end_time"]),
+        run_time=float(header_fields["run time"]),
+        log_version=header_fields.get("darshan log version", "3.41"),
+        mounts=mounts,
+    )
+    return DarshanLog(header=header, records=list(records.values()))

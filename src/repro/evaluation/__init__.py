@@ -1,0 +1,28 @@
+"""Evaluation: metrics, LLM-judge ranking, scoring, and the Table IV harness.
+
+Implements the paper's §VI protocol: three criteria (accuracy, utility,
+interpretability), an anonymized LLM ranking with the three positional-
+bias augmentations and four prompt permutations per sample, the
+``S = 4 − Rank`` / Eq. (1)–(2) normalized scoring, and a harness that runs
+every diagnosis tool over TraceBench and renders Table IV.
+"""
+
+from repro.evaluation.accuracy import issue_assertions, match_stats
+from repro.evaluation.ranking import JudgeConfig, rank_candidates
+from repro.evaluation.scoring import normalized_scores, score_from_rank
+from repro.evaluation.harness import EvaluationResult, evaluate_tools, default_tools
+from repro.evaluation.tables import render_table3, render_table4
+
+__all__ = [
+    "issue_assertions",
+    "match_stats",
+    "JudgeConfig",
+    "rank_candidates",
+    "score_from_rank",
+    "normalized_scores",
+    "EvaluationResult",
+    "evaluate_tools",
+    "default_tools",
+    "render_table3",
+    "render_table4",
+]

@@ -1,0 +1,64 @@
+"""Issue-assertion detection and accuracy statistics.
+
+Diagnosis tools emit free text; to count matched and mismatched issues
+(the paper's accuracy notion) the text is scanned for (a) the structured
+``[issue_key]`` finding tags our LLM outputs carry and (b) the Table II
+alias phrases, which also catch Drishti's canned wording and any prose
+assertion of an issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.issues import ISSUES
+from repro.llm.findings import parse_findings
+
+__all__ = ["issue_assertions", "MatchStats", "match_stats"]
+
+
+def issue_assertions(text: str) -> set[str]:
+    """Issue keys asserted anywhere in ``text``."""
+    asserted = {f.issue_key for f in parse_findings(text)}
+    lowered = text.lower()
+    for issue in ISSUES:
+        if issue.key in asserted:
+            continue
+        if any(alias in lowered for alias in issue.aliases):
+            asserted.add(issue.key)
+    return asserted
+
+
+@dataclass(frozen=True, slots=True)
+class MatchStats:
+    """Confusion counts of asserted vs labeled issues for one trace."""
+
+    matched: int
+    false_positives: int
+    missed: int
+
+    @property
+    def precision(self) -> float:
+        total = self.matched + self.false_positives
+        return self.matched / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        total = self.matched + self.missed
+        return self.matched / total if total else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r > 0 else 0.0
+
+
+def match_stats(text: str, labels: frozenset[str] | set[str]) -> MatchStats:
+    """Compare a diagnosis text against expert labels."""
+    asserted = issue_assertions(text)
+    labels = set(labels)
+    return MatchStats(
+        matched=len(asserted & labels),
+        false_positives=len(asserted - labels),
+        missed=len(labels - asserted),
+    )

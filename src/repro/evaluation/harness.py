@@ -1,0 +1,140 @@
+"""The Table IV harness: run every tool over TraceBench and score it.
+
+Tools evaluated (paper Table IV rows): Drishti, ION (gpt-4o backbone),
+IOAgent-gpt-4o, and IOAgent-llama-3.1-70B.  For each trace the four
+diagnosis texts are ranked by the gpt-4o judge on accuracy, utility, and
+interpretability with four prompt permutations, then normalized per data
+source via Eq. (1)-(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.baselines.drishti import DrishtiTool
+from repro.baselines.ion import IONTool
+from repro.core.agent import IOAgent, IOAgentConfig
+from repro.evaluation.ranking import JudgeConfig, rank_candidates
+from repro.evaluation.scoring import normalized_scores
+from repro.llm.client import LLMClient
+from repro.tracebench.dataset import LabeledTrace, TraceBench
+
+__all__ = ["DiagnosisTool", "default_tools", "EvaluationResult", "evaluate_tools", "CRITERIA"]
+
+CRITERIA = ("accuracy", "utility", "interpretability")
+SOURCE_TITLES = {
+    "simple-bench": "Simple-Bench",
+    "io500": "IO500",
+    "real-applications": "Real-Applications",
+}
+
+
+class DiagnosisTool(Protocol):
+    """Anything that can diagnose a labeled trace into text."""
+
+    name: str
+
+    def diagnose(self, trace: LabeledTrace) -> str: ...
+
+
+class _IOAgentTool:
+    """Adapter presenting IOAgent under the tool-harness interface."""
+
+    def __init__(self, model: str, seed: int = 0, **config_kwargs) -> None:
+        self.name = f"ioagent-{model}"
+        self.agent = IOAgent(IOAgentConfig(model=model, seed=seed, **config_kwargs))
+
+    def diagnose(self, trace: LabeledTrace) -> str:
+        return self.agent.diagnose(trace.log, trace_id=trace.trace_id).text
+
+
+def default_tools(seed: int = 0) -> list[DiagnosisTool]:
+    """The paper's four Table IV rows."""
+    return [
+        DrishtiTool(),
+        IONTool(model="gpt-4o", seed=seed),
+        _IOAgentTool("gpt-4o", seed=seed),
+        _IOAgentTool("llama-3.1-70b", seed=seed),
+    ]
+
+
+@dataclass
+class EvaluationResult:
+    """Everything the Table IV renderer (and the tests) need."""
+
+    tool_names: list[str]
+    # trace_id -> tool -> diagnosis text
+    texts: dict[str, dict[str, str]] = field(default_factory=dict)
+    # criterion -> trace_id -> tool -> mean rank
+    ranks: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    # trace_id -> source
+    trace_sources: dict[str, str] = field(default_factory=dict)
+
+    def sources(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for src in self.trace_sources.values():
+            seen.setdefault(src, None)
+        return list(seen)
+
+    def normalized(self, criterion: str, source: str | None = None) -> dict[str, float]:
+        """NS(T, criterion, D) for D = one source or the whole suite."""
+        per_trace = [
+            ranks
+            for trace_id, ranks in self.ranks[criterion].items()
+            if source is None or self.trace_sources[trace_id] == source
+        ]
+        return normalized_scores(per_trace)
+
+    def table4(self) -> dict[str, dict[str, dict[str, float]]]:
+        """criterion (+ 'average') -> column -> tool -> normalized score."""
+        columns = self.sources() + [None]  # None = Overall
+        table: dict[str, dict[str, dict[str, float]]] = {}
+        for criterion in CRITERIA:
+            table[criterion] = {}
+            for source in columns:
+                key = SOURCE_TITLES.get(source, "Overall") if source else "Overall"
+                table[criterion][key] = self.normalized(criterion, source)
+        # Average across the three criteria.
+        table["average"] = {}
+        for source in columns:
+            key = SOURCE_TITLES.get(source, "Overall") if source else "Overall"
+            avg: dict[str, float] = {}
+            for tool in self.tool_names:
+                avg[tool] = sum(table[c][key][tool] for c in CRITERIA) / len(CRITERIA)
+            table["average"][key] = avg
+        return table
+
+
+def evaluate_tools(
+    bench: TraceBench,
+    tools: list[DiagnosisTool] | None = None,
+    judge_config: JudgeConfig | None = None,
+    judge_client: LLMClient | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> EvaluationResult:
+    """Run the full §VI evaluation and return scored results."""
+    tools = tools if tools is not None else default_tools(seed=bench.seed)
+    judge_config = judge_config or JudgeConfig(seed=bench.seed)
+    judge_client = judge_client or LLMClient(seed=bench.seed)
+    result = EvaluationResult(tool_names=[t.name for t in tools])
+    for criterion in CRITERIA:
+        result.ranks[criterion] = {}
+
+    for trace in bench:
+        if progress:
+            progress(f"diagnosing {trace.trace_id}")
+        texts = {tool.name: tool.diagnose(trace) for tool in tools}
+        result.texts[trace.trace_id] = texts
+        result.trace_sources[trace.trace_id] = trace.source
+        for criterion in CRITERIA:
+            truth = trace.labels if criterion == "accuracy" else None
+            result.ranks[criterion][trace.trace_id] = rank_candidates(
+                texts,
+                criterion,
+                client=judge_client,
+                config=judge_config,
+                truth_labels=truth,
+                call_id=f"{trace.trace_id}",
+            )
+    return result

@@ -1,0 +1,93 @@
+"""LLM-judge ranking with the paper's anti-bias augmentations (§VI-B).
+
+For each (trace, criterion) the judge ranks the anonymized tool outputs
+1..K.  Three augmentations fight positional bias:
+
+A. tool names are replaced by anonymous ids (seeded assignment);
+B. the rank-slot order stated in the response-format instruction rotates;
+C. the order the candidate contents appear in the prompt rotates.
+
+Each sample is ranked ``permutations`` times (the paper uses 4, ensuring
+every rotation appears), and the per-tool rank is averaged.  Because the
+judge's positional bias favours whatever sits first in the prompt,
+rotation C is the one that actually cancels it — disabling these switches
+is how the judge-ablation benchmark reproduces the bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.client import LLMClient
+from repro.llm.tasks.judge import build_judge_prompt, parse_ranking
+from repro.util.rng import rng_for
+
+__all__ = ["JudgeConfig", "rank_candidates"]
+
+
+@dataclass(frozen=True)
+class JudgeConfig:
+    """Judging protocol configuration (defaults = the paper's protocol)."""
+
+    judge_model: str = "gpt-4o"
+    permutations: int = 4
+    anonymize: bool = True
+    rotate_rank_slots: bool = True
+    rotate_content: bool = True
+    seed: int = 0
+
+
+def rank_candidates(
+    candidates: dict[str, str],  # tool name -> diagnosis text
+    criterion: str,
+    client: LLMClient,
+    config: JudgeConfig | None = None,
+    truth_labels: frozenset[str] | set[str] | None = None,
+    call_id: str = "",
+) -> dict[str, float]:
+    """Mean rank (1 = best) per tool over all judge permutations."""
+    config = config or JudgeConfig()
+    tools = list(candidates)
+    k = len(tools)
+    if k == 0:
+        return {}
+
+    # Augmentation A: anonymous ids, assignment shuffled per sample.
+    rng = rng_for(config.seed, "judge-anon", call_id)
+    order = rng.permutation(k) if config.anonymize else range(k)
+    anon_ids = {tools[int(j)]: f"Tool-{i + 1}" for i, j in enumerate(order)}
+    if not config.anonymize:
+        anon_ids = {t: t for t in tools}
+    by_anon = {anon_ids[t]: t for t in tools}
+
+    rank_sums = {t: 0.0 for t in tools}
+    counts = {t: 0 for t in tools}
+    for p in range(config.permutations):
+        # Augmentation C: rotate the order candidates appear in.
+        shift_c = p % k if config.rotate_content else 0
+        presented = [tools[(i + shift_c) % k] for i in range(k)]
+        # Augmentation B: rotate the rank-slot order in the format section.
+        shift_b = p % k if config.rotate_rank_slots else 0
+        slots = [anon_ids[tools[(i + shift_b) % k]] for i in range(k)]
+        prompt = build_judge_prompt(
+            criterion=criterion,
+            candidates=[(anon_ids[t], candidates[t]) for t in presented],
+            rank_slots=slots,
+            truth_labels=sorted(truth_labels) if truth_labels is not None else None,
+        )
+        response = client.complete(
+            prompt, model=config.judge_model, call_id=f"{call_id}/{criterion}/perm{p}"
+        )
+        ranked = parse_ranking(response.text)
+        for rank, anon in enumerate(ranked, start=1):
+            tool = by_anon.get(anon)
+            if tool is None:
+                continue
+            rank_sums[tool] += rank
+            counts[tool] += 1
+        # Tools the judge failed to rank (e.g. truncated away) get last place.
+        for tool in tools:
+            if anon_ids[tool] not in ranked:
+                rank_sums[tool] += k
+                counts[tool] += 1
+    return {t: rank_sums[t] / max(1, counts[t]) for t in tools}

@@ -1,0 +1,33 @@
+"""Rank → score conversion and normalization (paper §VI-C, Eq. 1-2).
+
+``S(T,C,L) = 4 − Rank(T,C,L)`` per trace; summed over a data source D
+(Eq. 1) and normalized by the maximum attainable ``(4−1)·|D|`` (Eq. 2).
+With four tools the per-cell normalized scores of all tools sum to ~2.0
+— a structural invariant of rank-based scoring the tests assert.
+"""
+
+from __future__ import annotations
+
+__all__ = ["score_from_rank", "normalized_scores", "MAX_RANK"]
+
+MAX_RANK = 4
+
+
+def score_from_rank(rank: float, max_rank: int = MAX_RANK) -> float:
+    """Eq. S = (max_rank − Rank); accepts fractional (averaged) ranks."""
+    return float(max_rank - rank)
+
+
+def normalized_scores(
+    ranks_per_trace: list[dict[str, float]], max_rank: int = MAX_RANK
+) -> dict[str, float]:
+    """Eq. (1)+(2): sum per-trace scores, normalize by (max_rank−1)·|D|."""
+    if not ranks_per_trace:
+        return {}
+    tools = list(ranks_per_trace[0])
+    n = len(ranks_per_trace)
+    out: dict[str, float] = {}
+    for tool in tools:
+        total = sum(score_from_rank(tr[tool], max_rank) for tr in ranks_per_trace)
+        out[tool] = total / ((max_rank - 1) * n)
+    return out

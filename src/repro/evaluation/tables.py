@@ -1,0 +1,82 @@
+"""Text renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import CRITERIA, EvaluationResult
+from repro.tracebench.spec import TABLE3_EXPECTED, table3_counts
+
+__all__ = ["render_table3", "render_table4", "TOOL_TITLES"]
+
+TOOL_TITLES = {
+    "drishti": "Drishti",
+    "ion": "ION",
+    "ioagent-gpt-4o": "IOAgent-gpt-4o",
+    "ioagent-llama-3.1-70b": "IOAgent-llama-3.1-70B",
+}
+
+_ISSUE_TITLES = {
+    "high_metadata_load": "High Metadata Load",
+    "misaligned_read": "Misaligned Read requests",
+    "misaligned_write": "Misaligned Write requests",
+    "random_write": "Random Access Patterns on Write",
+    "random_read": "Random Access Patterns on Read",
+    "shared_file_access": "Shared File Access",
+    "small_read": "Small Read I/O Requests",
+    "small_write": "Small Write I/O Requests",
+    "repetitive_read": "Repetitive Data Access on Read",
+    "server_imbalance": "Server Load Imbalance",
+    "rank_imbalance": "Rank Load Imbalance",
+    "no_mpi": "Multi-Process W/O MPI",
+    "no_collective_read": "No Collective I/O on Read",
+    "no_collective_write": "No Collective I/O on Write",
+    "low_level_read": "Low-Level Library on Read",
+    "low_level_write": "Low-Level Library on Write",
+}
+
+
+def render_table3() -> str:
+    """Paper Table III: traces and labeled issues per source."""
+    counts = table3_counts()
+    lines = [
+        "Table III: Summary of traces and labeled issues.",
+        f"{'Labeled Issue':38s} {'SB':>4s} {'IO500':>6s} {'RA':>4s} {'Total':>6s}",
+        "-" * 62,
+    ]
+    totals = [0, 0, 0]
+    for key in TABLE3_EXPECTED:  # paper row order
+        sb, io5, ra = counts[key]
+        totals[0] += sb
+        totals[1] += io5
+        totals[2] += ra
+        lines.append(
+            f"{_ISSUE_TITLES[key]:38s} {sb:>4d} {io5:>6d} {ra:>4d} {sb + io5 + ra:>6d}"
+        )
+    lines.append("-" * 62)
+    lines.append(
+        f"{'Total':38s} {totals[0]:>4d} {totals[1]:>6d} {totals[2]:>4d} {sum(totals):>6d}"
+    )
+    return "\n".join(lines)
+
+
+def render_table4(result: EvaluationResult) -> str:
+    """Paper Table IV: normalized scores per metric / source / tool."""
+    table = result.table4()
+    canonical = ["Simple-Bench", "IO500", "Real-Applications", "Overall"]
+    present = set(table["accuracy"])
+    columns = [c for c in canonical if c in present]
+    lines = [
+        "Table IV: Performance Results for Diagnosis Tools on TraceBench Subsets",
+        f"{'Metric':>16s} {'Diagnosis Tool':24s} "
+        + " ".join(f"{c:>18s}" for c in columns),
+        "-" * 118,
+    ]
+    for criterion in (*CRITERIA, "average"):
+        block = table[criterion]
+        for i, tool in enumerate(result.tool_names):
+            metric = criterion.capitalize() if i == 0 else ""
+            title = TOOL_TITLES.get(tool, tool)
+            row = f"{metric:>16s} {title:24s} "
+            row += " ".join(f"{block[c].get(tool, float('nan')):>18.3f}" for c in columns)
+            lines.append(row)
+        lines.append("-" * 118)
+    return "\n".join(lines)

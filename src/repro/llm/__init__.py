@@ -1,0 +1,41 @@
+"""SimLLM: a deterministic, capability-tiered language-model substrate.
+
+The paper runs on OpenAI and Meta models over the network.  This package
+is the offline substitution: an engine that reproduces the LLM behaviours
+IOAgent's design exists to manage —
+
+* a finite **context window** with *lost-in-the-middle* truncation
+  (:mod:`repro.llm.context`): content in the middle of an over-long prompt
+  is simply not seen;
+* imperfect **fact extraction** from prompt text, with per-tier recall
+  (:mod:`repro.llm.facts`): weaker models miss more of the evidence;
+* **misconceptions/hallucinations** (:mod:`repro.llm.misconceptions`):
+  plausible-but-wrong claims emitted unless retrieved knowledge in the
+  prompt contradicts them;
+* degraded **multi-way merging** (:mod:`repro.llm.tasks.merge`): pairwise
+  merges are reliable, one-shot merges of many summaries lose
+  mid-positioned content;
+* **positional bias** when judging (:mod:`repro.llm.tasks.judge`).
+
+Crucially, every handler works *only from the prompt text that survives
+truncation* — there is no back-channel to the trace or the ground truth —
+so the pipeline-level comparisons (IOAgent vs. plain prompting, tree merge
+vs. 1-step merge) exercise the same failure modes as the paper.
+"""
+
+from repro.llm.client import ChatMessage, Completion, LLMClient, Usage
+from repro.llm.context import fit_prompt
+from repro.llm.models import MODEL_REGISTRY, ModelProfile, get_model
+from repro.llm.tokenizer import approx_tokens
+
+__all__ = [
+    "ModelProfile",
+    "MODEL_REGISTRY",
+    "get_model",
+    "approx_tokens",
+    "fit_prompt",
+    "LLMClient",
+    "ChatMessage",
+    "Completion",
+    "Usage",
+]

@@ -1,0 +1,95 @@
+"""Chat-completions-style client over the SimLLM engine.
+
+The rest of the codebase talks to language models exclusively through
+:class:`LLMClient` — the same narrow interface a production IOAgent would
+use against OpenAI/vLLM — so swapping the simulated engine for a real API
+client is a one-class change.  The client also does usage and cost
+accounting per model, which the cost-focused parts of the paper (§I, §III)
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.engine import SimLLMEngine
+from repro.llm.models import ModelProfile, get_model
+from repro.llm.tokenizer import approx_tokens
+
+__all__ = ["ChatMessage", "Usage", "Completion", "LLMClient"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChatMessage:
+    """One message in a chat transcript."""
+
+    role: str  # 'system' | 'user' | 'assistant'
+    content: str
+
+
+@dataclass(slots=True)
+class Usage:
+    """Token/cost accounting (mutable accumulator)."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_usd: float = 0.0
+    calls: int = 0
+
+    def add(self, other: "Usage") -> None:
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+        self.cost_usd += other.cost_usd
+        self.calls += other.calls
+
+
+@dataclass(frozen=True, slots=True)
+class Completion:
+    """One model response."""
+
+    text: str
+    model: str
+    usage: Usage
+    truncated: bool  # whether the prompt overflowed the context window
+
+
+class LLMClient:
+    """Routes prompts to the engine; tracks usage per model."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.engine = SimLLMEngine(seed=seed)
+        self.usage_by_model: dict[str, Usage] = {}
+
+    def complete(
+        self,
+        prompt: str | list[ChatMessage],
+        model: str | ModelProfile,
+        call_id: str = "",
+    ) -> Completion:
+        """Run one completion.  ``call_id`` scopes the deterministic RNG."""
+        profile = model if isinstance(model, ModelProfile) else get_model(model)
+        if isinstance(prompt, list):
+            text = "\n\n".join(f"[{m.role}]\n{m.content}" for m in prompt)
+        else:
+            text = prompt
+        response, truncated, visible_tokens = self.engine.run(text, profile, call_id)
+        out_tokens = approx_tokens(response)
+        usage = Usage(
+            prompt_tokens=visible_tokens,
+            completion_tokens=out_tokens,
+            cost_usd=(
+                visible_tokens * profile.usd_per_mtok_in
+                + out_tokens * profile.usd_per_mtok_out
+            )
+            / 1e6,
+            calls=1,
+        )
+        self.usage_by_model.setdefault(profile.name, Usage()).add(usage)
+        return Completion(text=response, model=profile.name, usage=usage, truncated=truncated)
+
+    def total_usage(self) -> Usage:
+        """Aggregate usage across all models."""
+        total = Usage()
+        for usage in self.usage_by_model.values():
+            total.add(usage)
+        return total

@@ -1,0 +1,72 @@
+"""Context-window assembly with lost-in-the-middle truncation.
+
+When a prompt exceeds the model's window, real LLM serving stacks truncate
+and models additionally exhibit *lost in the middle*: content at the two
+extremities dominates attention [Liu et al., 2023, cited by the paper].
+We model both at once: an over-long prompt is reduced to its head and tail
+(60% / 40% of the window), and everything in between is invisible to the
+task handlers.  This is the mechanism that makes ION miss the MPI-IO
+section "in the latter half of the Darshan trace" (paper §III) while
+IOAgent's compact summaries always fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.models import ModelProfile
+from repro.llm.tokenizer import approx_tokens, take_tokens_back, take_tokens_front
+
+__all__ = ["FittedPrompt", "fit_prompt", "HEAD_FRACTION"]
+
+# Share of the surviving window devoted to the head of the prompt; the
+# remainder keeps the tail.  Head-heavy, as observed in practice.
+HEAD_FRACTION = 0.6
+
+# Tokens reserved for the model's own response.
+RESPONSE_RESERVE = 512
+
+
+@dataclass(frozen=True, slots=True)
+class FittedPrompt:
+    """The prompt as the model actually sees it."""
+
+    visible_text: str
+    original_tokens: int
+    visible_tokens: int
+    truncated: bool
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of the original prompt the model never saw."""
+        if self.original_tokens == 0:
+            return 0.0
+        return 1.0 - self.visible_tokens / self.original_tokens
+
+
+def fit_prompt(text: str, model: ModelProfile) -> FittedPrompt:
+    """Fit ``text`` into ``model``'s context window.
+
+    Returns the surviving text (head + a marker + tail) and accounting.
+    The marker line makes truncation visible in rendered transcripts and
+    tests, like the "..." elision messages serving stacks emit.
+    """
+    total = approx_tokens(text)
+    budget = model.context_tokens - RESPONSE_RESERVE
+    if budget <= 0:
+        raise ValueError(f"model {model.name} has no room for a prompt")
+    if total <= budget:
+        return FittedPrompt(
+            visible_text=text, original_tokens=total, visible_tokens=total, truncated=False
+        )
+    head_budget = int(budget * HEAD_FRACTION)
+    tail_budget = budget - head_budget
+    head = take_tokens_front(text, head_budget)
+    tail = take_tokens_back(text, tail_budget)
+    visible = head + "\n[... context truncated: middle of input not visible ...]\n" + tail
+    return FittedPrompt(
+        visible_text=visible,
+        original_tokens=total,
+        visible_tokens=approx_tokens(visible),
+        truncated=True,
+    )

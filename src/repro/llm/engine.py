@@ -1,0 +1,68 @@
+"""The SimLLM engine: context fitting + task dispatch.
+
+A prompt declares its task with a leading ``TASK: <name>`` line (our
+prompt templates all do; a real LLM infers the task from instructions, the
+marker is simply the deterministic stand-in).  The engine fits the prompt
+to the model's context window — applying lost-in-the-middle truncation —
+and dispatches the *visible* text to the task handler.  Handlers never see
+anything the window dropped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+import numpy as np
+
+from repro.llm.context import fit_prompt
+from repro.llm.models import ModelProfile
+from repro.util.rng import derive_seed
+
+__all__ = ["SimLLMEngine", "register_task"]
+
+_TASK_RE = re.compile(r"^TASK:\s*([a-z_]+)\s*$", re.MULTILINE)
+
+Handler = Callable[[str, ModelProfile, np.random.Generator], str]
+
+_TASKS: dict[str, Handler] = {}
+
+
+def register_task(name: str):
+    """Decorator registering a task handler under ``name``."""
+
+    def deco(fn: Handler) -> Handler:
+        if name in _TASKS:
+            raise ValueError(f"task {name!r} already registered")
+        _TASKS[name] = fn
+        return fn
+
+    return deco
+
+
+def _ensure_handlers_loaded() -> None:
+    # Handlers live in repro.llm.tasks.*; importing the package registers
+    # them.  Deferred to first use to avoid import cycles.
+    if not _TASKS:
+        import repro.llm.tasks  # noqa: F401
+
+
+class SimLLMEngine:
+    """Deterministic engine: same (prompt, model, call_id, seed) → same text."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def run(self, prompt: str, model: ModelProfile, call_id: str) -> tuple[str, bool, int]:
+        """Returns (response_text, prompt_was_truncated, visible_tokens)."""
+        _ensure_handlers_loaded()
+        fitted = fit_prompt(prompt, model)
+        visible = fitted.visible_text
+        m = _TASK_RE.search(visible[:2000])
+        task = m.group(1) if m else "plain"
+        handler = _TASKS.get(task)
+        if handler is None:
+            raise ValueError(f"no handler for task {task!r}")
+        rng = np.random.default_rng(derive_seed(self.seed, model.name, call_id, task))
+        response = handler(visible, model, rng)
+        return response, fitted.truncated, fitted.visible_tokens

@@ -1,0 +1,359 @@
+"""The fact grammar: typed quantitative observations about a trace.
+
+A :class:`Fact` is a typed, numeric statement extracted from Darshan
+counters (by :mod:`repro.core.summaries`) or asserted in natural language.
+Each fact kind has exactly one NL sentence template and one extraction
+regex, defined side by side so the two can never drift apart: the describe
+task renders facts into prose, and the diagnose task recovers facts *from
+that prose* (or from whatever other text survives context truncation).
+
+This is the mechanism that keeps the SimLLM honest: a fact that was
+truncated away, or that a low-recall model fails to extract, is simply not
+available to the diagnostic reasoning.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Fact", "render_fact", "extract_facts", "FACT_KINDS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """One typed observation.  ``data`` field names match the templates."""
+
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    def get(self, name: str, default=None):
+        return self.data.get(name, default)
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:.1f}"
+
+
+# ---------------------------------------------------------------------------
+# Templates and extractors.  Each entry: kind -> (render_fn, regex, parse_fn).
+# Numbers are rendered in fixed formats (plain integers, one-decimal
+# percentages, three-decimal seconds) so the regexes are exact inverses.
+# ---------------------------------------------------------------------------
+
+_SPEC: dict[str, tuple[Callable[[dict], str], re.Pattern, Callable[[re.Match], dict]]] = {}
+
+
+def _register(kind: str, render: Callable[[dict], str], pattern: str, parse: Callable[[re.Match], dict]) -> None:
+    _SPEC[kind] = (render, re.compile(pattern), parse)
+
+
+_register(
+    "app_context",
+    lambda d: (
+        f"The application ran for {d['runtime_s']:.1f} seconds with "
+        f"{d['nprocs']} processes and moved {d['total_bytes']} bytes in total."
+    ),
+    r"application ran for (?P<runtime>[0-9.]+) seconds with (?P<nprocs>\d+) "
+    r"processes and moved (?P<total>\d+) bytes",
+    lambda m: {
+        "runtime_s": float(m["runtime"]),
+        "nprocs": int(m["nprocs"]),
+        "total_bytes": int(m["total"]),
+    },
+)
+
+_register(
+    "mpi_presence",
+    lambda d: (
+        f"MPI-IO was {'used' if d['mpiio_used'] else 'not used'} by the "
+        f"{d['nprocs']} processes (MPI-IO volume {d['mpiio_bytes']} bytes versus "
+        f"{d['posix_bytes']} bytes through POSIX)."
+    ),
+    r"MPI-IO was (?P<used>used|not used) by the (?P<nprocs>\d+) processes "
+    r"\(MPI-IO volume (?P<mb>\d+) bytes versus (?P<pb>\d+) bytes through POSIX\)",
+    lambda m: {
+        "mpiio_used": m["used"] == "used",
+        "nprocs": int(m["nprocs"]),
+        "mpiio_bytes": int(m["mb"]),
+        "posix_bytes": int(m["pb"]),
+    },
+)
+
+_register(
+    "size_hist",
+    lambda d: (
+        f"In the {d['module']} module, the median {d['direction']} request size is "
+        f"{d['p50_bytes']} bytes across {d['n_requests']} {d['direction']} requests, "
+        f"with {_pct(d['small_fraction'])}% of them below 128 KiB."
+    ),
+    r"In the (?P<module>POSIX|MPIIO|STDIO) module, the median "
+    r"(?P<direction>read|write) request size is (?P<p50>\d+) bytes across "
+    r"(?P<n>\d+) (?:read|write) requests, with (?P<small>[0-9.]+)% of them below 128 KiB",
+    lambda m: {
+        "module": m["module"],
+        "direction": m["direction"],
+        "p50_bytes": int(m["p50"]),
+        "n_requests": int(m["n"]),
+        "small_fraction": float(m["small"]) / 100.0,
+    },
+)
+
+_register(
+    "volume",
+    lambda d: (
+        f"The {d['module']} module read {d['bytes_read']} bytes and wrote "
+        f"{d['bytes_written']} bytes."
+    ),
+    r"The (?P<module>POSIX|MPIIO|STDIO) module read (?P<br>\d+) bytes and wrote "
+    r"(?P<bw>\d+) bytes",
+    lambda m: {
+        "module": m["module"],
+        "bytes_read": int(m["br"]),
+        "bytes_written": int(m["bw"]),
+    },
+)
+
+_register(
+    "counts",
+    lambda d: (
+        f"The {d['module']} module performed {d['reads']} read operations and "
+        f"{d['writes']} write operations over {d['n_files']} files."
+    ),
+    r"The (?P<module>POSIX|MPIIO|STDIO) module performed (?P<r>\d+) read "
+    r"operations and (?P<w>\d+) write operations over (?P<f>\d+) files",
+    lambda m: {
+        "module": m["module"],
+        "reads": int(m["r"]),
+        "writes": int(m["w"]),
+        "n_files": int(m["f"]),
+    },
+)
+
+_register(
+    "mpi_ops",
+    lambda d: (
+        f"The MPIIO module records {d['indep_reads']} independent reads, "
+        f"{d['indep_writes']} independent writes, {d['coll_reads']} collective reads, "
+        f"and {d['coll_writes']} collective writes."
+    ),
+    r"MPIIO module records (?P<ir>\d+) independent reads, (?P<iw>\d+) independent "
+    r"writes, (?P<cr>\d+) collective reads, and (?P<cw>\d+) collective writes",
+    lambda m: {
+        "indep_reads": int(m["ir"]),
+        "indep_writes": int(m["iw"]),
+        "coll_reads": int(m["cr"]),
+        "coll_writes": int(m["cw"]),
+    },
+)
+
+_register(
+    "meta",
+    lambda d: (
+        f"The {d['module']} module spent {d['meta_time_s']:.3f} seconds in "
+        f"{d['meta_ops']} metadata operations against {d['data_time_s']:.3f} seconds "
+        f"of data transfer time ({_pct(d['meta_fraction'])}% metadata share)."
+    ),
+    r"The (?P<module>POSIX|MPIIO|STDIO) module spent (?P<mt>[0-9.]+) seconds in "
+    r"(?P<ops>\d+) metadata operations against (?P<dt>[0-9.]+) seconds of data "
+    r"transfer time \((?P<frac>[0-9.]+)% metadata share\)",
+    lambda m: {
+        "module": m["module"],
+        "meta_time_s": float(m["mt"]),
+        "meta_ops": int(m["ops"]),
+        "data_time_s": float(m["dt"]),
+        "meta_fraction": float(m["frac"]) / 100.0,
+    },
+)
+
+_register(
+    "alignment",
+    lambda d: (
+        f"Approximately {_pct(d['unaligned_fraction'])}% of {d['module']} "
+        f"{d['direction']} requests are not aligned with the file system block size "
+        f"of {d['alignment']} bytes; the most common {d['direction']} request size is "
+        f"{d['common_size']} bytes."
+    ),
+    r"Approximately (?P<frac>[0-9.]+)% of (?P<module>POSIX|MPIIO) "
+    r"(?P<direction>read|write) requests are not aligned with the file system block "
+    r"size of (?P<align>\d+) bytes; the most common (?:read|write) request size is "
+    r"(?P<common>\d+) bytes",
+    lambda m: {
+        "module": m["module"],
+        "direction": m["direction"],
+        "unaligned_fraction": float(m["frac"]) / 100.0,
+        "alignment": int(m["align"]),
+        "common_size": int(m["common"]),
+    },
+)
+
+_register(
+    "order",
+    lambda d: (
+        f"About {_pct(d['seq_fraction'])}% of {d['module']} {d['direction']} requests "
+        f"are sequential and {_pct(d['consec_fraction'])}% are consecutive."
+    ),
+    r"About (?P<seq>[0-9.]+)% of (?P<module>POSIX|MPIIO) (?P<direction>read|write) "
+    r"requests are sequential and (?P<consec>[0-9.]+)% are consecutive",
+    lambda m: {
+        "module": m["module"],
+        "direction": m["direction"],
+        "seq_fraction": float(m["seq"]) / 100.0,
+        "consec_fraction": float(m["consec"]) / 100.0,
+    },
+)
+
+_register(
+    "shared",
+    lambda d: (
+        f"{d['n_shared_files']} file(s) were accessed concurrently by multiple ranks, "
+        f"accounting for {d['shared_bytes']} of {d['total_bytes']} total bytes; the "
+        f"largest is {d['example_path']}."
+    ),
+    r"(?P<n>\d+) file\(s\) were accessed concurrently by multiple ranks, accounting "
+    r"for (?P<sb>\d+) of (?P<tb>\d+) total bytes; the largest is (?P<path>\S+)\.",
+    lambda m: {
+        "n_shared_files": int(m["n"]),
+        "shared_bytes": int(m["sb"]),
+        "total_bytes": int(m["tb"]),
+        "example_path": m["path"],
+    },
+)
+
+_register(
+    "rank_balance",
+    lambda d: (
+        f"Per-rank {d['module']} I/O volume has a Gini coefficient of "
+        f"{d['gini']:.3f} and a normalized cross-rank variance of {d['norm_variance']:.3f} "
+        f"over {d['nprocs']} ranks."
+    ),
+    r"Per-rank (?P<module>POSIX|MPIIO) I/O volume has a Gini coefficient of "
+    r"(?P<gini>[0-9.]+) and a normalized cross-rank variance of (?P<nv>[0-9.]+) over "
+    r"(?P<np>\d+) ranks",
+    lambda m: {
+        "module": m["module"],
+        "gini": float(m["gini"]),
+        "norm_variance": float(m["nv"]),
+        "nprocs": int(m["np"]),
+    },
+)
+
+_register(
+    "repetition",
+    lambda d: (
+        f"The file {d['path']} shows a re-read ratio of {d['ratio']:.1f}: "
+        f"{d['bytes_read']} bytes were read from an extent of only {d['extent']} bytes."
+    ),
+    r"The file (?P<path>\S+) shows a re-read ratio of (?P<ratio>[0-9.]+): "
+    r"(?P<br>\d+) bytes were read from an extent of only (?P<ext>\d+) bytes",
+    lambda m: {
+        "path": m["path"],
+        "ratio": float(m["ratio"]),
+        "bytes_read": int(m["br"]),
+        "extent": int(m["ext"]),
+    },
+)
+
+_register(
+    "stdio_share",
+    lambda d: (
+        f"STDIO accounts for {_pct(d['share'])}% of all bytes {d['direction']} "
+        f"({d['stdio_bytes']} of {d['total_bytes']} bytes)."
+    ),
+    r"STDIO accounts for (?P<share>[0-9.]+)% of all bytes "
+    r"(?P<direction>read|written) \((?P<sb>\d+) of (?P<tb>\d+) bytes\)",
+    lambda m: {
+        "direction": m["direction"],
+        "share": float(m["share"]) / 100.0,
+        "stdio_bytes": int(m["sb"]),
+        "total_bytes": int(m["tb"]),
+    },
+)
+
+_register(
+    "stripe",
+    lambda d: (
+        f"{d['n_files']} file(s) on {d['mount']} use a stripe width of "
+        f"{d['stripe_width']} with a stripe size of {d['stripe_size']} bytes."
+    ),
+    r"(?P<n>\d+) file\(s\) on (?P<mount>\S+) use a stripe width of (?P<w>\d+) with "
+    r"a stripe size of (?P<s>\d+) bytes",
+    lambda m: {
+        "n_files": int(m["n"]),
+        "mount": m["mount"],
+        "stripe_width": int(m["w"]),
+        "stripe_size": int(m["s"]),
+    },
+)
+
+_register(
+    "server_usage",
+    lambda d: (
+        f"I/O traffic touches an effective {d['eff_osts']:.1f} of {d['num_osts']} "
+        f"available OSTs ({_pct(d['utilization'])}% utilization); the busiest OST "
+        f"serves {_pct(d['top_share'])}% of {d['total_bytes']} bytes."
+    ),
+    r"I/O traffic touches an effective (?P<eff>[0-9.]+) of (?P<n>\d+) available "
+    r"OSTs \((?P<util>[0-9.]+)% utilization\); the busiest OST serves "
+    r"(?P<top>[0-9.]+)% of (?P<tb>\d+) bytes",
+    lambda m: {
+        "eff_osts": float(m["eff"]),
+        "num_osts": int(m["n"]),
+        "utilization": float(m["util"]) / 100.0,
+        "top_share": float(m["top"]) / 100.0,
+        "total_bytes": int(m["tb"]),
+    },
+)
+
+_register(
+    "mount",
+    lambda d: f"The application's files reside on the {d['fs_type']} file system mounted at {d['mount']}.",
+    r"files reside on the (?P<fs>\w+) file system mounted at (?P<mount>\S+)\.",
+    lambda m: {"fs_type": m["fs"], "mount": m["mount"]},
+)
+
+_register(
+    "dxt_timeline",
+    lambda d: (
+        f"Extended tracing recorded {d['n_segments']} I/O segments over "
+        f"{d['span_s']:.3f} seconds in a {d['phase']} phase structure, with "
+        f"{d['n_bursts']} traffic burst(s) peaking at {d['peak_to_mean']:.1f}x "
+        f"the mean slice traffic."
+    ),
+    r"Extended tracing recorded (?P<n>\d+) I/O segments over (?P<span>[0-9.]+) "
+    r"seconds in a (?P<phase>[a-z\-]+) phase structure, with (?P<bursts>\d+) "
+    r"traffic burst\(s\) peaking at (?P<peak>[0-9.]+)x",
+    lambda m: {
+        "n_segments": int(m["n"]),
+        "span_s": float(m["span"]),
+        "phase": m["phase"],
+        "n_bursts": int(m["bursts"]),
+        "peak_to_mean": float(m["peak"]),
+    },
+)
+
+FACT_KINDS: tuple[str, ...] = tuple(_SPEC)
+
+
+def render_fact(fact: Fact) -> str:
+    """Render a fact to its canonical NL sentence."""
+    try:
+        render, _, _ = _SPEC[fact.kind]
+    except KeyError:
+        raise ValueError(f"unknown fact kind {fact.kind!r}") from None
+    return render(fact.data)
+
+
+def extract_facts(text: str) -> list[Fact]:
+    """Recover every recognizable fact from ``text``.
+
+    Order of appearance in the text is preserved so recall sampling is
+    deterministic given the text.
+    """
+    hits: list[tuple[int, Fact]] = []
+    for kind, (_, pattern, parse) in _SPEC.items():
+        for m in pattern.finditer(text):
+            hits.append((m.start(), Fact(kind=kind, data=parse(m))))
+    hits.sort(key=lambda pair: pair[0])
+    return [fact for _, fact in hits]

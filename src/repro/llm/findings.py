@@ -1,0 +1,111 @@
+"""Finding blocks: the structured unit of a diagnosis.
+
+Diagnosis text is a sequence of finding blocks in a fixed markdown-ish
+format.  The format is both rendered and parsed here (the merge task and
+the judge must read findings back out of free text), with the issue key in
+brackets acting as a stable tag — the same way the paper's outputs carry
+explicit issue names that the evaluation counts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+
+from repro.core.issues import issue_by_key
+
+__all__ = ["Finding", "render_findings", "parse_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed issue with personalized evidence and guidance."""
+
+    issue_key: str
+    evidence: str
+    assessment: str
+    recommendation: str
+    references: tuple[str, ...] = ()  # "[S07] Title ..." strings
+
+    @property
+    def title(self) -> str:
+        return issue_by_key(self.issue_key).label
+
+    def merged_with(self, other: "Finding") -> "Finding":
+        """Merge a duplicate finding: keep the richer text, union refs."""
+        if other.issue_key != self.issue_key:
+            raise ValueError("can only merge findings about the same issue")
+        refs: dict[str, None] = {}
+        for ref in self.references + other.references:
+            refs.setdefault(ref, None)
+        return replace(
+            self,
+            evidence=max(self.evidence, other.evidence, key=len),
+            assessment=max(self.assessment, other.assessment, key=len),
+            recommendation=max(self.recommendation, other.recommendation, key=len),
+            references=tuple(refs),
+        )
+
+
+_BLOCK_RE = re.compile(
+    r"^### Finding: (?P<title>.+?) \[(?P<key>[a-z_]+)\]\s*$", re.MULTILINE
+)
+_FIELD_RE = re.compile(r"^(Evidence|Assessment|Recommendation|References): ?(.*)$")
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Render finding blocks in the canonical format."""
+    blocks = []
+    for f in findings:
+        lines = [
+            f"### Finding: {f.title} [{f.issue_key}]",
+            f"Evidence: {f.evidence}",
+            f"Assessment: {f.assessment}",
+            f"Recommendation: {f.recommendation}",
+        ]
+        if f.references:
+            lines.append("References: " + " ; ".join(f.references))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def parse_findings(text: str) -> list[Finding]:
+    """Parse finding blocks out of arbitrary surrounding text.
+
+    Unknown issue keys are skipped (defensive: merged text may contain
+    hallucinated keys); malformed fields default to empty strings.
+    """
+    matches = list(_BLOCK_RE.finditer(text))
+    findings: list[Finding] = []
+    for i, m in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        body = text[m.end() : end]
+        try:
+            issue_by_key(m["key"])
+        except KeyError:
+            continue
+        fields = {"Evidence": "", "Assessment": "", "Recommendation": "", "References": ""}
+        current: str | None = None
+        for line in body.splitlines():
+            stripped = line.strip()
+            fm = _FIELD_RE.match(stripped)
+            if fm:
+                current = fm.group(1)
+                fields[current] = fm.group(2)
+            elif not stripped or stripped.startswith(("Note:", "#")):
+                # Blank lines, misconception notes, and headings end the
+                # current field; they are not field continuations.
+                current = None
+            elif current:
+                fields[current] += " " + stripped
+        refs = tuple(r.strip() for r in fields["References"].split(" ; ") if r.strip())
+        findings.append(
+            Finding(
+                issue_key=m["key"],
+                evidence=fields["Evidence"].strip(),
+                assessment=fields["Assessment"].strip(),
+                recommendation=fields["Recommendation"].strip(),
+                references=refs,
+            )
+        )
+    return findings

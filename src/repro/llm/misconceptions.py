@@ -1,0 +1,138 @@
+"""The misconception bank: popular-but-wrong claims LLMs reproduce.
+
+The paper's §III shows gpt-4o asserting that a 1 MiB stripe size "is
+optimal for minimizing the number of I/O requests on Lustre" while the
+stripe *count* of 1 was the actual problem, plus an internally inconsistent
+small-write assessment.  We model this failure mode as a bank of
+topically-triggered misconceptions: when a model's reasoning touches a
+topic, it emits the corresponding misconception with probability
+``model.misconception_rate`` — *unless* retrieved domain knowledge on that
+topic is present in the prompt, which is precisely the hallucination
+defense RAG provides (paper §IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.llm.facts import Fact
+
+__all__ = ["Misconception", "MISCONCEPTIONS", "triggered_misconceptions", "misconception_in_text"]
+
+
+@dataclass(frozen=True)
+class Misconception:
+    """One plausible-but-wrong claim.
+
+    ``trigger`` decides whether the visible facts touch the topic;
+    ``refuted_by_topic`` is the knowledge-base topic whose presence in the
+    prompt suppresses the claim; ``contradicts`` lists ground-truth issue
+    keys the claim denies (used by the evaluation to count it as an
+    incorrect statement when those issues are actually present).
+    ``signature`` is a stable phrase for detecting the claim in text.
+    """
+
+    key: str
+    text: str
+    signature: str
+    trigger: Callable[[dict[str, list[Fact]]], bool]
+    refuted_by_topic: str
+    contradicts: tuple[str, ...]
+
+
+def _has(kind: str):
+    return lambda kinds: bool(kinds.get(kind))
+
+
+MISCONCEPTIONS: tuple[Misconception, ...] = (
+    Misconception(
+        key="stripe_default_optimal",
+        text=(
+            "Note: the files use a 1 MiB stripe size, which matches the common "
+            "Lustre default. This is optimal for minimizing the number of I/O "
+            "requests on Lustre, so the striping configuration needs no change."
+        ),
+        signature="optimal for minimizing the number of I/O requests",
+        trigger=lambda kinds: any(
+            f.get("stripe_size") == 1024 * 1024 for f in kinds.get("stripe", [])
+        ),
+        refuted_by_topic="striping",
+        contradicts=("server_imbalance",),
+    ),
+    Misconception(
+        key="posix_adequate",
+        text=(
+            "Note: direct POSIX I/O is generally efficient at this scale, so "
+            "restructuring the application around MPI-IO collective operations "
+            "is unlikely to improve performance."
+        ),
+        signature="restructuring the application around MPI-IO",
+        trigger=lambda kinds: any(
+            f.get("posix_bytes", 0) > 0 for f in kinds.get("mpi_presence", [])
+        ),
+        refuted_by_topic="collective-io",
+        contradicts=("no_collective_read", "no_collective_write", "no_mpi"),
+    ),
+    Misconception(
+        key="metadata_negligible",
+        text=(
+            "Note: metadata overhead is negligible on modern parallel file "
+            "systems and the observed open/stat activity can safely be ignored."
+        ),
+        signature="metadata overhead is negligible",
+        trigger=_has("meta"),
+        refuted_by_topic="metadata",
+        contradicts=("high_metadata_load",),
+    ),
+    Misconception(
+        key="small_coalesced_anyway",
+        text=(
+            "Note: client-side caching will coalesce these requests before they "
+            "reach the servers, so the small request sizes are an efficient I/O "
+            "size in practice and not a concern."
+        ),
+        signature="small request sizes are an efficient I/O size",
+        trigger=lambda kinds: any(
+            f.get("small_fraction", 0.0) >= 0.3 for f in kinds.get("size_hist", [])
+        ),
+        refuted_by_topic="small-io",
+        contradicts=("small_read", "small_write"),
+    ),
+    Misconception(
+        key="random_like_sequential",
+        text=(
+            "Note: on modern storage hardware random access performs on par "
+            "with sequential access, so the access ordering needs no attention."
+        ),
+        signature="random access performs on par with sequential",
+        trigger=_has("order"),
+        refuted_by_topic="access-pattern",
+        contradicts=("random_read", "random_write"),
+    ),
+    Misconception(
+        key="shared_file_always_best",
+        text=(
+            "Note: funneling all ranks into a single shared file is the "
+            "recommended pattern on parallel file systems and carries no lock "
+            "contention risk."
+        ),
+        signature="carries no lock contention risk",
+        trigger=_has("shared"),
+        refuted_by_topic="shared-file",
+        contradicts=("shared_file_access",),
+    ),
+)
+
+
+def triggered_misconceptions(facts: list[Fact]) -> list[Misconception]:
+    """Misconceptions whose topic the visible facts touch."""
+    kinds: dict[str, list[Fact]] = {}
+    for f in facts:
+        kinds.setdefault(f.kind, []).append(f)
+    return [m for m in MISCONCEPTIONS if m.trigger(kinds)]
+
+
+def misconception_in_text(text: str) -> list[Misconception]:
+    """Detect asserted misconceptions by their signature phrases."""
+    return [m for m in MISCONCEPTIONS if m.signature in text]

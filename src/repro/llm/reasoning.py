@@ -1,0 +1,359 @@
+"""Expert diagnostic rules: facts in, findings out.
+
+This module encodes the I/O-expert knowledge an LLM applies when reading
+trace evidence — the thresholds an expert would use, with personalized,
+quantified explanations rather than canned text (the paper's critique of
+Drishti's fixed messages).  Both the plain-prompt task (ION) and IOAgent's
+fragment diagnosis use these rules; what differs between tools is *which
+facts survive* to be reasoned over, which is exactly the paper's thesis.
+
+Thresholds (documented for DESIGN.md's experiment index):
+
+* small requests: median below 128 KiB for >= 60% of >= 500 requests;
+* misalignment: >= 50% of a direction's requests off block boundaries;
+* randomness: < 70% of a direction's requests sequential;
+* shared file: any multi-rank file moving >= 16 MiB;
+* metadata load: metadata >= 40% of I/O time over >= 2000 metadata ops;
+* server imbalance: effective-OST utilization < 30% with >= 16 MiB moved;
+* rank imbalance: per-rank Gini >= 0.55, or >= 2.0 normalized variance on
+  a shared record (MPI-IO level preferred over POSIX to see through
+  collective-buffering aggregators);
+* no MPI: > 1 process and no MPI-IO module data at all;
+* no collective I/O: >= 4 independent MPI-IO ops with zero collectives;
+* low-level library: STDIO carrying >= 30% of a direction's >= 1 MiB;
+* repetitive reads: >= 3x re-read ratio on a file.
+"""
+
+from __future__ import annotations
+
+from repro.llm.facts import Fact
+from repro.llm.findings import Finding
+from repro.util.units import format_bytes
+
+__all__ = ["infer_findings", "THRESHOLDS"]
+
+THRESHOLDS = {
+    "small_fraction": 0.6,
+    "small_min_requests": 500,
+    "unaligned_fraction": 0.5,
+    "seq_fraction": 0.7,
+    "shared_min_bytes": 16 * 1024 * 1024,
+    "meta_fraction": 0.4,
+    "meta_min_ops": 2000,
+    "server_utilization": 0.3,
+    "server_min_bytes": 16 * 1024 * 1024,
+    "rank_gini": 0.55,
+    "rank_norm_variance": 2.0,
+    "no_collective_min_ops": 4,
+    "stdio_share": 0.3,
+    "stdio_min_bytes": 1024 * 1024,
+    "reread_ratio": 3.0,
+}
+
+
+def _by_kind(facts: list[Fact]) -> dict[str, list[Fact]]:
+    out: dict[str, list[Fact]] = {}
+    for f in facts:
+        out.setdefault(f.kind, []).append(f)
+    return out
+
+
+def infer_findings(facts: list[Fact]) -> list[Finding]:
+    """Apply every rule to the visible facts; one finding per issue key."""
+    kinds = _by_kind(facts)
+    findings: dict[str, Finding] = {}
+
+    def add(finding: Finding) -> None:
+        if finding.issue_key in findings:
+            findings[finding.issue_key] = findings[finding.issue_key].merged_with(finding)
+        else:
+            findings[finding.issue_key] = finding
+
+    nprocs = 0
+    for f in kinds.get("app_context", []) + kinds.get("mpi_presence", []):
+        nprocs = max(nprocs, int(f.get("nprocs", 0)))
+
+    # -- small requests ---------------------------------------------------
+    for f in kinds.get("size_hist", []):
+        if f.get("module") == "STDIO":
+            continue
+        if (
+            f.get("small_fraction", 0.0) >= THRESHOLDS["small_fraction"]
+            and f.get("n_requests", 0) >= THRESHOLDS["small_min_requests"]
+        ):
+            d = f.get("direction")
+            add(
+                Finding(
+                    issue_key=f"small_{d}",
+                    evidence=(
+                        f"{f.get('n_requests')} {d} requests in the {f.get('module')} module "
+                        f"with a median size of {format_bytes(f.get('p50_bytes', 0))}; "
+                        f"{100 * f.get('small_fraction'):.0f}% are below 128 KiB."
+                    ),
+                    assessment=(
+                        f"Each request pays a fixed software and network latency, so moving "
+                        f"data in {format_bytes(f.get('p50_bytes', 0))} pieces leaves most of "
+                        f"the file system's per-stream bandwidth unused."
+                    ),
+                    recommendation=(
+                        f"Aggregate {d}s into at least 1 MiB requests, e.g. by buffering in "
+                        f"the application or switching to collective MPI-IO so the library "
+                        f"coalesces them."
+                    ),
+                )
+            )
+
+    # -- misalignment -----------------------------------------------------
+    for f in kinds.get("alignment", []):
+        if f.get("unaligned_fraction", 0.0) >= THRESHOLDS["unaligned_fraction"]:
+            d = f.get("direction")
+            add(
+                Finding(
+                    issue_key=f"misaligned_{d}",
+                    evidence=(
+                        f"{100 * f.get('unaligned_fraction'):.0f}% of {d} requests are not "
+                        f"aligned to the {f.get('alignment')}-byte file system boundary "
+                        f"(common request size {f.get('common_size')} bytes)."
+                    ),
+                    assessment=(
+                        "Unaligned requests straddle file-system blocks and Lustre stripe "
+                        "boundaries, forcing read-modify-write cycles and extra lock traffic."
+                    ),
+                    recommendation=(
+                        f"Pad or restructure records so {d} offsets land on multiples of "
+                        f"{f.get('alignment')} bytes (and ideally of the stripe size)."
+                    ),
+                )
+            )
+
+    # -- randomness ---------------------------------------------------------
+    for f in kinds.get("order", []):
+        if f.get("seq_fraction", 1.0) < THRESHOLDS["seq_fraction"]:
+            d = f.get("direction")
+            add(
+                Finding(
+                    issue_key=f"random_{d}",
+                    evidence=(
+                        f"Only {100 * f.get('seq_fraction'):.0f}% of {d} requests are "
+                        f"sequential ({100 * f.get('consec_fraction'):.0f}% consecutive)."
+                    ),
+                    assessment=(
+                        "A randomized access order defeats server-side prefetching and "
+                        "turns streaming bandwidth into seek-dominated throughput."
+                    ),
+                    recommendation=(
+                        f"Reorder {d}s to ascending offsets (sort work items by offset), or "
+                        f"batch random accesses through MPI-IO collective buffering."
+                    ),
+                )
+            )
+
+    # -- shared file --------------------------------------------------------
+    for f in kinds.get("shared", []):
+        if f.get("shared_bytes", 0) >= THRESHOLDS["shared_min_bytes"]:
+            add(
+                Finding(
+                    issue_key="shared_file_access",
+                    evidence=(
+                        f"{f.get('n_shared_files')} file(s), led by {f.get('example_path')}, "
+                        f"are accessed by multiple ranks and carry "
+                        f"{format_bytes(f.get('shared_bytes', 0))} of traffic."
+                    ),
+                    assessment=(
+                        "Many ranks inside one file contend for extent locks on the same "
+                        "servers; without collective coordination this serializes I/O."
+                    ),
+                    recommendation=(
+                        "Either stripe the shared file widely and use collective MPI-IO, or "
+                        "switch to file-per-process output with a post-hoc merge."
+                    ),
+                )
+            )
+
+    # -- metadata load -------------------------------------------------------
+    meta_time = sum(f.get("meta_time_s", 0.0) for f in kinds.get("meta", []))
+    data_time = sum(f.get("data_time_s", 0.0) for f in kinds.get("meta", []))
+    meta_ops = sum(f.get("meta_ops", 0) for f in kinds.get("meta", []))
+    if (
+        meta_ops >= THRESHOLDS["meta_min_ops"]
+        and meta_time + data_time > 0
+        and meta_time / (meta_time + data_time) >= THRESHOLDS["meta_fraction"]
+    ):
+        share = 100 * meta_time / (meta_time + data_time)
+        add(
+            Finding(
+                issue_key="high_metadata_load",
+                evidence=(
+                    f"{meta_ops} metadata operations consume {meta_time:.2f} s, "
+                    f"{share:.0f}% of all I/O time."
+                ),
+                assessment=(
+                    "The metadata server is the bottleneck: opens, stats, and creates are "
+                    "serialized there regardless of how many OSTs exist."
+                ),
+                recommendation=(
+                    "Batch file creation, keep files open across iterations, and prefer "
+                    "fewer, larger files (or a container format like HDF5) over many tiny ones."
+                ),
+            )
+        )
+
+    # -- server imbalance ------------------------------------------------------
+    for f in kinds.get("server_usage", []):
+        if (
+            f.get("total_bytes", 0) >= THRESHOLDS["server_min_bytes"]
+            and f.get("utilization", 1.0) < THRESHOLDS["server_utilization"]
+        ):
+            add(
+                Finding(
+                    issue_key="server_imbalance",
+                    evidence=(
+                        f"{format_bytes(f.get('total_bytes', 0))} of traffic lands on an "
+                        f"effective {f.get('eff_osts', 0):.1f} of {f.get('num_osts')} OSTs "
+                        f"({100 * f.get('utilization'):.0f}% utilization); the busiest OST "
+                        f"serves {100 * f.get('top_share'):.0f}% of all bytes."
+                    ),
+                    assessment=(
+                        "Most storage servers sit idle while a few absorb the whole load — "
+                        "typically a stripe width of 1 on the hot files — capping bandwidth "
+                        "at a small multiple of a single OST."
+                    ),
+                    recommendation=(
+                        "Increase the stripe width of the hot files (e.g. `lfs setstripe -c 16` "
+                        "or `-c -1`) so traffic spreads across the available OSTs."
+                    ),
+                )
+            )
+
+    # -- rank imbalance ---------------------------------------------------------
+    rank_facts = kinds.get("rank_balance", [])
+    mpiio_rank = [f for f in rank_facts if f.get("module") == "MPIIO"]
+    for f in mpiio_rank or rank_facts:
+        gini_signal = f.get("gini", 0.0) >= THRESHOLDS["rank_gini"]
+        # Normalized variance is only trustworthy at the MPI-IO level:
+        # POSIX-level variance under collective buffering reflects the
+        # aggregators, not the application.
+        nv_signal = (
+            f.get("module") == "MPIIO"
+            and f.get("norm_variance", 0.0) >= THRESHOLDS["rank_norm_variance"]
+        )
+        if gini_signal or nv_signal:
+            add(
+                Finding(
+                    issue_key="rank_imbalance",
+                    evidence=(
+                        f"Per-rank I/O volume is skewed (Gini {f.get('gini', 0):.2f}, "
+                        f"normalized cross-rank variance {f.get('norm_variance', 0):.1f} "
+                        f"over {f.get('nprocs')} ranks)."
+                    ),
+                    assessment=(
+                        "The job ends when its slowest rank does; concentrating I/O on a "
+                        "few ranks leaves the rest waiting at the next synchronization point."
+                    ),
+                    recommendation=(
+                        "Repartition the output so every rank moves a similar volume, or "
+                        "route I/O through collective operations with balanced aggregators."
+                    ),
+                )
+            )
+            break
+
+    # -- MPI usage ----------------------------------------------------------------
+    for f in kinds.get("mpi_presence", []):
+        if f.get("nprocs", 1) > 1 and not f.get("mpiio_used", True):
+            add(
+                Finding(
+                    issue_key="no_mpi",
+                    evidence=(
+                        f"{f.get('nprocs')} processes performed "
+                        f"{format_bytes(f.get('posix_bytes', 0))} of I/O with no MPI-IO "
+                        f"activity recorded at all."
+                    ),
+                    assessment=(
+                        "Independent processes cannot coordinate their I/O; every "
+                        "cross-process optimization (collective buffering, data sieving, "
+                        "aggregation) is unavailable."
+                    ),
+                    recommendation=(
+                        "Port the I/O phase to MPI (or a parallel library such as HDF5 or "
+                        "PnetCDF layered on MPI-IO) so accesses can be coordinated."
+                    ),
+                )
+            )
+
+    mpi_ops = kinds.get("mpi_ops", [])
+    for f in mpi_ops:
+        for d, indep, coll in (
+            ("read", f.get("indep_reads", 0), f.get("coll_reads", 0)),
+            ("write", f.get("indep_writes", 0), f.get("coll_writes", 0)),
+        ):
+            if indep >= THRESHOLDS["no_collective_min_ops"] and coll == 0 and nprocs != 1:
+                add(
+                    Finding(
+                        issue_key=f"no_collective_{d}",
+                        evidence=(
+                            f"The MPI-IO module shows {indep} independent {d}s and zero "
+                            f"collective {d}s."
+                        ),
+                        assessment=(
+                            f"Independent {d}s bypass collective buffering, so many small "
+                            f"uncoordinated requests reach the file system instead of a few "
+                            f"large aggregated ones."
+                        ),
+                        recommendation=(
+                            f"Use the collective call (`MPI_File_{'read' if d == 'read' else 'write'}_all`, "
+                            f"or enable collective transfers in HDF5/PnetCDF) for the {d} phase."
+                        ),
+                    )
+                )
+
+    # -- low-level library ---------------------------------------------------------
+    for f in kinds.get("stdio_share", []):
+        if (
+            f.get("share", 0.0) >= THRESHOLDS["stdio_share"]
+            and f.get("stdio_bytes", 0) >= THRESHOLDS["stdio_min_bytes"]
+        ):
+            d = "read" if f.get("direction") == "read" else "write"
+            add(
+                Finding(
+                    issue_key=f"low_level_{d}",
+                    evidence=(
+                        f"STDIO carries {100 * f.get('share'):.0f}% of all bytes "
+                        f"{f.get('direction')} ({format_bytes(f.get('stdio_bytes', 0))})."
+                    ),
+                    assessment=(
+                        "The stdio layer caps request sizes at its user-space buffer and "
+                        "cannot express parallel-I/O semantics, so it is a poor fit for "
+                        "bulk data movement."
+                    ),
+                    recommendation=(
+                        f"Move bulk {d}s from fread/fwrite to POSIX or, better, MPI-IO or "
+                        f"a parallel I/O library."
+                    ),
+                )
+            )
+
+    # -- repetitive reads -------------------------------------------------------------
+    for f in kinds.get("repetition", []):
+        if f.get("ratio", 0.0) >= THRESHOLDS["reread_ratio"]:
+            add(
+                Finding(
+                    issue_key="repetitive_read",
+                    evidence=(
+                        f"{f.get('path')} was read {f.get('ratio', 0):.1f}x over: "
+                        f"{format_bytes(f.get('bytes_read', 0))} from an extent of "
+                        f"{format_bytes(f.get('extent', 0))}."
+                    ),
+                    assessment=(
+                        "The same bytes cross the network repeatedly; the working set fits "
+                        "in memory many times over."
+                    ),
+                    recommendation=(
+                        "Cache the region in application memory (or burst buffer) after the "
+                        "first read instead of re-reading it from the file system."
+                    ),
+                )
+            )
+
+    # Stable order: by issue key for deterministic rendering.
+    return [findings[k] for k in sorted(findings)]

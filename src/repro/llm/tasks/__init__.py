@@ -1,0 +1,10 @@
+"""SimLLM task handlers.
+
+Importing this package registers every handler with the engine.  Each
+handler receives only the *visible* (post-truncation) prompt text, the
+model profile, and a deterministic RNG scoped to the call.
+"""
+
+from repro.llm.tasks import chat, describe, diagnose, judge, merge, plain, relevance  # noqa: F401
+
+__all__ = ["describe", "diagnose", "merge", "relevance", "judge", "chat", "plain"]

@@ -1,0 +1,162 @@
+"""Post-diagnosis interactive chat (paper §VI-E, Fig. 5).
+
+The user asks follow-up questions against the context of the final
+diagnosis and its referenced sources.  The handler grounds its answer in
+the findings present in the prompt: it picks the finding(s) the question
+targets and responds with concrete, issue-specific remediation — including
+runnable command/code samples, like the ``lfs setstripe -S 4M`` example
+the paper highlights.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.core.issues import ISSUES
+from repro.llm.engine import register_task
+from repro.llm.findings import parse_findings
+from repro.llm.models import ModelProfile
+
+__all__ = ["build_chat_prompt"]
+
+_QUESTION_RE = re.compile(r"^USER QUESTION: (.*)$", re.MULTILINE | re.DOTALL)
+
+# Issue-specific remediation playbooks: concrete actions + code samples.
+_PLAYBOOKS: dict[str, str] = {
+    "server_imbalance": (
+        "Restripe the hot files so traffic spreads across OSTs. For 4 MiB "
+        "transfers, match the stripe size to the transfer size and widen the "
+        "stripe count before the file is created:\n"
+        "```\nlfs setstripe -S 4M -c 16 /path/to/output/dir\n```\n"
+        "Files inherit the directory's layout, so set it on the output "
+        "directory in the job script. Verify with `lfs getstripe`."
+    ),
+    "small_write": (
+        "Aggregate writes before they reach the file system. Either buffer in "
+        "the application:\n"
+        "```c\nsetvbuf(fp, buf, _IOFBF, 8*1024*1024); /* or build records in memory */\n```\n"
+        "or switch the write phase to collective MPI-IO so the library "
+        "aggregates across ranks:\n"
+        "```c\nMPI_File_write_at_all(fh, off, buf, n, MPI_BYTE, &st);\n```"
+    ),
+    "small_read": (
+        "Batch small reads: read a large block once and serve the small "
+        "requests from memory, or use MPI-IO collective reads "
+        "(`MPI_File_read_at_all`) so two-phase I/O coalesces them."
+    ),
+    "no_collective_write": (
+        "Replace independent writes with their collective forms and enable "
+        "collective buffering:\n"
+        "```c\nMPI_Info_create(&info);\nMPI_Info_set(info, \"romio_cb_write\", \"enable\");\n"
+        "MPI_File_open(comm, path, amode, info, &fh);\nMPI_File_write_at_all(...);\n```"
+    ),
+    "no_collective_read": (
+        "Use `MPI_File_read_at_all` (and `romio_cb_read=enable`) so the MPI "
+        "library aggregates the read phase instead of each rank going to the "
+        "file system alone."
+    ),
+    "no_mpi": (
+        "Introduce an MPI layer for the I/O phase (or adopt HDF5/PnetCDF, "
+        "which layer on MPI-IO), so the processes can coordinate their "
+        "accesses instead of competing."
+    ),
+    "misaligned_write": (
+        "Pad each record so offsets land on stripe boundaries, e.g. round the "
+        "per-rank region up to the stripe size:\n"
+        "```c\nsize_t region = ((bytes_per_rank + stripe - 1) / stripe) * stripe;\n```"
+    ),
+    "misaligned_read": (
+        "Align read offsets to the file system boundary (pad records, or read "
+        "whole aligned blocks and slice in memory)."
+    ),
+    "high_metadata_load": (
+        "Reduce file-system metadata pressure: keep files open across steps, "
+        "batch creates, or pack objects into one container file (HDF5) instead "
+        "of thousands of small files."
+    ),
+    "shared_file_access": (
+        "Either stripe the shared file widely (`lfs setstripe -c -1`) and use "
+        "collective I/O, or switch to file-per-process output with a "
+        "post-processing merge."
+    ),
+    "random_write": (
+        "Sort the work items by target offset before the write loop so the "
+        "stream becomes sequential, or route the phase through collective "
+        "buffering which reorders it for you."
+    ),
+    "random_read": (
+        "Reorder reads to ascending offsets, or prefetch the region "
+        "sequentially into memory and serve the random accesses from there."
+    ),
+    "rank_imbalance": (
+        "Repartition output volume across ranks, or funnel I/O through "
+        "collective operations so ROMIO's aggregators balance the traffic."
+    ),
+    "low_level_write": (
+        "Move bulk output from fprintf/fwrite to POSIX `pwrite` or MPI-IO; "
+        "keep stdio only for logs and small configuration files."
+    ),
+    "low_level_read": (
+        "Move bulk input from fread to POSIX `pread` or MPI-IO with large "
+        "requests."
+    ),
+    "repetitive_read": (
+        "Cache the re-read region after the first pass:\n"
+        "```c\nif (!cached) { pread(fd, cache, region, 0); cached = 1; }\n```\n"
+        "or stage the file into node-local storage once per job."
+    ),
+}
+
+
+def build_chat_prompt(report_text: str, question: str) -> str:
+    """Assemble the follow-up prompt over the diagnosis context."""
+    return (
+        "TASK: chat\n"
+        "You are continuing a conversation about the I/O diagnosis below. "
+        "Answer the user's question concretely, referring to the diagnosis "
+        "and its references where helpful.\n\n"
+        "DIAGNOSIS CONTEXT:\n"
+        f"{report_text}\n\n"
+        f"USER QUESTION: {question}\n"
+    )
+
+
+@register_task("chat")
+def handle_chat(visible: str, model: ModelProfile, rng: np.random.Generator) -> str:
+    m = _QUESTION_RE.search(visible)
+    question = (m.group(1).strip() if m else "").lower()
+    findings = parse_findings(visible)
+    if not findings:
+        return (
+            "I don't see any diagnosed issues in our conversation so far, so "
+            "there is nothing specific to fix. If you share the diagnosis, I "
+            "can walk you through concrete remediation steps."
+        )
+
+    # Which finding is the user asking about?  Match issue labels/aliases in
+    # the question; default to the first finding ("this issue", "fix it").
+    targets = []
+    for finding in findings:
+        issue = next(i for i in ISSUES if i.key == finding.issue_key)
+        hit = any(alias in question for alias in issue.aliases) or (
+            issue.label.lower() in question
+        )
+        if hit:
+            targets.append(finding)
+    if not targets:
+        targets = findings[:2] if "issues" in question or "all" in question else findings[:1]
+
+    lines = []
+    for finding in targets:
+        playbook = _PLAYBOOKS.get(finding.issue_key, finding.recommendation)
+        lines.append(f"To address the \"{finding.title}\" issue:")
+        lines.append(playbook)
+        if finding.evidence:
+            lines.append(
+                f"This targets exactly what the diagnosis observed: {finding.evidence}"
+            )
+        if finding.references:
+            lines.append("See: " + " ; ".join(finding.references))
+    return "\n\n".join(lines)

@@ -1,0 +1,75 @@
+"""Describe task: JSON summary fragment → natural-language description.
+
+Reproduces paper Fig. 3: the prompt carries the extraction code, the JSON
+summary values, and the application context; the model answers with a
+descriptive interpretation whose sentences embed the quantities.  The
+handler renders one canonical sentence per fact found in the JSON block —
+the honest core — plus a tier-dependent amount of interpretive prose.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+
+from repro.llm.facts import Fact, render_fact
+from repro.llm.models import ModelProfile
+from repro.llm.engine import register_task
+
+__all__ = ["build_describe_prompt"]
+
+_JSON_RE = re.compile(r"```json\s*(\{.*?\})\s*```", re.DOTALL)
+_CONTEXT_RE = re.compile(r"^APPLICATION CONTEXT: (.*)$", re.MULTILINE)
+
+
+def build_describe_prompt(fragment_json: dict, code: str, context_sentences: str) -> str:
+    """Assemble the Fig. 3-style describe prompt."""
+    return (
+        "TASK: describe\n"
+        "You are assisting with HPC I/O analysis. Below is the code of the "
+        "summary extraction function, the JSON summary it produced from a "
+        "Darshan module, and the broader application context. Interpret the "
+        "JSON summary in plain language, preserving all quantities.\n\n"
+        f"APPLICATION CONTEXT: {context_sentences}\n\n"
+        "Extraction function:\n"
+        f"```python\n{code}\n```\n\n"
+        "JSON summary:\n"
+        f"```json\n{json.dumps(fragment_json, indent=1)}\n```\n"
+    )
+
+
+@register_task("describe")
+def handle_describe(visible: str, model: ModelProfile, rng: np.random.Generator) -> str:
+    m = _JSON_RE.search(visible)
+    if m is None:
+        return "I cannot find the JSON summary in the provided context."
+    try:
+        payload = json.loads(m.group(1))
+    except json.JSONDecodeError:
+        return "The JSON summary in the context appears malformed; unable to interpret it."
+    facts = []
+    for entry in payload.get("facts", []):
+        entry = dict(entry)
+        kind = entry.pop("kind", None)
+        if kind:
+            facts.append(Fact(kind=kind, data=entry))
+    module = payload.get("module", "?")
+    category = payload.get("category", "?")
+    lines = [f"Interpretation of the {module} module's {category.replace('_', ' ')} summary:"]
+    ctx = _CONTEXT_RE.search(visible)
+    if ctx:
+        lines.append(ctx.group(1).strip())
+    for fact in facts:
+        try:
+            lines.append(render_fact(fact))
+        except ValueError:
+            continue  # unknown fact kinds are skipped, as a model would paraphrase-drop
+    if model.verbosity > 0.6 and facts:
+        lines.append(
+            "Taken together these figures characterize how this aspect of the "
+            "application's I/O interacts with the storage system and where it "
+            "may deviate from best practice."
+        )
+    return "\n".join(lines)

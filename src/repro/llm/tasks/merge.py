@@ -1,0 +1,150 @@
+"""Merge task: combine diagnosis summaries (paper §IV-C and Fig. 6).
+
+Merging exactly two summaries is within every model's capability: the
+handler deduplicates findings by issue, unions references, and carries
+notes through.  Merging *more than two* at once triggers the documented
+failure: the first and last summaries anchor the model's attention, and
+findings from mid-positioned summaries survive only with probability
+``(1 - merge_retention_decay)^(N-2)`` — lost along with their references.
+IOAgent therefore only ever asks for pairwise merges; the 1-step merge
+path exists to reproduce the Fig. 6 comparison.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.llm.engine import register_task
+from repro.llm.findings import Finding, parse_findings, render_findings
+from repro.llm.models import ModelProfile
+
+__all__ = ["build_merge_prompt"]
+
+_SECTION_RE = re.compile(r"^<<< SUMMARY (\d+) >>>$", re.MULTILINE)
+_NOTE_RE = re.compile(r"^Note: .*$", re.MULTILINE)
+
+MERGED_HEADER = "# Merged I/O Performance Diagnosis"
+
+
+def build_merge_prompt(summaries: list[str]) -> str:
+    """Assemble a merge prompt over ``summaries`` (2 for tree, N for 1-step)."""
+    blocks = []
+    for i, summary in enumerate(summaries):
+        blocks.append(f"<<< SUMMARY {i} >>>\n{summary}")
+    return (
+        "TASK: merge\n"
+        "Merge the following diagnosis summaries into a single comprehensive "
+        "diagnosis. Remove redundancy, resolve contradictions, and retain "
+        "every distinct finding together with its references.\n\n"
+        + "\n\n".join(blocks)
+    )
+
+
+def _split_sections(visible: str) -> list[str]:
+    marks = list(_SECTION_RE.finditer(visible))
+    sections = []
+    for i, m in enumerate(marks):
+        end = marks[i + 1].start() if i + 1 < len(marks) else len(visible)
+        sections.append(visible[m.end() : end])
+    return sections
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    merged: dict[str, Finding] = {}
+    order: list[str] = []
+    for f in findings:
+        if f.issue_key in merged:
+            merged[f.issue_key] = merged[f.issue_key].merged_with(f)
+        else:
+            merged[f.issue_key] = f
+            order.append(f.issue_key)
+    return [merged[k] for k in order]
+
+
+@register_task("merge")
+def handle_merge(visible: str, model: ModelProfile, rng: np.random.Generator) -> str:
+    sections = _split_sections(visible)
+    if not sections:
+        return "There are no summaries to merge in the provided context."
+    n = len(sections)
+    kept_findings: list[Finding] = []
+    kept_notes: list[str] = []
+    retention = (1.0 - model.merge_retention_decay) ** max(0, n - 2)
+    parsed_sections = [parse_findings(section) for section in sections]
+    # Even pairwise merges are not perfectly lossless for weaker tiers
+    # once cognitive load rises: with more than a handful of findings in
+    # play, a small per-finding drop probability appears and compounds
+    # over the depth of the tree.  Quadratic in the decay, so frontier
+    # models barely lose anything; merging two short summaries (the Fig. 6
+    # setting) is lossless for every tier.
+    total_findings = sum(len(p) for p in parsed_sections)
+    pair_retention = 1.0
+    if total_findings > 4:
+        pair_retention = 1.0 - (model.merge_retention_decay**2) * 0.15
+    for i, section in enumerate(sections):
+        anchored = i == 0 or i == n - 1  # first/last summaries anchor attention
+        for finding in parsed_sections[i]:
+            if n <= 2:
+                if rng.random() < pair_retention:
+                    kept_findings.append(finding)
+            elif anchored or rng.random() < retention:
+                kept_findings.append(finding)
+        for note in _NOTE_RE.findall(section):
+            if n <= 2 or anchored or rng.random() < retention:
+                if note not in kept_notes:
+                    kept_notes.append(note)
+    merged = _dedupe(kept_findings)
+    if model.verbosity > 0.7 and merged:
+        # Verbose tiers elaborate most when there is least to say: a
+        # simple case gets extra paragraphs per finding (the paper's
+        # explanation for gpt-4o losing to llama on Simple-Bench), while
+        # a complex case naturally budgets the wordiness across findings.
+        # Each merge re-decides from its current view (stripping padding
+        # applied at earlier tree levels), so the root merge's view — the
+        # whole report — is what finally counts.
+        pad_n = 2 if len(merged) <= 2 else (1 if len(merged) <= 4 else 0)
+        repadded = []
+        for f in merged:
+            assessment = f.assessment
+            for pad in _PADDING:
+                assessment = assessment.replace(pad.strip(), "").strip()
+            repadded.append(
+                Finding(
+                    issue_key=f.issue_key,
+                    evidence=f.evidence,
+                    assessment=assessment + " " + " ".join(p.strip() for p in _PADDING[:pad_n]),
+                    recommendation=f.recommendation,
+                    references=f.references,
+                )
+            )
+        merged = repadded
+    parts = [MERGED_HEADER]
+    if model.verbosity > 0.7 and merged:
+        parts.append(
+            f"This report consolidates the per-aspect analyses of the trace "
+            f"into {len(merged)} distinct finding(s), each with its supporting "
+            f"evidence and the literature that informs the recommendation."
+        )
+    if merged:
+        parts.append(render_findings(merged))
+    else:
+        parts.append(
+            "No significant I/O performance issues were identified across the "
+            "merged summaries."
+        )
+    parts.extend(kept_notes)
+    return "\n\n".join(parts)
+
+
+_PADDING = [
+    " In the broader context of this application's configuration, this "
+    "behaviour interacts with the other aspects discussed in this report "
+    "and is worth addressing before scaling up further production runs of "
+    "the workload.",
+    " It is also advisable to re-examine the surrounding I/O phases after "
+    "applying the change, since shifts in one access characteristic "
+    "frequently expose secondary effects in adjacent layers of the storage "
+    "stack that were previously masked.",
+]

@@ -1,0 +1,160 @@
+"""Plain-prompt diagnosis over a raw darshan-parser dump (paper §III, ION).
+
+This is what happens when a trace is pasted straight into a chat window:
+
+* only the text that survives the context window is readable — for large
+  traces that means the header plus the start of the POSIX section and the
+  tail of the LUSTRE section, with MPI-IO lost in the middle;
+* the model must tabulate counters itself; we model a bounded "attention
+  budget" of records it can actually aggregate, plus a raw-reading penalty
+  on fact recall;
+* there is no retrieved knowledge, so every topically-triggered
+  misconception fires at the model's full rate and nothing is cited;
+* the gpt-4 tier produces an analysis *plan* instead of a diagnosis, as in
+  the left half of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.darshan.log import DarshanLog, JobHeader
+from repro.darshan.records import DarshanRecord
+from repro.llm.engine import register_task
+from repro.llm.findings import render_findings
+from repro.llm.misconceptions import triggered_misconceptions
+from repro.llm.models import ModelProfile
+from repro.llm.reasoning import infer_findings
+from repro.llm.tasks.diagnose import sample_facts
+
+__all__ = ["build_plain_prompt", "RAW_READING_PENALTY", "ATTENTION_RECORDS"]
+
+# Reading facts out of raw counter tables is harder than reading prose.
+RAW_READING_PENALTY = 0.78
+# How many per-file records a model can realistically tabulate from text.
+ATTENTION_RECORDS = 64
+
+_HEADER_RE = re.compile(r"^# ([a-z_ ]+): (.*)$")
+
+
+def build_plain_prompt(trace_text: str) -> str:
+    """The engineered direct prompt (ION-style) over the full trace text."""
+    return (
+        "TASK: plain\n"
+        "You are an expert in HPC I/O performance analysis. The following is "
+        "the darshan-parser output of an application run. Check the I/O "
+        "behaviour in detail — request sizes, access patterns, alignment, "
+        "metadata activity, MPI-IO usage, and Lustre striping — and report "
+        "every I/O performance issue you can identify, with justification "
+        "and recommendations.\n\n"
+        + trace_text
+    )
+
+
+def _parse_partial_log(visible: str) -> DarshanLog:
+    """Lenient parse of whatever counter lines survived truncation."""
+    header_fields: dict[str, str] = {}
+    records: dict[tuple[str, str], DarshanRecord] = {}
+    per_module_files: dict[str, set] = {}
+    for raw in visible.splitlines():
+        line = raw.rstrip()
+        if line.startswith("#"):
+            m = _HEADER_RE.match(line)
+            if m:
+                header_fields[m.group(1).strip()] = m.group(2).strip()
+            continue
+        parts = line.split("\t")
+        if len(parts) != 8:
+            continue
+        module, rank_s, _rid, counter, value_s, path, mount, fs_type = parts
+        files = per_module_files.setdefault(module, set())
+        key = (module, path)
+        if key not in records and len(files) >= ATTENTION_RECORDS:
+            continue  # beyond what the model can tabulate
+        files.add(path)
+        rec = records.get(key)
+        if rec is None:
+            try:
+                rank = int(rank_s)
+            except ValueError:
+                continue
+            rec = DarshanRecord(
+                module=module, path=path, rank=rank, mount_point=mount, fs_type=fs_type
+            )
+            records[key] = rec
+        try:
+            if "." in value_s or "e" in value_s or "E" in value_s:
+                rec.fcounters[counter] = float(value_s)
+            else:
+                rec.counters[counter] = int(value_s)
+        except ValueError:
+            continue
+    header = JobHeader(
+        exe=header_fields.get("exe", "unknown"),
+        uid=int(header_fields.get("uid", 0) or 0),
+        jobid=int(header_fields.get("jobid", 0) or 0),
+        nprocs=int(header_fields.get("nprocs", 1) or 1),
+        start_time=int(header_fields.get("start_time", 0) or 0),
+        end_time=int(header_fields.get("end_time", 0) or 0),
+        run_time=float(header_fields.get("run time", 0.0) or 0.0),
+    )
+    return DarshanLog(header=header, records=list(records.values()))
+
+
+_PLAN_TEXT = """\
+To analyze this Darshan trace, I would suggest proceeding as follows:
+
+1. Examine the open/close operations to understand how many files are involved.
+2. Review the read/write operation counts and the total bytes moved.
+3. Inspect metadata operations for signs of excessive file system activity.
+4. Check the stripe patterns and storage configuration on the Lustre mount.
+5. Graphically plot the time series data of operations or use statistical tools
+   to identify phases where I/O may be inefficient.
+6. Compare the application's access sizes against the file system's optimal
+   transfer size.
+
+Carrying out these steps with appropriate tooling should reveal whether the
+application suffers from I/O performance issues and where to focus tuning."""
+
+
+@register_task("plain")
+def handle_plain(visible: str, model: ModelProfile, rng: np.random.Generator) -> str:
+    if model.plans_instead_of_diagnosing:
+        # The Fig. 1 gpt-4 behaviour: a plan, not a diagnosis.
+        return _PLAN_TEXT
+
+    # Late import: summaries lives in core, which imports llm.facts; the
+    # function-level import keeps the module graph acyclic.
+    from repro.core.summaries import app_context_facts, extract_fragments
+
+    partial = _parse_partial_log(visible)
+    facts = app_context_facts(partial)
+    for fragment in extract_fragments(partial):
+        facts.extend(fragment.facts)
+    kept = sample_facts(facts, model.fact_recall * RAW_READING_PENALTY, rng)
+    findings = infer_findings(kept)
+
+    lines: list[str] = []
+    lines.append(
+        "Reviewing the darshan-parser output, here is my assessment of the "
+        "application's I/O behaviour and the issues I can identify:"
+    )
+    if findings:
+        lines.append(render_findings(findings))
+    else:
+        lines.append(
+            "From the visible portion of the trace, the I/O behaviour looks "
+            "reasonable; no major issues stand out."
+        )
+    for mis in triggered_misconceptions(kept):
+        if rng.random() < model.misconception_rate:
+            lines.append(mis.text)
+    if model.verbosity > 0.6:
+        lines.append(
+            "Overall, addressing the points above should improve the "
+            "application's I/O efficiency; re-profiling with Darshan after "
+            "each change is recommended."
+        )
+    return "\n\n".join(lines)

@@ -1,0 +1,45 @@
+"""Token accounting for the SimLLM.
+
+Real tokenizers are BPE; for context-window arithmetic all we need is a
+stable, monotone estimate.  We use a character-based estimate (~4 chars
+per token, the usual rule of thumb) because it is O(1) in text length —
+important when ION feeds hundred-thousand-line darshan dumps to the model
+and we must decide how much survives without tokenizing megabytes.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CHARS_PER_TOKEN", "approx_tokens", "take_tokens_front", "take_tokens_back"]
+
+CHARS_PER_TOKEN = 4
+
+
+def approx_tokens(text: str) -> int:
+    """Estimated token count of ``text`` (ceil of chars / 4)."""
+    return (len(text) + CHARS_PER_TOKEN - 1) // CHARS_PER_TOKEN
+
+
+def take_tokens_front(text: str, budget: int) -> str:
+    """The longest prefix of whole lines fitting in ``budget`` tokens.
+
+    Cutting on line boundaries keeps darshan counter lines intact, so a
+    truncated prompt never contains half a counter value.
+    """
+    if budget <= 0:
+        return ""
+    limit = budget * CHARS_PER_TOKEN
+    if len(text) <= limit:
+        return text
+    cut = text.rfind("\n", 0, limit)
+    return text[: cut + 1] if cut != -1 else text[:limit]
+
+
+def take_tokens_back(text: str, budget: int) -> str:
+    """The longest suffix of whole lines fitting in ``budget`` tokens."""
+    if budget <= 0:
+        return ""
+    limit = budget * CHARS_PER_TOKEN
+    if len(text) <= limit:
+        return text
+    cut = text.find("\n", len(text) - limit)
+    return text[cut + 1 :] if cut != -1 else text[-limit:]

@@ -1,0 +1,32 @@
+"""RAG substrate: domain-knowledge corpus, embeddings, retrieval, reflection.
+
+Reproduces the paper's Domain Knowledge Integrator (§IV-B): a corpus of 66
+HPC-I/O works (here written for this repo rather than scraped from digital
+libraries), chunked at 512 tokens with 20-token overlap, embedded with a
+deterministic hashed TF-IDF model standing in for
+``text-embedding-3-large``, indexed for cosine-similarity search, queried
+with the top-15 neighbours, and filtered by a cheap-model self-reflection
+step that discards sources the vector ranking got wrong.
+"""
+
+from repro.rag.chunking import Chunk, chunk_text
+from repro.rag.corpus import KnowledgeDoc, TOPICS, build_corpus, topics_for_issue
+from repro.rag.embedding import HashedTfIdfEmbedder
+from repro.rag.index import SearchHit, VectorIndex, build_default_index
+from repro.rag.reflection import reflect_filter
+from repro.rag.retriever import Retriever
+
+__all__ = [
+    "KnowledgeDoc",
+    "TOPICS",
+    "build_corpus",
+    "topics_for_issue",
+    "Chunk",
+    "chunk_text",
+    "HashedTfIdfEmbedder",
+    "VectorIndex",
+    "SearchHit",
+    "build_default_index",
+    "Retriever",
+    "reflect_filter",
+]

@@ -1,0 +1,322 @@
+"""The HPC-I/O knowledge corpus: 66 synthetic works (paper §IV-B2).
+
+The paper surveyed five years of 'HPC I/O Performance' literature from the
+ACM DL and IEEE Xplore, manually filtering the top hits down to 66 key
+works.  We cannot ship those texts, so this module *writes* a corpus with
+the same shape: each work has a title, authors, venue, year, topic coverage,
+and a ~150-word body of concrete, citable guidance.  Bodies are assembled
+from curated per-topic knowledge statements with seeded variation, so the
+corpus is deterministic, diverse enough to exercise retrieval, and every
+claim in it is real HPC I/O lore (this is the knowledge RAG is supposed to
+inject — including the statements that *refute* the misconception bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.rng import rng_for
+
+__all__ = ["KnowledgeDoc", "TOPICS", "ISSUE_TOPICS", "topics_for_issue", "build_corpus"]
+
+# Topic vocabulary.  Issue keys map onto these (see ISSUE_TOPICS).
+TOPICS: tuple[str, ...] = (
+    "small-io",
+    "alignment",
+    "access-pattern",
+    "shared-file",
+    "metadata",
+    "striping",
+    "collective-io",
+    "rank-balance",
+    "server-balance",
+    "stdio",
+    "repetition",
+    "mpi",
+    "burst-buffer",
+    "general",
+)
+
+ISSUE_TOPICS: dict[str, tuple[str, ...]] = {
+    "small_read": ("small-io",),
+    "small_write": ("small-io",),
+    "misaligned_read": ("alignment", "striping"),
+    "misaligned_write": ("alignment", "striping"),
+    "random_read": ("access-pattern",),
+    "random_write": ("access-pattern",),
+    "shared_file_access": ("shared-file", "collective-io"),
+    "high_metadata_load": ("metadata",),
+    "server_imbalance": ("striping", "server-balance"),
+    "rank_imbalance": ("rank-balance",),
+    "no_mpi": ("mpi", "collective-io"),
+    "no_collective_read": ("collective-io",),
+    "no_collective_write": ("collective-io",),
+    "low_level_read": ("stdio",),
+    "low_level_write": ("stdio",),
+    "repetitive_read": ("repetition", "burst-buffer"),
+}
+
+
+def topics_for_issue(issue_key: str) -> tuple[str, ...]:
+    """Knowledge topics relevant to an issue (for reference attachment)."""
+    return ISSUE_TOPICS.get(issue_key, ("general",))
+
+
+@dataclass(frozen=True)
+class KnowledgeDoc:
+    """One work in the knowledge base."""
+
+    doc_id: str  # "S01".."S66"
+    title: str
+    authors: str
+    venue: str
+    year: int
+    topics: tuple[str, ...]
+    body: str
+
+    @property
+    def citation(self) -> str:
+        """Short citation used in diagnosis reference lists."""
+        return f"[{self.doc_id}] {self.authors}, \"{self.title}\", {self.venue} {self.year}"
+
+
+# Per-topic knowledge statements.  Each topic gets several independent
+# statements; documents sample 3-4 of them, so different documents on one
+# topic overlap but are not identical (which retrieval needs).
+_KNOWLEDGE: dict[str, list[str]] = {
+    "small-io": [
+        "Requests smaller than roughly one megabyte leave parallel file system "
+        "bandwidth unused because per-request latency dominates transfer time; "
+        "aggregating small I/O into large contiguous requests routinely yields "
+        "order-of-magnitude speedups on Lustre and GPFS.",
+        "Contrary to the belief that client caches coalesce everything, small "
+        "writes frequently reach the object servers individually once locks or "
+        "sync points intervene, so small request sizes remain a first-order "
+        "performance problem.",
+        "Write-behind buffering in the application or middleware is the standard "
+        "remedy for frequent small writes; collective MPI-IO buffering achieves "
+        "the same effect transparently across ranks.",
+        "Histograms of request sizes from Darshan are the quickest way to spot "
+        "small-I/O pathologies: a median request below 128 KiB across thousands "
+        "of operations is a reliable red flag.",
+    ],
+    "alignment": [
+        "I/O requests whose offsets do not fall on file system block or stripe "
+        "boundaries trigger read-modify-write cycles and extra extent lock "
+        "round-trips; aligning record sizes to the stripe size removes this tax.",
+        "Odd transfer sizes such as 47008 bytes, as used by ior-hard, are a "
+        "classic source of misalignment: every request straddles a boundary "
+        "somewhere in the file.",
+        "Padding data structures so each rank's region starts on a stripe "
+        "boundary is a cheap, purely client-side fix for misaligned access.",
+        "Darshan's FILE_NOT_ALIGNED counter directly measures boundary-crossing "
+        "requests; sustained ratios above half of all accesses deserve action.",
+    ],
+    "access-pattern": [
+        "Random access defeats server-side prefetching: once the request stream "
+        "stops being sequential, measured throughput on disk-backed OSTs drops "
+        "to a small fraction of streaming bandwidth, even on flash it costs "
+        "substantial IOPS overhead.",
+        "Sorting work items by file offset before issuing I/O restores "
+        "sequentiality at negligible compute cost and is among the most "
+        "effective application-level I/O optimizations.",
+        "Contrary to the claim that modern storage makes access order "
+        "irrelevant, production measurements consistently show sequential "
+        "streams outperforming random ones on parallel file systems.",
+        "Collective buffering converts scattered per-rank accesses into large "
+        "ordered transfers, masking randomized patterns from the file system.",
+    ],
+    "shared-file": [
+        "Many ranks writing disjoint regions of one shared file contend for "
+        "extent locks on the same OSTs; without collective coordination the "
+        "accesses serialize and bandwidth collapses as rank counts grow.",
+        "Single-shared-file output simplifies data management but demands wide "
+        "striping plus collective I/O to perform; otherwise file-per-process "
+        "with a post-processing merge is usually faster.",
+        "Lock contention on shared files is the canonical explanation when "
+        "per-rank bandwidth falls as more ranks are added to the same file.",
+        "The ior-hard benchmark exists precisely because shared-file, "
+        "interleaved, odd-sized accesses are the worst case for Lustre locking.",
+    ],
+    "metadata": [
+        "Metadata operations — opens, creates, stats — are serviced by a small "
+        "number of metadata servers, so a workload that creates thousands of "
+        "files per process is bottlenecked there no matter how many OSTs exist.",
+        "Far from being negligible, metadata overhead routinely dominates "
+        "runtime in many-small-file workloads; mdtest was designed to expose "
+        "exactly this regime.",
+        "Keeping files open across timesteps, batching creates, and packing "
+        "many logical objects into container formats such as HDF5 are the "
+        "standard mitigations for metadata storms.",
+        "When Darshan shows metadata time rivaling data-transfer time, the fix "
+        "is structural (fewer files) rather than parameter tuning.",
+    ],
+    "striping": [
+        "A Lustre stripe count of 1 places a file's entire load on a single "
+        "OST; contrary to the common belief that the default 1 MiB stripe "
+        "configuration is optimal, width-1 striping caps a file's bandwidth at "
+        "one server's throughput and is the most frequent striping mistake.",
+        "Large shared files should be striped across many OSTs — `lfs "
+        "setstripe -c 16` or `-c -1` — while tiny per-process files are better "
+        "left at width 1 to limit metadata cost.",
+        "Matching the stripe size to the dominant transfer size (for example "
+        "`lfs setstripe -S 4M` for 4 MiB transfers) keeps each request on a "
+        "single OST and avoids split transfers.",
+        "Progressive file layouts let small files stay narrow while large "
+        "files widen automatically, removing the need to hand-tune every path.",
+    ],
+    "collective-io": [
+        "Collective MPI-IO (two-phase I/O) aggregates many small, scattered "
+        "per-rank requests into few large, aligned, well-ordered transfers "
+        "issued by designated aggregators; it is the single most effective "
+        "remedy for shared-file and small-request pathologies.",
+        "Independent MPI-IO calls forfeit collective buffering: Darshan traces "
+        "showing thousands of independent operations and zero collective ones "
+        "indicate an easily recoverable optimization gap.",
+        "POSIX-level I/O from an MPI application at scale leaves coordination "
+        "on the table; routing the same accesses through MPI_File_write_all "
+        "typically multiplies achieved bandwidth.",
+        "Collective I/O performance depends on hints such as cb_nodes and "
+        "cb_buffer_size; defaults are sane but worth tuning for wide runs.",
+    ],
+    "rank-balance": [
+        "When a few MPI ranks perform most of the I/O, the job's I/O phase "
+        "lasts as long as the busiest rank; Darshan's fastest/slowest rank and "
+        "variance counters expose this skew directly.",
+        "Funneling all output through rank 0 is a legacy pattern that "
+        "serializes I/O; collective operations or balanced domain decomposition "
+        "restore parallelism.",
+        "Per-rank byte variance normalized by the mean squared is a robust "
+        "scale-free indicator of rank load imbalance.",
+    ],
+    "server-balance": [
+        "Uneven traffic across object storage targets — a few hot OSTs serving "
+        "most bytes — shows up as low effective server utilization and caps "
+        "aggregate bandwidth regardless of client parallelism.",
+        "Restriping hot files and randomizing file placement are the standard "
+        "fixes when monitoring shows a handful of OSTs saturated while the "
+        "rest idle.",
+        "The effective number of utilized servers (inverse Herfindahl of "
+        "per-OST bytes) summarizes placement quality in a single number.",
+    ],
+    "stdio": [
+        "The stdio layer (fopen/fread/fwrite) buffers in small user-space "
+        "chunks, serializes access, and cannot express parallel semantics; "
+        "bulk data movement through stdio on a parallel file system wastes "
+        "most of the available bandwidth.",
+        "stdio is fine for configuration files and logs, but bulk reads and "
+        "writes belong on POSIX, MPI-IO, or a parallel high-level library.",
+        "Darshan's STDIO module makes it easy to quantify how much volume "
+        "flows through the slow path; more than a few percent is a smell.",
+    ],
+    "repetition": [
+        "Reading the same file region repeatedly multiplies network and server "
+        "load for no new information; Darshan exposes this as bytes-read far "
+        "exceeding the file's extent.",
+        "Application-level caching — keeping the hot region in memory after "
+        "the first pass — removes re-read traffic entirely and is usually a "
+        "few lines of code.",
+        "Staging repeatedly-accessed inputs into node-local storage or a burst "
+        "buffer converts repeated remote reads into local memory traffic.",
+    ],
+    "mpi": [
+        "Running many independent processes without MPI forecloses every "
+        "coordinated-I/O optimization; even embarrassingly parallel workloads "
+        "benefit from an MPI layer purely for its parallel I/O stack.",
+        "MPI-IO's file views and derived datatypes let non-contiguous "
+        "accesses be described once and optimized by the library instead of "
+        "issued as many small operations.",
+        "High-level libraries (HDF5, PnetCDF, ADIOS) inherit MPI-IO's "
+        "collective machinery while adding portable, self-describing formats.",
+    ],
+    "burst-buffer": [
+        "Burst buffers absorb bursty checkpoint traffic at memory-class "
+        "bandwidth and drain to the parallel file system asynchronously, "
+        "decoupling application progress from PFS throughput.",
+        "Staging hot inputs into a burst buffer before the compute phase "
+        "eliminates repeated cold reads from the parallel file system.",
+    ],
+    "general": [
+        "Darshan's counter-level characterization is lightweight enough for "
+        "always-on deployment and captures volumes, request sizes, alignment, "
+        "and per-rank timing for every file an application touches.",
+        "Most production I/O problems fall into a dozen recurring categories — "
+        "small requests, misalignment, metadata storms, poor striping, missing "
+        "collectives — each with a well-known remedy.",
+        "I/O tuning should proceed from measurement: trace first, then change "
+        "one layer at a time, re-measuring after each change.",
+        "The gap between peak and achieved I/O bandwidth on HPC systems is "
+        "usually a software configuration problem, not a hardware limit.",
+    ],
+}
+
+_VENUES = ("SC", "IPDPS", "CLUSTER", "HPDC", "FAST", "PDSW", "CCGrid", "HotStorage", "TPDS")
+_SURNAMES = (
+    "Chen", "Garcia", "Kim", "Patel", "Nguyen", "Muller", "Rossi", "Tanaka",
+    "Olsen", "Costa", "Novak", "Singh", "Dubois", "Haas", "Silva", "Park",
+)
+_TITLE_STEMS = {
+    "small-io": "Request Aggregation for Small I/O on Parallel File Systems",
+    "alignment": "Alignment-Aware Access in Striped Storage",
+    "access-pattern": "Sequentializing Access Patterns in Scientific Workloads",
+    "shared-file": "Taming Shared-File Contention at Scale",
+    "metadata": "Metadata Scalability in Many-File Workloads",
+    "striping": "Striping Policies for Lustre-Class File Systems",
+    "collective-io": "Two-Phase Collective I/O in Practice",
+    "rank-balance": "Balancing Per-Rank I/O in MPI Applications",
+    "server-balance": "Server Load Balance in Object Storage Backends",
+    "stdio": "The Cost of Buffered Streams for Bulk Data",
+    "repetition": "Eliminating Redundant Reads in Analysis Pipelines",
+    "mpi": "Coordinated I/O for Multi-Process Applications",
+    "burst-buffer": "Burst Buffers as an I/O Impedance Match",
+    "general": "A Field Guide to HPC I/O Performance Problems",
+}
+_TITLE_QUALIFIERS = (
+    "A Measurement Study", "Design and Evaluation", "Lessons from Production",
+    "An Empirical Analysis", "Revisited", "at Exascale", "A Practitioner's View",
+)
+
+# How many documents to mint per topic (sums to 66).
+_DOCS_PER_TOPIC = {
+    "small-io": 6, "alignment": 5, "access-pattern": 5, "shared-file": 5,
+    "metadata": 5, "striping": 6, "collective-io": 6, "rank-balance": 4,
+    "server-balance": 4, "stdio": 4, "repetition": 4, "mpi": 4,
+    "burst-buffer": 3, "general": 5,
+}
+
+
+def build_corpus(seed: int = 0) -> list[KnowledgeDoc]:
+    """Mint the 66-document corpus deterministically."""
+    assert sum(_DOCS_PER_TOPIC.values()) == 66
+    docs: list[KnowledgeDoc] = []
+    serial = 0
+    for topic, n_docs in _DOCS_PER_TOPIC.items():
+        statements = _KNOWLEDGE[topic]
+        for j in range(n_docs):
+            serial += 1
+            rng = rng_for(seed, "corpus", topic, j)
+            doc_id = f"S{serial:02d}"
+            # Each doc leads with a different statement so retrieval can
+            # distinguish them, then adds 2 more plus one general remark.
+            lead = statements[j % len(statements)]
+            extra_pool = [s for s in statements if s is not lead]
+            k = min(2, len(extra_pool))
+            extras = [extra_pool[int(i)] for i in rng.choice(len(extra_pool), size=k, replace=False)]
+            general = _KNOWLEDGE["general"][int(rng.integers(len(_KNOWLEDGE["general"])))]
+            body = " ".join([lead, *extras, general])
+            qualifier = _TITLE_QUALIFIERS[int(rng.integers(len(_TITLE_QUALIFIERS)))]
+            author_idx = rng.choice(len(_SURNAMES), size=2, replace=False)
+            authors = f"{_SURNAMES[int(author_idx[0])]} and {_SURNAMES[int(author_idx[1])]}"
+            secondary = "general" if topic != "general" else "mpi"
+            docs.append(
+                KnowledgeDoc(
+                    doc_id=doc_id,
+                    title=f"{_TITLE_STEMS[topic]}: {qualifier}",
+                    authors=authors,
+                    venue=_VENUES[int(rng.integers(len(_VENUES)))],
+                    year=int(2019 + rng.integers(6)),
+                    topics=(topic, secondary),
+                    body=body,
+                )
+            )
+    return docs

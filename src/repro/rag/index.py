@@ -1,0 +1,65 @@
+"""The vector index: cosine top-k over embedded corpus chunks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.rag.chunking import Chunk, chunk_text
+from repro.rag.corpus import KnowledgeDoc, build_corpus
+from repro.rag.embedding import HashedTfIdfEmbedder
+
+__all__ = ["SearchHit", "VectorIndex", "build_default_index", "DEFAULT_TOP_K"]
+
+# The paper retrieves the top 15 closest matches per summary fragment.
+DEFAULT_TOP_K = 15
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One retrieval result."""
+
+    chunk: Chunk
+    doc: KnowledgeDoc
+    score: float
+
+
+class VectorIndex:
+    """Embeds chunks once; answers cosine top-k queries."""
+
+    def __init__(self, docs: list[KnowledgeDoc], embedder: HashedTfIdfEmbedder | None = None):
+        self.docs = {doc.doc_id: doc for doc in docs}
+        self.chunks: list[Chunk] = []
+        for doc in docs:
+            # Index title + body so title words contribute to matching.
+            self.chunks.extend(chunk_text(doc.doc_id, f"{doc.title}. {doc.body}"))
+        texts = [c.text for c in self.chunks]
+        self.embedder = embedder or HashedTfIdfEmbedder()
+        if not self.embedder._fitted:  # noqa: SLF001 - deliberate internal check
+            self.embedder.fit(texts)
+        self._matrix = self.embedder.embed_batch(texts)  # (n_chunks, dim), unit rows
+
+    def __len__(self) -> int:
+        return len(self.chunks)
+
+    def search(self, query: str, k: int = DEFAULT_TOP_K) -> list[SearchHit]:
+        """Top-``k`` chunks by cosine similarity to ``query``."""
+        if k <= 0:
+            return []
+        q = self.embedder.embed(query)
+        scores = self._matrix @ q
+        k = min(k, len(self.chunks))
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top])]
+        return [
+            SearchHit(chunk=self.chunks[i], doc=self.docs[self.chunks[i].doc_id], score=float(scores[i]))
+            for i in top
+        ]
+
+
+@lru_cache(maxsize=2)
+def build_default_index(seed: int = 0) -> VectorIndex:
+    """Build (and memoize) the index over the default 66-doc corpus."""
+    return VectorIndex(build_corpus(seed))

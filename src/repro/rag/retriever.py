@@ -1,0 +1,37 @@
+"""Query construction and retrieval for summary fragments (§IV-B1/B3).
+
+The paper's key observation: raw JSON summaries embed poorly against
+prose-form domain knowledge, so queries are the *natural language
+descriptions* of fragments.  The retriever simply wraps the index; the
+describe step (``repro.core.describe``) produces the query text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rag.index import DEFAULT_TOP_K, SearchHit, VectorIndex
+
+__all__ = ["Retriever"]
+
+
+@dataclass
+class Retriever:
+    """Top-k retrieval over the knowledge index."""
+
+    index: VectorIndex
+    top_k: int = DEFAULT_TOP_K
+
+    def retrieve(self, description: str) -> list[SearchHit]:
+        """Retrieve knowledge for one fragment's NL description."""
+        return self.index.search(description, k=self.top_k)
+
+    @staticmethod
+    def render_source(hit: SearchHit) -> str:
+        """Render a hit as it appears in a diagnosis prompt."""
+        doc = hit.doc
+        return (
+            f"[{doc.doc_id}] \"{doc.title}\" ({doc.authors}, {doc.venue} {doc.year})\n"
+            f"Topics: {', '.join(doc.topics)}\n"
+            f"{hit.chunk.text}"
+        )

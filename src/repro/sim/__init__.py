@@ -1,0 +1,28 @@
+"""Simulated HPC I/O substrate.
+
+The paper's traces come from real machines (NERSC Lustre systems); this
+package is the synthetic equivalent: a cluster of MPI ranks issuing typed
+I/O operations (:mod:`repro.sim.ops`) against a Lustre-like parallel
+filesystem (:mod:`repro.sim.filesystem`) through a runtime
+(:mod:`repro.sim.runtime`) with a bandwidth/latency/contention timing model
+(:mod:`repro.sim.timing`).  The Darshan instrumentation layer in
+:mod:`repro.darshan` observes every executed operation, exactly as the real
+Darshan library interposes on I/O calls.
+"""
+
+from repro.sim.filesystem import LustreFileSystem, StripeLayout
+from repro.sim.ops import API, IOOp, OpKind
+from repro.sim.runtime import IORuntime, JobResult, JobSpec
+from repro.sim.timing import PerfModel
+
+__all__ = [
+    "API",
+    "OpKind",
+    "IOOp",
+    "StripeLayout",
+    "LustreFileSystem",
+    "PerfModel",
+    "JobSpec",
+    "JobResult",
+    "IORuntime",
+]

@@ -1,0 +1,222 @@
+"""The I/O runtime: executes operation streams and notifies observers.
+
+This plays the role of the application + MPI-IO library + OS on a real
+system.  It maintains per-rank clocks, lowers MPI-IO collectives through
+two-phase collective buffering into large aligned POSIX writes by
+aggregator ranks (so "collective I/O turns many small requests into few
+large ones" is an emergent property, as on real ROMIO), tracks per-OST
+traffic, and reports every executed operation to registered observers —
+the Darshan instrumentation among them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+from repro.sim.filesystem import LustreFileSystem
+from repro.sim.ops import API, IOOp, OpKind
+from repro.sim.timing import PerfModel
+
+__all__ = ["JobSpec", "JobResult", "IORuntime", "OpObserver"]
+
+
+class OpObserver(Protocol):
+    """Anything that wants to see executed operations (e.g. Darshan)."""
+
+    def on_op(self, op: IOOp, t_start: float, t_end: float, fs: LustreFileSystem | None) -> None:
+        """Called after each executed op with its simulated time span."""
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """Static description of one application run."""
+
+    exe: str
+    nprocs: int
+    jobid: int = 0
+    uid: int = 1001
+    start_time: int = 1_700_000_000  # fixed epoch keeps logs reproducible
+    uses_mpi: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+
+
+@dataclass(slots=True)
+class JobResult:
+    """Aggregates produced by executing a job's operation stream."""
+
+    runtime: float
+    ops_executed: int
+    bytes_read: int
+    bytes_written: int
+    ost_bytes: dict[int, int]
+    rank_busy: np.ndarray  # seconds of I/O+compute per rank
+
+
+# Number of ranks per collective-buffering aggregator (ROMIO-like default:
+# one aggregator per node; we use a fixed fan-in).
+_CB_RANKS_PER_AGGREGATOR = 4
+# Collective buffering buffer size (ROMIO default 16 MiB).
+_CB_BUFFER_SIZE = 16 * 1024 * 1024
+
+
+class IORuntime:
+    """Executes an :class:`IOOp` stream for one job against one filesystem.
+
+    Operations are supplied in program order per rank (any interleaving
+    across ranks is accepted; per-rank order is what matters).  The runtime
+    keeps a clock per rank; collective operations synchronize the clocks of
+    all participating ranks, as an MPI barrier would.
+    """
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        fs: LustreFileSystem,
+        perf: PerfModel | None = None,
+    ) -> None:
+        self.spec = spec
+        self.fs = fs
+        self.perf = perf or PerfModel()
+        self._observers: list[OpObserver] = []
+        self._clock = np.zeros(spec.nprocs, dtype=np.float64)
+        # (rank, path) -> offset one past the last byte touched, for
+        # sequentiality/seek detection in the timing model.
+        self._last_end: dict[tuple[int, str], int] = {}
+        self._ost_bytes: dict[int, int] = {}
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._ops = 0
+
+    def add_observer(self, obs: OpObserver) -> None:
+        """Register an observer; order of registration = order of callbacks."""
+        self._observers.append(obs)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, ops: Iterable[IOOp]) -> JobResult:
+        """Execute the stream and return job-level aggregates."""
+        for op in ops:
+            self._execute(op)
+        return JobResult(
+            runtime=float(self._clock.max(initial=0.0)),
+            ops_executed=self._ops,
+            bytes_read=self._bytes_read,
+            bytes_written=self._bytes_written,
+            ost_bytes=dict(self._ost_bytes),
+            rank_busy=self._clock.copy(),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute(self, op: IOOp) -> None:
+        if op.rank >= self.spec.nprocs:
+            raise ValueError(f"op rank {op.rank} out of range for nprocs={self.spec.nprocs}")
+        if op.kind is OpKind.COMPUTE:
+            self._clock[op.rank] += op.duration
+            return
+        if op.collective:
+            self._execute_collective(op)
+            return
+        t0 = float(self._clock[op.rank])
+        dt = self._time_op(op)
+        t1 = t0 + dt
+        self._clock[op.rank] = t1
+        self._notify(op, t0, t1)
+        if op.api is API.MPIIO and op.kind in (OpKind.READ, OpKind.WRITE):
+            # Independent MPI-IO lowers 1:1 to POSIX on the same rank.
+            self._emit_lowered_posix(op, t0, t1)
+
+    def _execute_collective(self, op: IOOp) -> None:
+        """Execute one rank's share of a collective MPI-IO operation.
+
+        Each rank's collective call is reported to observers individually
+        (Darshan counts MPIIO_COLL_* per rank), but the data movement is
+        lowered through aggregators: every ``_CB_RANKS_PER_AGGREGATOR``-th
+        rank issues the combined, stripe-aligned POSIX transfers.  A
+        synchronization round is charged to the calling rank.
+        """
+        t0 = float(self._clock[op.rank])
+        dt = self.perf.collective_overhead + self._time_op(op)
+        t1 = t0 + dt
+        self._clock[op.rank] = t1
+        self._notify(op, t0, t1)
+        if op.kind not in (OpKind.READ, OpKind.WRITE):
+            return
+        if op.rank % _CB_RANKS_PER_AGGREGATOR == 0:
+            # This rank aggregates its group's buffers: one large aligned
+            # POSIX transfer per CB buffer's worth of data.
+            group = min(_CB_RANKS_PER_AGGREGATOR, self.spec.nprocs - op.rank)
+            total = op.size * group
+            layout = self.fs.layout_for(op.path) if self.fs.contains(op.path) else None
+            align = layout.stripe_size if layout else self.fs.block_size
+            base = (op.offset // align) * align
+            done = 0
+            while done < total:
+                chunk = min(_CB_BUFFER_SIZE, total - done)
+                posix = IOOp(
+                    kind=op.kind,
+                    api=API.POSIX,
+                    rank=op.rank,
+                    path=op.path,
+                    offset=base + done,
+                    size=chunk,
+                    mem_aligned=True,
+                )
+                pt0 = float(self._clock[op.rank])
+                pdt = self._time_op(posix)
+                pt1 = pt0 + pdt
+                self._clock[op.rank] = pt1
+                self._notify(posix, pt0, pt1)
+                done += chunk
+
+    def _emit_lowered_posix(self, op: IOOp, t0: float, t1: float) -> None:
+        posix = IOOp(
+            kind=op.kind,
+            api=API.POSIX,
+            rank=op.rank,
+            path=op.path,
+            offset=op.offset,
+            size=op.size,
+            mem_aligned=op.mem_aligned,
+        )
+        self._notify(posix, t0, t1)
+        # The MPI-IO op already accounted for the data movement in the
+        # caller; the lowered POSIX op is recorded without extra time.
+
+    def _time_op(self, op: IOOp) -> float:
+        if op.kind in (OpKind.READ, OpKind.WRITE):
+            key = (op.rank, op.path)
+            sequential = self._last_end.get(key, 0) == op.offset
+            self._last_end[key] = op.end_offset
+            osts_used = 1
+            if self.fs.contains(op.path):
+                layout = self.fs.layout_for(op.path)
+                per_ost = layout.bytes_per_ost(op.offset, op.size)
+                osts_used = max(1, len(per_ost))
+                for ost, nbytes in per_ost.items():
+                    self._ost_bytes[ost] = self._ost_bytes.get(ost, 0) + nbytes
+                self.fs.record_extent(op.path, op.end_offset)
+            if op.kind is OpKind.READ:
+                self._bytes_read += op.size
+            else:
+                self._bytes_written += op.size
+            self._ops += 1
+            return self.perf.transfer_time(op.size, osts_used, sequential)
+        # Metadata operations.
+        if op.kind is OpKind.SEEK:
+            self._last_end[(op.rank, op.path)] = op.offset
+        if op.kind is OpKind.OPEN and self.fs.contains(op.path):
+            self.fs.layout_for(op.path)  # materialize layout on first open
+        self._ops += 1
+        return self.perf.metadata_time()
+
+    def _notify(self, op: IOOp, t0: float, t1: float) -> None:
+        fs = self.fs if self.fs.contains(op.path) else None
+        for obs in self._observers:
+            obs.on_op(op, t0, t1, fs)

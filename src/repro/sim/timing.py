@@ -1,0 +1,52 @@
+"""I/O timing model.
+
+A deliberately simple analytic model — per-operation latency plus
+size/bandwidth transfer time with stripe-parallel transfers, a seek penalty
+for non-sequential access, and an MDT service time for metadata ops.  The
+goal is *plausible relative* timings (small ops dominated by latency, wide
+stripes faster than width-1, metadata storms visible in F_META_TIME), not
+absolute fidelity; Darshan diagnosis reasons about ratios and proportions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MiB
+
+__all__ = ["PerfModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class PerfModel:
+    """Cluster performance constants used to time operations.
+
+    ``ost_bandwidth`` is per-OST streaming bandwidth; a transfer striped
+    over *k* OSTs proceeds at ``k``× that rate (up to the extent actually
+    covered).  ``op_latency`` is the fixed software/network cost of any
+    data op; ``seek_penalty`` is added when an op is not sequential with
+    the rank's previous op on the same file; ``mdt_latency`` is the cost
+    of one metadata operation; ``collective_overhead`` is the
+    synchronization cost of one collective round.
+    """
+
+    ost_bandwidth: float = 500.0 * MiB  # bytes/s per OST
+    op_latency: float = 50e-6  # s
+    seek_penalty: float = 2e-3  # s
+    mdt_latency: float = 400e-6  # s
+    collective_overhead: float = 1.5e-3  # s per collective round
+    stdio_buffer: int = 4096  # stdio's user-space buffering granularity
+
+    def transfer_time(self, size: int, osts_used: int, sequential: bool) -> float:
+        """Seconds to move ``size`` bytes over ``osts_used`` parallel OSTs."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        lanes = max(1, osts_used)
+        t = self.op_latency + size / (self.ost_bandwidth * lanes)
+        if not sequential:
+            t += self.seek_penalty
+        return t
+
+    def metadata_time(self) -> float:
+        """Seconds for one metadata operation (open/stat/seek/sync/close)."""
+        return self.mdt_latency

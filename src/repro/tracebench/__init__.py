@@ -1,0 +1,22 @@
+"""TraceBench: the labeled I/O-diagnosis benchmark suite (paper §V).
+
+40 Darshan traces from three sources — Simple-Bench (10), IO500 (21), and
+Real-Applications (9) — each annotated with expert issue labels drawn from
+the Table II taxonomy.  The per-source label counts reproduce paper
+Table III exactly (182 labeled issues in total), which
+``tests/test_tracebench.py`` asserts.
+"""
+
+from repro.tracebench.build import build_tracebench, build_trace
+from repro.tracebench.dataset import LabeledTrace, TraceBench
+from repro.tracebench.spec import TRACE_SPECS, TraceSpec, table3_counts
+
+__all__ = [
+    "TraceSpec",
+    "TRACE_SPECS",
+    "table3_counts",
+    "LabeledTrace",
+    "TraceBench",
+    "build_tracebench",
+    "build_trace",
+]

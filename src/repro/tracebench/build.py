@@ -1,0 +1,35 @@
+"""Build the TraceBench suite by running every workload under Darshan.
+
+Building all 40 traces executes a few hundred thousand simulated I/O
+operations; results are memoized per seed so tests and benchmarks share
+one build.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.tracebench.dataset import LabeledTrace, TraceBench
+from repro.tracebench.spec import TRACE_SPECS, TraceSpec
+
+__all__ = ["build_trace", "build_tracebench"]
+
+
+def build_trace(spec: TraceSpec, seed: int = 0) -> LabeledTrace:
+    """Generate one labeled trace from its spec."""
+    workload = spec.builder()
+    log, _result = workload.run(seed=seed)
+    return LabeledTrace(
+        trace_id=spec.trace_id,
+        source=spec.source,
+        log=log,
+        labels=spec.labels,
+        description=workload.exe,
+    )
+
+
+@lru_cache(maxsize=4)
+def build_tracebench(seed: int = 0) -> TraceBench:
+    """Build (and memoize) the full 40-trace suite for ``seed``."""
+    traces = [build_trace(spec, seed=seed) for spec in TRACE_SPECS]
+    return TraceBench(traces=traces, seed=seed)

@@ -1,0 +1,63 @@
+"""TraceBench in-memory dataset containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.darshan.log import DarshanLog
+from repro.darshan.writer import render_darshan_text
+
+__all__ = ["LabeledTrace", "TraceBench"]
+
+
+@dataclass(frozen=True)
+class LabeledTrace:
+    """One generated Darshan trace plus its expert labels."""
+
+    trace_id: str
+    source: str
+    log: DarshanLog
+    labels: frozenset[str]
+    description: str = ""
+
+    @cached_property
+    def text(self) -> str:
+        """darshan-parser text rendering (what plain-LLM tools consume)."""
+        return render_darshan_text(self.log)
+
+
+@dataclass
+class TraceBench:
+    """The full benchmark suite."""
+
+    traces: list[LabeledTrace] = field(default_factory=list)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    def by_source(self, source: str) -> list[LabeledTrace]:
+        """Traces from one source ('simple-bench', 'io500', 'real-applications')."""
+        return [t for t in self.traces if t.source == source]
+
+    def get(self, trace_id: str) -> LabeledTrace:
+        """Look up a trace by id; raises KeyError if absent."""
+        for t in self.traces:
+            if t.trace_id == trace_id:
+                return t
+        raise KeyError(trace_id)
+
+    def total_labels(self) -> int:
+        """Total number of labeled issues across the suite (paper: 182)."""
+        return sum(len(t.labels) for t in self.traces)
+
+    def sources(self) -> list[str]:
+        """Distinct sources in suite order."""
+        seen: dict[str, None] = {}
+        for t in self.traces:
+            seen.setdefault(t.source, None)
+        return list(seen)

@@ -1,0 +1,44 @@
+"""Deterministic random-number streams.
+
+Everything in this reproduction must be reproducible run-to-run: trace
+synthesis, the SimLLM's capability noise, judge tie-breaking.  Rather than
+sharing one global generator (whose consumption order would couple unrelated
+subsystems), each consumer derives an independent :class:`numpy.random.
+Generator` from a *root seed* plus a string *scope* via a stable hash.
+
+This mirrors the "independent streams per rank" idiom from parallel HPC
+codes: changing how many draws one subsystem makes never perturbs another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "rng_for"]
+
+
+def derive_seed(root_seed: int, *scope: object) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a scope path.
+
+    The scope components are stringified and hashed with BLAKE2b, so the
+    mapping is stable across processes and Python versions (unlike
+    ``hash()``, which is salted).
+
+    >>> derive_seed(7, "tracebench", "io500", 3) == derive_seed(7, "tracebench", "io500", 3)
+    True
+    >>> derive_seed(7, "a") != derive_seed(7, "b")
+    True
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(root_seed)).encode("utf-8"))
+    for part in scope:
+        h.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+        h.update(str(part).encode("utf-8"))
+    return int.from_bytes(h.digest(), "little")
+
+
+def rng_for(root_seed: int, *scope: object) -> np.random.Generator:
+    """Return an independent PCG64 generator for ``(root_seed, *scope)``."""
+    return np.random.default_rng(derive_seed(root_seed, *scope))

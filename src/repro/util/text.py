@@ -1,0 +1,42 @@
+"""Text helpers shared by the SimLLM tokenizer, NL templates, and reports."""
+
+from __future__ import annotations
+
+import re
+import textwrap
+
+__all__ = ["simple_tokens", "sentence_split", "wrap_paragraph", "slugify", "dedent_strip"]
+
+_WORD_RE = re.compile(r"[A-Za-z0-9_/.\-]+|[^\sA-Za-z0-9]")
+_SENT_RE = re.compile(r"(?<=[.!?])\s+(?=[A-Z0-9])")
+
+
+def simple_tokens(text: str) -> list[str]:
+    """Split text into word-ish tokens (the SimLLM's token unit).
+
+    Numbers, identifiers, and paths count as single tokens; punctuation is
+    token-per-character.  This over-counts slightly relative to BPE, which
+    is the conservative direction for modelling context-window overflow.
+    """
+    return _WORD_RE.findall(text)
+
+
+def sentence_split(text: str) -> list[str]:
+    """Split prose into sentences on terminal punctuation boundaries."""
+    parts = [p.strip() for p in _SENT_RE.split(text.strip())]
+    return [p for p in parts if p]
+
+
+def wrap_paragraph(text: str, width: int = 88) -> str:
+    """Re-wrap a paragraph to ``width`` columns for report rendering."""
+    return textwrap.fill(" ".join(text.split()), width=width)
+
+
+def slugify(text: str) -> str:
+    """Lowercase-kebab a label for filenames and anonymized tool ids."""
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+
+
+def dedent_strip(text: str) -> str:
+    """``textwrap.dedent`` + strip, for inline prompt templates."""
+    return textwrap.dedent(text).strip()

@@ -1,0 +1,82 @@
+"""Byte-count and duration formatting/parsing.
+
+Darshan counters are raw byte counts; diagnosis text and the knowledge base
+speak in KiB/MiB/GiB.  These helpers are the single place where the two are
+converted, so the NL templates and the fact-extraction regexes in
+:mod:`repro.llm` stay in sync.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KiB", "MiB", "GiB", "format_bytes", "parse_bytes", "format_count", "format_duration"]
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_UNITS = [(GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")]
+
+_PARSE_UNITS = {
+    "b": 1,
+    "bytes": 1,
+    "byte": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count in the largest unit that keeps the value >= 1.
+
+    >>> format_bytes(4 * MiB)
+    '4.00 MiB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    n = float(n)
+    for factor, suffix in _UNITS:
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {suffix}"
+    return f"{int(n)} B"
+
+
+def parse_bytes(text: str) -> int:
+    """Parse strings like ``"4M"``, ``"1 MiB"``, ``"47008"`` into bytes.
+
+    Raises :class:`ValueError` on malformed input.
+    """
+    s = text.strip().lower().replace(" ", "")
+    i = len(s)
+    while i > 0 and not s[i - 1].isdigit() and s[i - 1] != ".":
+        i -= 1
+    num, unit = s[:i], s[i:]
+    if not num:
+        raise ValueError(f"no numeric part in byte string {text!r}")
+    if unit and unit not in _PARSE_UNITS:
+        raise ValueError(f"unknown byte unit {unit!r} in {text!r}")
+    return int(float(num) * _PARSE_UNITS.get(unit, 1))
+
+
+def format_count(n: int) -> str:
+    """Render an operation count with thousands separators (``12,345``)."""
+    return f"{int(n):,}"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in seconds with sensible precision.
+
+    >>> format_duration(722.0)
+    '722.0 s'
+    >>> format_duration(0.0042)
+    '4.200 ms'
+    """
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds:.1f} s"

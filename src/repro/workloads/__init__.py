@@ -1,0 +1,33 @@
+"""Synthetic workload generators that produce Darshan traces.
+
+Each workload is a composition of *phases* (:mod:`repro.workloads.patterns`)
+executed by the simulated runtime under Darshan instrumentation.  The three
+TraceBench sources are modelled here:
+
+* :mod:`repro.workloads.simple_bench` — the 10 rudimentary single-issue
+  C-script analogues;
+* :mod:`repro.workloads.io500` — 21 parameterizations of the IO500
+  benchmark phases (ior-easy, ior-hard, mdtest);
+* :mod:`repro.workloads.real_apps` — 9 real-application models (AMReX,
+  E2E original/recollected, OpenPMD original/recollected, HACC-IO, ...).
+"""
+
+from repro.workloads.base import Workload, WorkloadContext, run_workload
+from repro.workloads.patterns import (
+    data_phase,
+    imbalanced_write_phase,
+    metadata_phase,
+    repetitive_read_phase,
+    stdio_phase,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadContext",
+    "run_workload",
+    "data_phase",
+    "metadata_phase",
+    "repetitive_read_phase",
+    "imbalanced_write_phase",
+    "stdio_phase",
+]

@@ -1,0 +1,198 @@
+"""IO500-style workloads: 21 tuned configurations (paper §V-2).
+
+IO500 composes ior (bulk bandwidth) and mdtest (metadata) phases; its
+knobs — API (POSIX vs MPI-IO), transfer size, shared-file vs
+file-per-process, access order, stripe settings — are exactly the knobs
+that induce the TraceBench issue labels.  Each configuration below mirrors
+a realistic mis-tuning the paper describes (e.g. "ior-easy tuned to use 8k
+transfer sizes issued through independent POSIX operations across multiple
+ranks").
+
+POSIX-API configurations model runs whose processes do not leverage MPI
+for I/O at all (*Multi-Process Without MPI*); MPI-IO configurations use
+independent (non-collective) operations (*No Collective I/O*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+from repro.workloads.patterns import data_phase, metadata_phase
+
+__all__ = ["IO500Config", "IO500_CONFIGS", "build_io500", "IO500_BUILDERS"]
+
+# Offset shim used by "misaligned large transfer" configurations: shifts
+# every request off any 4 KiB boundary (2080 = 47008 mod 4096, a nod to
+# ior-hard's famously odd 47008-byte transfer size).
+_SHIM = 2080
+
+
+@dataclass(frozen=True, slots=True)
+class IO500Config:
+    """One IO500 run configuration."""
+
+    trace_id: str
+    api: str  # 'posix' (multi-process, no MPI) or 'mpiio' (independent)
+    nprocs: int
+    xfer: int
+    count_per_rank: int
+    layout: str  # 'shared' or 'fpp'
+    pattern: str  # 'seq', 'strided', or 'random'
+    unaligned_shim: int = 0
+    stripe_width: int = 1
+    mdtest_files_per_rank: int = 0
+    # Small per-rank status-file reads (stonewall logs etc.).  A *minor*
+    # population of small requests that experts do not label an issue but
+    # that trips Drishti's fixed >10%-small-requests trigger — the paper's
+    # own example of threshold-based false positives.
+    header_reads_per_rank: int = 0
+    jobid: int = 0
+    description: str = ""
+
+
+IO500_CONFIGS: tuple[IO500Config, ...] = (
+    # -- POSIX (multi-process without MPI) configurations ----------------
+    IO500Config(
+        "io500-01-posix-4k-fpp", "posix", 16, 4 * KiB, 1500, "fpp", "seq",
+        jobid=201, description="ior-easy POSIX, 4k transfers, file per process",
+    ),
+    IO500Config(
+        "io500-02-posix-8k-shared", "posix", 16, 8 * KiB, 1500, "shared", "strided",
+        jobid=202, description="ior-easy POSIX, 8k transfers, single shared file",
+    ),
+    IO500Config(
+        "io500-03-posix-hard-47008", "posix", 16, 47008, 700, "shared", "strided",
+        jobid=203, description="ior-hard POSIX, 47008-byte unaligned shared-file transfers",
+    ),
+    IO500Config(
+        "io500-04-posix-hard-10000", "posix", 8, 10000, 1400, "shared", "strided",
+        jobid=204, description="ior-hard POSIX, 10000-byte unaligned shared-file transfers",
+    ),
+    IO500Config(
+        "io500-05-posix-hard-30000", "posix", 32, 30000, 500, "shared", "strided",
+        jobid=205, description="ior-hard POSIX, 30000-byte unaligned shared-file transfers",
+    ),
+    IO500Config(
+        "io500-06-posix-random-1m", "posix", 16, 1 * MiB, 90, "shared", "random",
+        unaligned_shim=_SHIM,
+        jobid=206, description="ior POSIX, randomized 1 MiB transfers off alignment",
+    ),
+    IO500Config(
+        "io500-07-posix-random-1m-8p", "posix", 8, 1 * MiB, 160, "shared", "random",
+        unaligned_shim=_SHIM,
+        jobid=207, description="ior POSIX, randomized 1 MiB transfers, 8 processes",
+    ),
+    IO500Config(
+        "io500-08-posix-random-1m-32p", "posix", 32, 1 * MiB, 50, "shared", "random",
+        unaligned_shim=_SHIM,
+        jobid=208, description="ior POSIX, randomized 1 MiB transfers, 32 processes",
+    ),
+    IO500Config(
+        "io500-09-posix-tuned-4m", "posix", 16, 4 * MiB, 40, "fpp", "seq",
+        stripe_width=4, header_reads_per_rank=30,
+        jobid=209, description="well-tuned ior-easy POSIX, 4 MiB aligned FPP",
+    ),
+    IO500Config(
+        "io500-10-posix-tuned-8m", "posix", 8, 8 * MiB, 30, "fpp", "seq",
+        stripe_width=4, header_reads_per_rank=30,
+        jobid=210, description="well-tuned ior-easy POSIX, 8 MiB aligned FPP",
+    ),
+    IO500Config(
+        "io500-11-posix-tuned-4m-32p", "posix", 32, 4 * MiB, 20, "fpp", "seq",
+        stripe_width=4, header_reads_per_rank=12,
+        jobid=211, description="well-tuned ior-easy POSIX, 32 processes",
+    ),
+    IO500Config(
+        "io500-12-posix-tuned-16m", "posix", 16, 16 * MiB, 12, "fpp", "seq",
+        stripe_width=8, header_reads_per_rank=12,
+        jobid=212, description="well-tuned ior-easy POSIX, 16 MiB aligned FPP",
+    ),
+    IO500Config(
+        "io500-13-posix-mdtest", "posix", 16, 0, 0, "fpp", "seq",
+        mdtest_files_per_rank=250, stripe_width=4,
+        jobid=213, description="mdtest-dominated POSIX run",
+    ),
+    # -- MPI-IO (independent, no collectives) configurations -------------
+    IO500Config(
+        "io500-14-mpiio-8k-shared", "mpiio", 16, 8 * KiB, 1500, "shared", "strided",
+        jobid=214, description="ior MPI-IO independent, 8k shared-file transfers",
+    ),
+    IO500Config(
+        "io500-15-mpiio-16k-shared", "mpiio", 8, 16 * KiB, 1800, "shared", "strided",
+        jobid=215, description="ior MPI-IO independent, 16k shared-file transfers",
+    ),
+    IO500Config(
+        "io500-16-mpiio-4k-shared", "mpiio", 16, 4 * KiB, 1500, "shared", "strided",
+        jobid=216, description="ior MPI-IO independent, 4k shared-file transfers",
+    ),
+    IO500Config(
+        "io500-17-mpiio-hard-47008", "mpiio", 16, 47008, 700, "shared", "strided",
+        jobid=217, description="ior-hard MPI-IO independent, 47008-byte transfers",
+    ),
+    IO500Config(
+        "io500-18-mpiio-hard-23504", "mpiio", 8, 23504, 1200, "shared", "strided",
+        jobid=218, description="ior-hard MPI-IO independent, 23504-byte transfers",
+    ),
+    IO500Config(
+        "io500-19-mpiio-random-1m", "mpiio", 16, 1 * MiB, 90, "shared", "random",
+        unaligned_shim=_SHIM,
+        jobid=219, description="ior MPI-IO independent, randomized 1 MiB unaligned",
+    ),
+    IO500Config(
+        "io500-20-mpiio-random-1m-32p", "mpiio", 32, 1 * MiB, 50, "shared", "random",
+        unaligned_shim=_SHIM,
+        jobid=220, description="ior MPI-IO independent, randomized, 32 processes",
+    ),
+    IO500Config(
+        "io500-21-mpiio-mdtest", "mpiio", 16, 4 * MiB, 30, "fpp", "seq",
+        stripe_width=4, mdtest_files_per_rank=150,
+        jobid=221, description="MPI-IO independent bulk + mdtest metadata storm",
+    ),
+)
+
+
+def build_io500(cfg: IO500Config) -> Workload:
+    """Materialize one IO500 configuration as a runnable workload."""
+    phases = []
+    data_dir = f"/scratch/io500/{cfg.trace_id}"
+    if cfg.count_per_rank > 0:
+        common = dict(
+            xfer=cfg.xfer,
+            count_per_rank=cfg.count_per_rank,
+            api=cfg.api,
+            layout=cfg.layout,
+            pattern=cfg.pattern,
+            unaligned_shim=cfg.unaligned_shim,
+        )
+        # ior runs a write phase then reads the data back.
+        phases.append(data_phase(f"{data_dir}/ior.dat", "write", **common))
+        phases.append(data_phase(f"{data_dir}/ior.dat", "read", **common))
+    if cfg.header_reads_per_rank > 0:
+        phases.append(
+            data_phase(
+                f"{data_dir}/stonewall.log",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=cfg.header_reads_per_rank,
+                api=cfg.api,
+                layout="fpp",
+            )
+        )
+    if cfg.mdtest_files_per_rank > 0:
+        phases.append(
+            metadata_phase(f"{data_dir}/mdtest", files_per_rank=cfg.mdtest_files_per_rank)
+        )
+    return Workload(
+        name=cfg.trace_id,
+        exe="/opt/io500/bin/ior" if cfg.count_per_rank else "/opt/io500/bin/mdtest",
+        nprocs=cfg.nprocs,
+        jobid=cfg.jobid,
+        uses_mpi=cfg.api == "mpiio",
+        default_stripe_width=cfg.stripe_width,
+        phases=tuple(phases),
+    )
+
+
+IO500_BUILDERS = {cfg.trace_id: (lambda c=cfg: build_io500(c)) for cfg in IO500_CONFIGS}

@@ -1,0 +1,297 @@
+"""Composable I/O phase generators.
+
+Every TraceBench issue corresponds to an operation-stream behaviour; these
+factories produce those behaviours.  A phase factory returns a closure that
+maps a :class:`~repro.workloads.base.WorkloadContext` to an op stream, so
+workloads are declarative compositions.
+
+Conventions:
+
+* ``layout='fpp'`` → file-per-process (``path`` gets ``.rank`` appended);
+  ``layout='shared'`` → all ranks touch one file (segmented by rank).
+* ``pattern='seq'`` → each rank walks its region in order;
+  ``'strided'`` → ranks interleave block-by-block across the file (classic
+  N-to-1 strided access); ``'random'`` → each rank visits its region's
+  blocks in a shuffled order.
+* ``unaligned_shim`` shifts every offset by a constant, defeating both
+  file and stripe alignment (Darshan's ``POSIX_FILE_NOT_ALIGNED``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.sim.ops import API, IOOp, OpKind
+from repro.workloads.base import PhaseFn, WorkloadContext
+
+__all__ = [
+    "data_phase",
+    "metadata_phase",
+    "repetitive_read_phase",
+    "imbalanced_write_phase",
+    "stdio_phase",
+]
+
+_API_MAP = {"posix": API.POSIX, "mpiio": API.MPIIO, "stdio": API.STDIO}
+
+
+def _rank_paths(path: str, layout: str, nprocs: int) -> list[str]:
+    if layout == "fpp":
+        return [f"{path}.{r:05d}" for r in range(nprocs)]
+    if layout == "shared":
+        return [path] * nprocs
+    raise ValueError(f"unknown layout {layout!r}")
+
+
+def _offsets_for_rank(
+    rank: int,
+    nprocs: int,
+    count: int,
+    xfer: int,
+    layout: str,
+    pattern: str,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Byte offsets of each request of ``rank``, in issue order."""
+    idx = np.arange(count, dtype=np.int64)
+    if layout == "shared":
+        if pattern == "strided":
+            # Block i of rank r lands at (i*nprocs + r): ranks interleave.
+            blocks = idx * nprocs + rank
+        else:
+            # Segmented: rank r owns blocks [r*count, (r+1)*count).
+            blocks = rank * count + idx
+    else:
+        blocks = idx
+    offsets = blocks * xfer
+    if pattern == "random":
+        offsets = rng.permutation(offsets)
+    return offsets
+
+
+def data_phase(
+    path: str,
+    direction: str,
+    xfer: int,
+    count_per_rank: int,
+    *,
+    api: str = "posix",
+    collective: bool = False,
+    layout: str = "fpp",
+    pattern: str = "seq",
+    unaligned_shim: int = 0,
+    mem_aligned: bool = True,
+    open_per_rank: bool = True,
+    fsync: bool = False,
+) -> PhaseFn:
+    """A bulk read or write phase.
+
+    ``direction`` is ``'read'`` or ``'write'``.  Collective phases must use
+    the MPI-IO API; the runtime lowers them through collective buffering.
+    """
+    if direction not in ("read", "write"):
+        raise ValueError("direction must be 'read' or 'write'")
+    if collective and api != "mpiio":
+        raise ValueError("collective phases require api='mpiio'")
+    kind = OpKind.READ if direction == "read" else OpKind.WRITE
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        paths = _rank_paths(path, layout, ctx.nprocs)
+        opened: set[tuple[int, str]] = set()
+        per_rank_offsets = [
+            _offsets_for_rank(r, ctx.nprocs, count_per_rank, xfer, layout, pattern, ctx.rng)
+            for r in range(ctx.nprocs)
+        ]
+        for r in range(ctx.nprocs):
+            if open_per_rank and (r, paths[r]) not in opened:
+                opened.add((r, paths[r]))
+                yield IOOp(
+                    kind=OpKind.OPEN,
+                    api=api_enum,
+                    rank=r,
+                    path=paths[r],
+                    collective=collective,
+                )
+        # Interleave requests round-robin across ranks so the op stream
+        # resembles a real parallel execution trace.
+        for i in range(count_per_rank):
+            for r in range(ctx.nprocs):
+                yield IOOp(
+                    kind=kind,
+                    api=api_enum,
+                    rank=r,
+                    path=paths[r],
+                    offset=int(per_rank_offsets[r][i]) + unaligned_shim,
+                    size=xfer,
+                    collective=collective,
+                    mem_aligned=mem_aligned,
+                )
+        for r in range(ctx.nprocs):
+            if fsync:
+                yield IOOp(kind=OpKind.SYNC, api=api_enum, rank=r, path=paths[r])
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=paths[r])
+
+    return phase
+
+
+def metadata_phase(
+    directory: str,
+    files_per_rank: int,
+    *,
+    with_stat: bool = True,
+    data_bytes: int = 0,
+    api: str = "posix",
+) -> PhaseFn:
+    """A metadata-heavy phase: create/stat/touch many small files.
+
+    Models mdtest and the *High Metadata Load* issue: per file, an open,
+    an optional stat, an optional tiny write, and a close.
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        for r in range(ctx.nprocs):
+            for i in range(files_per_rank):
+                fpath = f"{directory}/rank{r:04d}/f{i:06d}"
+                yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=fpath)
+                if with_stat:
+                    yield IOOp(kind=OpKind.STAT, api=api_enum, rank=r, path=fpath)
+                if data_bytes > 0:
+                    yield IOOp(
+                        kind=OpKind.WRITE,
+                        api=api_enum,
+                        rank=r,
+                        path=fpath,
+                        offset=0,
+                        size=data_bytes,
+                    )
+                yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=fpath)
+
+    return phase
+
+
+def repetitive_read_phase(
+    path: str,
+    region_bytes: int,
+    xfer: int,
+    repeats: int,
+    *,
+    nranks: int | None = None,
+) -> PhaseFn:
+    """Re-read the same region ``repeats`` times (Repetitive Data Access).
+
+    The Darshan signature is BYTES_READ far exceeding MAX_BYTE_READ + 1:
+    the application moves the same bytes over and over.
+    """
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        ranks = range(nranks if nranks is not None else ctx.nprocs)
+        reads_per_pass = max(1, region_bytes // xfer)
+        for r in ranks:
+            yield IOOp(kind=OpKind.OPEN, api=API.POSIX, rank=r, path=path)
+        for _ in range(repeats):
+            for i in range(reads_per_pass):
+                for r in ranks:
+                    yield IOOp(
+                        kind=OpKind.READ,
+                        api=API.POSIX,
+                        rank=r,
+                        path=path,
+                        offset=i * xfer,
+                        size=xfer,
+                    )
+        for r in ranks:
+            yield IOOp(kind=OpKind.CLOSE, api=API.POSIX, rank=r, path=path)
+
+    return phase
+
+
+def imbalanced_write_phase(
+    path: str,
+    xfer: int,
+    total_count: int,
+    *,
+    heavy_rank: int = 0,
+    heavy_share: float = 0.8,
+    api: str = "posix",
+    layout: str = "shared",
+) -> PhaseFn:
+    """A write phase where one rank issues a disproportionate share.
+
+    Models *Rank Load Imbalance*: ``heavy_rank`` performs ``heavy_share``
+    of all requests; remaining requests spread evenly.  With
+    ``layout='shared'`` all ranks append to one file (rank imbalance shows
+    up in the shared record's variance counters); with ``'fpp'`` each rank
+    writes its own file (imbalance shows up across per-rank records).
+    """
+    if not 0.0 < heavy_share <= 1.0:
+        raise ValueError("heavy_share must be in (0, 1]")
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        paths = _rank_paths(path, layout, ctx.nprocs)
+        heavy_n = int(total_count * heavy_share)
+        rest = total_count - heavy_n
+        others = [r for r in range(ctx.nprocs) if r != heavy_rank] or [heavy_rank]
+        counts = {r: 0 for r in range(ctx.nprocs)}
+        counts[heavy_rank] = heavy_n
+        for i in range(rest):
+            counts[others[i % len(others)]] += 1
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=paths[r])
+        shared_offset = 0
+        for r in range(ctx.nprocs):
+            local_offset = 0
+            for _ in range(counts[r]):
+                offset = shared_offset if layout == "shared" else local_offset
+                yield IOOp(
+                    kind=OpKind.WRITE,
+                    api=api_enum,
+                    rank=r,
+                    path=paths[r],
+                    offset=offset,
+                    size=xfer,
+                )
+                shared_offset += xfer
+                local_offset += xfer
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=paths[r])
+
+    return phase
+
+
+def stdio_phase(
+    path: str,
+    direction: str,
+    xfer: int,
+    count_per_rank: int,
+    *,
+    layout: str = "fpp",
+    ranks: Iterable[int] | None = None,
+) -> PhaseFn:
+    """Bulk I/O through the STDIO interface (Low-Level Library issue)."""
+    if direction not in ("read", "write"):
+        raise ValueError("direction must be 'read' or 'write'")
+    kind = OpKind.READ if direction == "read" else OpKind.WRITE
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        use_ranks = list(ranks) if ranks is not None else list(range(ctx.nprocs))
+        paths = _rank_paths(path, layout, ctx.nprocs)
+        for r in use_ranks:
+            yield IOOp(kind=OpKind.OPEN, api=API.STDIO, rank=r, path=paths[r])
+            for i in range(count_per_rank):
+                yield IOOp(
+                    kind=OpKind.READ if kind is OpKind.READ else OpKind.WRITE,
+                    api=API.STDIO,
+                    rank=r,
+                    path=paths[r],
+                    offset=i * xfer,
+                    size=xfer,
+                )
+            yield IOOp(kind=OpKind.SYNC, api=API.STDIO, rank=r, path=paths[r])
+            yield IOOp(kind=OpKind.CLOSE, api=API.STDIO, rank=r, path=paths[r])
+
+    return phase

@@ -1,0 +1,387 @@
+"""Real-application models (paper §V-3).
+
+Nine traces modelled on the applications the paper names or alludes to:
+AMReX (the §III running example: 722 s, 8 processes, 11 files, Lustre
+stripe count 1), E2E and OpenPMD each in an original and a "recollected"
+variant with the primary issue resolved, plus checkpoint/analysis codes
+(HACC-IO, Montage, QMCPACK, a post-processing reader).  All run on
+production-scale process counts with mixed I/O phases, making them the
+hardest traces to diagnose.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    data_phase,
+    imbalanced_write_phase,
+    metadata_phase,
+    repetitive_read_phase,
+    stdio_phase,
+)
+
+__all__ = ["REAL_APP_BUILDERS"]
+
+
+def ra01_amrex() -> Workload:
+    """AMReX plotfile dump: POSIX chunk writes instead of MPI-IO.
+
+    The §III example: 8 processes, ~722 s runtime, 11 files on a Lustre
+    mount with stripe count 1.  Each rank writes its own plotfile chunks
+    through POSIX at odd sizes; only a small header goes through
+    (independent) MPI-IO — the "predominant use of the POSIX interface for
+    I/O instead of MPI-IO" issue the plain LLMs miss.
+    """
+    return Workload(
+        name="ra01-amrex",
+        exe="/global/homes/amrex/Nyx3d.ex",
+        nprocs=8,
+        jobid=301,
+        compute_seconds=715.0,
+        phases=(
+            # MPI-IO header write by every rank (independent, small).
+            data_phase(
+                "/scratch/amrex/plt00000/Header",
+                "write",
+                xfer=64 * KiB,
+                count_per_rank=4,
+                api="mpiio",
+                layout="shared",
+                pattern="strided",
+            ),
+            # Per-rank POSIX chunk writes at odd (misaligned) sizes.
+            data_phase(
+                "/scratch/amrex/plt00000/Cell_D",
+                "write",
+                xfer=30000,
+                count_per_rank=600,
+                api="posix",
+                layout="fpp",
+            ),
+            # Small STDIO job log from rank 0 (volume too small to matter).
+            stdio_phase(
+                "/scratch/amrex/plt00000/job_info",
+                "write",
+                xfer=1 * KiB,
+                count_per_rank=64,
+                ranks=(0,),
+            ),
+        ),
+    )
+
+
+def ra02_e2e_original() -> Workload:
+    """E2E climate output, original run: small imbalanced shared writes."""
+    return Workload(
+        name="ra02-e2e-original",
+        exe="/global/homes/e2e/e2e_writer",
+        nprocs=32,
+        jobid=302,
+        compute_seconds=480.0,
+        stripe_overrides={"/scratch/e2e/output.nc": (1 * MiB, 24)},
+        phases=(
+            imbalanced_write_phase(
+                "/scratch/e2e/output.nc",
+                xfer=10000,
+                total_count=12000,
+                heavy_share=0.8,
+                api="mpiio",
+                layout="shared",
+            ),
+        ),
+    )
+
+
+def ra03_e2e_recollected() -> Workload:
+    """E2E recollected: collective writes fixed the small-write storm.
+
+    Remaining issues: the shared output file, an unaligned rank-0 restart
+    dump, and input still read through independent MPI-IO.
+    """
+    return Workload(
+        name="ra03-e2e-recollected",
+        exe="/global/homes/e2e/e2e_writer",
+        nprocs=32,
+        jobid=303,
+        compute_seconds=460.0,
+        stripe_overrides={
+            "/scratch/e2e/output_v2.nc": (1 * MiB, 24),
+            "/scratch/e2e/restart.bin": (1 * MiB, 8),
+        },
+        phases=(
+            data_phase(
+                "/scratch/e2e/forcing.nc",
+                "read",
+                xfer=2 * MiB,
+                count_per_rank=8,
+                api="mpiio",
+                layout="fpp",
+            ),
+            data_phase(
+                "/scratch/e2e/output_v2.nc",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=32,
+                api="mpiio",
+                collective=True,
+                layout="shared",
+                pattern="strided",
+            ),
+            # Unaligned POSIX restart dump (the leftover misalignment).
+            data_phase(
+                "/scratch/e2e/restart.bin",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=12,
+                api="posix",
+                layout="shared",
+                unaligned_shim=17,
+            ),
+        ),
+    )
+
+
+def ra04_openpmd_original() -> Workload:
+    """openPMD reader, original: random small unaligned shared reads."""
+    return Workload(
+        name="ra04-openpmd-original",
+        exe="/global/homes/pmd/openpmd_reader",
+        nprocs=16,
+        jobid=304,
+        compute_seconds=220.0,
+        stripe_overrides={"/scratch/openpmd/data.h5": (1 * MiB, 24)},
+        phases=(
+            data_phase(
+                "/scratch/openpmd/data.h5",
+                "read",
+                xfer=30000,
+                count_per_rank=900,
+                api="mpiio",
+                layout="shared",
+                pattern="random",
+            ),
+        ),
+    )
+
+
+def ra05_openpmd_recollected() -> Workload:
+    """openPMD recollected: large sequential reads, still independent and
+    off-alignment (chunk boundaries within the HDF5 layout)."""
+    return Workload(
+        name="ra05-openpmd-recollected",
+        exe="/global/homes/pmd/openpmd_reader",
+        nprocs=16,
+        jobid=305,
+        compute_seconds=200.0,
+        default_stripe_width=4,
+        phases=(
+            # Small per-rank attribute reads (negligible, unlabeled; trips
+            # fixed-threshold tools).
+            data_phase(
+                "/scratch/openpmd/attrs.json",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=40,
+                api="mpiio",
+                layout="fpp",
+            ),
+            data_phase(
+                "/scratch/openpmd/data_v2.h5",
+                "read",
+                xfer=1 * MiB,
+                count_per_rank=80,
+                api="mpiio",
+                layout="fpp",
+                unaligned_shim=512,
+            ),
+        ),
+    )
+
+
+def ra06_hacc_io() -> Workload:
+    """HACC-IO-style checkpoint: random small unaligned POSIX writes."""
+    return Workload(
+        name="ra06-hacc-io",
+        exe="/global/homes/hacc/hacc_io",
+        nprocs=16,
+        jobid=306,
+        compute_seconds=350.0,
+        phases=(
+            # Small collective read of the input deck (keeps MPI visible).
+            data_phase(
+                "/scratch/hacc/indat.params",
+                "read",
+                xfer=512 * KiB,
+                count_per_rank=1,
+                api="mpiio",
+                collective=True,
+                layout="shared",
+            ),
+            # Small sequential POSIX reads of the particle input (the
+            # volume stays small; the request *frequency* is the issue).
+            data_phase(
+                "/scratch/hacc/particles.in",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=200,
+                api="posix",
+                layout="shared",
+                pattern="strided",
+            ),
+            # Random, odd-sized POSIX checkpoint writes, stripe width 1.
+            data_phase(
+                "/scratch/hacc/checkpoint.out",
+                "write",
+                xfer=30000,
+                count_per_rank=900,
+                api="posix",
+                layout="fpp",
+                pattern="random",
+            ),
+        ),
+    )
+
+
+def ra07_montage() -> Workload:
+    """Montage mosaicking: thousands of small tile files and reads."""
+    return Workload(
+        name="ra07-montage",
+        exe="/global/homes/montage/mProjExec",
+        nprocs=8,
+        jobid=307,
+        compute_seconds=260.0,
+        phases=(
+            # Small collective read of the region header (keeps MPI visible,
+            # small enough not to constitute shared-file traffic).
+            data_phase(
+                "/scratch/montage/region.hdr",
+                "read",
+                xfer=1 * MiB,
+                count_per_rank=1,
+                api="mpiio",
+                collective=True,
+                layout="shared",
+            ),
+            # Odd-sized sequential POSIX reads over many small tile files
+            # (Montage touches hundreds of FITS tiles per projection).
+            *(
+                data_phase(
+                    f"/scratch/montage/tiles/tile{k:03d}.fits",
+                    "read",
+                    xfer=3000,
+                    count_per_rank=80,
+                    api="posix",
+                    layout="fpp",
+                )
+                for k in range(25)
+            ),
+            # Metadata storm creating one small output file per projection.
+            metadata_phase(
+                "/scratch/montage/proj",
+                files_per_rank=200,
+                with_stat=True,
+                data_bytes=3000,
+            ),
+        ),
+    )
+
+
+def ra08_qmcpack() -> Workload:
+    """QMCPACK walker dumps: metadata churn plus small unaligned writes."""
+    return Workload(
+        name="ra08-qmcpack",
+        exe="/global/homes/qmc/qmcpack",
+        nprocs=16,
+        jobid=308,
+        compute_seconds=540.0,
+        phases=(
+            # Small collective read of the wavefunction input.
+            data_phase(
+                "/scratch/qmc/wfs.h5",
+                "read",
+                xfer=512 * KiB,
+                count_per_rank=1,
+                api="mpiio",
+                collective=True,
+                layout="shared",
+            ),
+            # Small aligned POSIX restart reads.
+            data_phase(
+                "/scratch/qmc/restart.cfg",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=800,
+                api="posix",
+                layout="fpp",
+            ),
+            # Odd-sized sequential POSIX walker dumps (small + misaligned).
+            data_phase(
+                "/scratch/qmc/walkers.dat",
+                "write",
+                xfer=10000,
+                count_per_rank=300,
+                api="posix",
+                layout="fpp",
+            ),
+            # Per-step open/stat/write/close churn on stat files.
+            metadata_phase(
+                "/scratch/qmc/stats",
+                files_per_rank=150,
+                with_stat=True,
+                data_bytes=0,
+            ),
+        ),
+    )
+
+
+def ra09_post_analysis() -> Workload:
+    """Post-processing reader/writer with nearly every issue at once.
+
+    Models a poorly-tuned analysis code: random, small, odd-sized
+    independent MPI-IO reads and random POSIX writes against shared files.
+    """
+    return Workload(
+        name="ra09-post-analysis",
+        exe="/global/homes/post/analyze",
+        nprocs=16,
+        jobid=309,
+        compute_seconds=180.0,
+        stripe_overrides={
+            "/scratch/post/fields.h5": (1 * MiB, 24),
+            "/scratch/post/derived.h5": (1 * MiB, 24),
+        },
+        phases=(
+            data_phase(
+                "/scratch/post/fields.h5",
+                "read",
+                xfer=25000,
+                count_per_rank=800,
+                api="mpiio",
+                layout="shared",
+                pattern="random",
+            ),
+            data_phase(
+                "/scratch/post/derived.h5",
+                "write",
+                xfer=30000,
+                count_per_rank=700,
+                api="posix",
+                layout="shared",
+                pattern="random",
+            ),
+        ),
+    )
+
+
+REAL_APP_BUILDERS = {
+    "ra01-amrex": ra01_amrex,
+    "ra02-e2e-original": ra02_e2e_original,
+    "ra03-e2e-recollected": ra03_e2e_recollected,
+    "ra04-openpmd-original": ra04_openpmd_original,
+    "ra05-openpmd-recollected": ra05_openpmd_recollected,
+    "ra06-hacc-io": ra06_hacc_io,
+    "ra07-montage": ra07_montage,
+    "ra08-qmcpack": ra08_qmcpack,
+    "ra09-post-analysis": ra09_post_analysis,
+}

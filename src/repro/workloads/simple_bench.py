@@ -1,0 +1,289 @@
+"""Simple-Bench: 10 rudimentary single-purpose workloads (paper §V-1).
+
+Each models a small C program written to exhibit one targeted I/O issue
+(some unavoidably exhibit a couple more, as the paper notes).  The traces
+are small, low-volume, and highly uniform — "the easiest to diagnose".
+
+Alignment convention: the simulated filesystem checks request offsets
+against a 4 KiB block granularity, so power-of-two transfer sizes (4 KiB,
+8 KiB, 1 MiB) stay aligned while odd sizes (1000 B, 47008 B) and shimmed
+offsets are misaligned — matching how experts separate *small* from
+*misaligned* requests when labeling.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    data_phase,
+    imbalanced_write_phase,
+    metadata_phase,
+    repetitive_read_phase,
+    stdio_phase,
+)
+
+__all__ = ["SIMPLE_BENCH_BUILDERS"]
+
+
+def sb01_small_writes() -> Workload:
+    """Frequent 1000-byte independent MPI-IO writes, file per process."""
+    return Workload(
+        name="sb01-small-writes",
+        exe="/home/user/sb/small_writes",
+        nprocs=4,
+        jobid=101,
+        phases=(
+            data_phase(
+                "/scratch/sb01/out.dat",
+                "write",
+                xfer=1000,
+                count_per_rank=5000,
+                api="mpiio",
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def sb02_small_reads() -> Workload:
+    """Frequent 1000-byte independent MPI-IO reads, file per process."""
+    return Workload(
+        name="sb02-small-reads",
+        exe="/home/user/sb/small_reads",
+        nprocs=4,
+        jobid=102,
+        phases=(
+            data_phase(
+                "/scratch/sb02/in.dat",
+                "read",
+                xfer=1000,
+                count_per_rank=5000,
+                api="mpiio",
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def sb03_misaligned_writes() -> Workload:
+    """Large writes at offsets shifted off any block boundary."""
+    return Workload(
+        name="sb03-misaligned-writes",
+        exe="/home/user/sb/misaligned_writes",
+        nprocs=4,
+        jobid=103,
+        phases=(
+            data_phase(
+                "/scratch/sb03/out.dat",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=40,
+                api="mpiio",
+                layout="fpp",
+                unaligned_shim=17,
+                mem_aligned=False,
+            ),
+        ),
+    )
+
+
+def sb04_misaligned_reads() -> Workload:
+    """Large reads at offsets shifted off any block boundary."""
+    return Workload(
+        name="sb04-misaligned-reads",
+        exe="/home/user/sb/misaligned_reads",
+        nprocs=4,
+        jobid=104,
+        phases=(
+            data_phase(
+                "/scratch/sb04/in.dat",
+                "read",
+                xfer=1 * MiB,
+                count_per_rank=40,
+                api="mpiio",
+                layout="fpp",
+                unaligned_shim=17,
+                mem_aligned=False,
+            ),
+        ),
+    )
+
+
+def sb05_metadata_storm() -> Workload:
+    """A single process creating and stat-ing thousands of empty files."""
+    return Workload(
+        name="sb05-metadata-storm",
+        exe="/home/user/sb/metadata_storm",
+        nprocs=1,
+        jobid=105,
+        phases=(metadata_phase("/scratch/sb05/files", files_per_rank=1500),),
+    )
+
+
+def sb06_shared_file() -> Workload:
+    """Eight ranks reading then rewriting one shared file independently."""
+    return Workload(
+        name="sb06-shared-file",
+        exe="/home/user/sb/shared_file",
+        nprocs=8,
+        jobid=106,
+        phases=(
+            # Small per-rank header reads: negligible volume, not labeled,
+            # but enough to trip fixed >10%-small-request triggers.
+            data_phase(
+                "/scratch/sb06/header.dat",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=40,
+                api="mpiio",
+                layout="fpp",
+            ),
+            data_phase(
+                "/scratch/sb06/shared.dat",
+                "read",
+                xfer=1 * MiB,
+                count_per_rank=30,
+                api="mpiio",
+                layout="shared",
+                pattern="strided",
+            ),
+            data_phase(
+                "/scratch/sb06/shared.dat",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=30,
+                api="mpiio",
+                layout="shared",
+                pattern="strided",
+            ),
+        ),
+    )
+
+
+def sb07_repetitive_read() -> Workload:
+    """Rank 0 re-reads the same 2 MiB region forty times."""
+    return Workload(
+        name="sb07-repetitive-read",
+        exe="/home/user/sb/repetitive_read",
+        nprocs=4,
+        jobid=107,
+        phases=(
+            data_phase(
+                "/scratch/sb07/input.dat",
+                "read",
+                xfer=1 * MiB,
+                count_per_rank=10,
+                api="mpiio",
+                layout="fpp",
+            ),
+            repetitive_read_phase(
+                "/scratch/sb07/input.dat.00000",
+                region_bytes=2 * MiB,
+                xfer=256 * KiB,
+                repeats=40,
+                nranks=1,
+            ),
+        ),
+    )
+
+
+def sb08_rank_imbalance() -> Workload:
+    """Rank 0 issues 80% of all (small) write requests."""
+    return Workload(
+        name="sb08-rank-imbalance",
+        exe="/home/user/sb/rank_imbalance",
+        nprocs=8,
+        jobid=108,
+        phases=(
+            data_phase(
+                "/scratch/sb08/input.dat",
+                "read",
+                xfer=256 * KiB,
+                count_per_rank=5,
+                api="mpiio",
+                layout="fpp",
+            ),
+            imbalanced_write_phase(
+                "/scratch/sb08/out.dat",
+                xfer=4 * KiB,
+                total_count=20000,
+                heavy_share=0.8,
+                api="mpiio",
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def sb09_stdio_write() -> Workload:
+    """Bulk output funnelled through STDIO instead of POSIX/MPI-IO."""
+    return Workload(
+        name="sb09-stdio-write",
+        exe="/home/user/sb/stdio_write",
+        nprocs=4,
+        jobid=109,
+        num_osts=8,
+        default_stripe_width=2,
+        phases=(
+            data_phase(
+                "/scratch/sb09/header.dat",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=2,
+                api="mpiio",
+                layout="fpp",
+            ),
+            stdio_phase(
+                "/scratch/sb09/out.txt",
+                "write",
+                xfer=8 * KiB,
+                count_per_rank=2000,
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def sb10_stdio_read() -> Workload:
+    """Bulk input funnelled through STDIO, plus small MPI-IO header reads."""
+    return Workload(
+        name="sb10-stdio-read",
+        exe="/home/user/sb/stdio_read",
+        nprocs=4,
+        jobid=110,
+        num_osts=8,
+        default_stripe_width=2,
+        phases=(
+            data_phase(
+                "/scratch/sb10/header.dat",
+                "read",
+                xfer=8 * KiB,
+                count_per_rank=200,
+                api="mpiio",
+                layout="fpp",
+            ),
+            stdio_phase(
+                "/scratch/sb10/in.txt",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=2000,
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+# Trace id -> builder, in suite order.
+SIMPLE_BENCH_BUILDERS = {
+    "sb01-small-writes": sb01_small_writes,
+    "sb02-small-reads": sb02_small_reads,
+    "sb03-misaligned-writes": sb03_misaligned_writes,
+    "sb04-misaligned-reads": sb04_misaligned_reads,
+    "sb05-metadata-storm": sb05_metadata_storm,
+    "sb06-shared-file": sb06_shared_file,
+    "sb07-repetitive-read": sb07_repetitive_read,
+    "sb08-rank-imbalance": sb08_rank_imbalance,
+    "sb09-stdio-write": sb09_stdio_write,
+    "sb10-stdio-read": sb10_stdio_read,
+}

@@ -1,0 +1,29 @@
+"""Shared fixtures: the TraceBench build is expensive, so share one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.client import LLMClient
+from repro.tracebench import build_tracebench
+from repro.tracebench.build import build_trace
+from repro.tracebench.spec import TRACE_SPECS
+
+
+@pytest.fixture(scope="session")
+def bench():
+    """The full 40-trace TraceBench suite (memoized per session)."""
+    return build_tracebench(0)
+
+
+@pytest.fixture(scope="session")
+def sb01_trace():
+    """One small, fast, fully-labeled trace for unit-level pipeline tests."""
+    spec = next(s for s in TRACE_SPECS if s.trace_id == "sb01-small-writes")
+    return build_trace(spec, seed=0)
+
+
+@pytest.fixture()
+def client():
+    """A fresh deterministic LLM client per test."""
+    return LLMClient(seed=0)

@@ -1,0 +1,218 @@
+"""Tests for the Darshan substrate: counters, instrumentation, text I/O."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.darshan.counters import (
+    MODULE_COUNTERS,
+    SIZE_BIN_EDGES,
+    SIZE_BIN_SUFFIXES,
+    size_bin_index,
+    size_counters,
+)
+from repro.darshan.instrument import DarshanInstrument
+from repro.darshan.log import MODULE_ORDER
+from repro.darshan.parser import DarshanParseError, parse_darshan_text
+from repro.darshan.records import DarshanRecord, record_id_for
+from repro.darshan.writer import render_darshan_text
+from repro.sim.filesystem import LustreFileSystem
+from repro.sim.ops import API, IOOp, OpKind
+from repro.sim.runtime import IORuntime, JobSpec
+from repro.util.units import MiB
+
+
+class TestCounters:
+    def test_size_bins_cover_examples(self):
+        assert SIZE_BIN_SUFFIXES[size_bin_index(0)] == "0_100"
+        assert SIZE_BIN_SUFFIXES[size_bin_index(47008)] == "10K_100K"
+        assert SIZE_BIN_SUFFIXES[size_bin_index(MiB)] == "1M_4M"
+        assert SIZE_BIN_SUFFIXES[size_bin_index(2 * 1024**3)] == "1G_PLUS"
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_size_bin_index_in_range(self, size):
+        idx = size_bin_index(size)
+        assert 0 <= idx < len(SIZE_BIN_SUFFIXES)
+        # Lower bin edges are inclusive (bisect_right semantics).
+        if idx > 0:
+            assert size >= SIZE_BIN_EDGES[idx - 1]
+        if idx < len(SIZE_BIN_EDGES):
+            assert size < SIZE_BIN_EDGES[idx]
+
+    def test_size_bin_rejects_negative(self):
+        with pytest.raises(ValueError):
+            size_bin_index(-1)
+
+    def test_size_counters_naming(self):
+        names = size_counters("POSIX", "READ")
+        assert names[0] == "POSIX_SIZE_READ_0_100"
+        assert len(names) == 10
+        agg = size_counters("MPIIO", "WRITE", agg=True)
+        assert agg[-1] == "MPIIO_SIZE_WRITE_AGG_1G_PLUS"
+
+    def test_every_module_declares_counters(self):
+        for module in MODULE_ORDER:
+            assert MODULE_COUNTERS[module]
+
+
+class TestRecords:
+    def test_record_id_stable_and_positive(self):
+        assert record_id_for("/scratch/a") == record_id_for("/scratch/a")
+        assert record_id_for("/scratch/a") > 0
+
+    def test_shared_flag(self):
+        assert DarshanRecord(module="POSIX", path="/f", rank=-1).shared
+        assert not DarshanRecord(module="POSIX", path="/f", rank=0).shared
+
+    def test_get_spans_both_tables(self):
+        rec = DarshanRecord(module="POSIX", path="/f", rank=0)
+        rec.counters["POSIX_READS"] = 3
+        rec.fcounters["POSIX_F_READ_TIME"] = 1.5
+        assert rec.get("POSIX_READS") == 3
+        assert rec.get("POSIX_F_READ_TIME") == 1.5
+        assert rec.get("MISSING", 7) == 7
+
+
+def _run_instrumented(ops, nprocs=4, **fs_kwargs):
+    fs = LustreFileSystem(seed=2, **fs_kwargs)
+    spec = JobSpec(exe="/bin/x", nprocs=nprocs, jobid=9)
+    rt = IORuntime(spec, fs)
+    inst = DarshanInstrument(spec, fs)
+    rt.add_observer(inst)
+    result = rt.run(ops)
+    return inst.finalize(result.runtime)
+
+
+class TestInstrument:
+    def test_sequential_and_consecutive_detection(self):
+        ops = [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=i * 4096, size=4096) for i in range(10)]
+        log = _run_instrumented(ops, nprocs=1)
+        rec = log.records_for("POSIX")[0]
+        assert rec.counters["POSIX_WRITES"] == 10
+        assert rec.counters["POSIX_CONSEC_WRITES"] == 9  # first op has no predecessor
+        assert rec.counters["POSIX_SEQ_WRITES"] == 9
+
+    def test_gapped_writes_are_seq_but_not_consec(self):
+        ops = [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=i * 8192, size=4096) for i in range(10)]
+        log = _run_instrumented(ops, nprocs=1)
+        rec = log.records_for("POSIX")[0]
+        assert rec.counters["POSIX_SEQ_WRITES"] == 9
+        assert rec.counters["POSIX_CONSEC_WRITES"] == 0
+
+    def test_rw_switch_counting(self):
+        ops = []
+        for i in range(4):
+            kind = OpKind.WRITE if i % 2 == 0 else OpKind.READ
+            ops.append(IOOp(kind=kind, api=API.POSIX, rank=0, path="/scratch/f", offset=i * 4096, size=4096))
+        log = _run_instrumented(ops, nprocs=1)
+        assert log.records_for("POSIX")[0].counters["POSIX_RW_SWITCHES"] == 3
+
+    def test_alignment_counters(self):
+        ops = [
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=17, size=100, mem_aligned=False),
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=4096, size=100),
+        ]
+        log = _run_instrumented(ops, nprocs=1)
+        rec = log.records_for("POSIX")[0]
+        assert rec.counters["POSIX_FILE_NOT_ALIGNED"] == 1
+        assert rec.counters["POSIX_MEM_NOT_ALIGNED"] == 1
+        assert rec.counters["POSIX_FILE_ALIGNMENT"] == 4096
+
+    def test_size_histogram_binning(self):
+        ops = [
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=0, size=50),
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=50, size=47008),
+        ]
+        log = _run_instrumented(ops, nprocs=1)
+        rec = log.records_for("POSIX")[0]
+        assert rec.counters["POSIX_SIZE_WRITE_0_100"] == 1
+        assert rec.counters["POSIX_SIZE_WRITE_10K_100K"] == 1
+
+    def test_shared_file_reduction(self):
+        ops = []
+        for r in range(4):
+            ops.append(IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=r, path="/scratch/s", offset=r * MiB, size=MiB))
+        log = _run_instrumented(ops)
+        rec = log.records_for("POSIX")[0]
+        assert rec.rank == -1  # shared record
+        assert rec.counters["POSIX_FASTEST_RANK_BYTES"] == MiB
+        assert rec.fcounters["POSIX_F_SLOWEST_RANK_TIME"] > 0
+
+    def test_single_rank_record_keeps_rank(self):
+        ops = [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=2, path="/scratch/own", offset=0, size=100)]
+        log = _run_instrumented(ops)
+        assert log.records_for("POSIX")[0].rank == 2
+
+    def test_common_access_sizes(self):
+        ops = [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=i * 1000, size=1000) for i in range(5)]
+        ops.append(IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=5000, size=77))
+        log = _run_instrumented(ops, nprocs=1)
+        rec = log.records_for("POSIX")[0]
+        assert rec.counters["POSIX_ACCESS1_ACCESS"] == 1000
+        assert rec.counters["POSIX_ACCESS1_COUNT"] == 5
+
+    def test_lustre_record_created_with_layout(self):
+        ops = [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=0, size=MiB)]
+        log = _run_instrumented(ops, nprocs=1, default_stripe_width=2, num_osts=8)
+        lrec = log.records_for("LUSTRE")[0]
+        assert lrec.counters["LUSTRE_STRIPE_WIDTH"] == 2
+        assert lrec.counters["LUSTRE_OSTS"] == 8
+        assert "LUSTRE_OST_ID_1" in lrec.counters
+
+    def test_metadata_time_accumulates(self):
+        ops = [
+            IOOp(kind=OpKind.OPEN, api=API.POSIX, rank=0, path="/scratch/f"),
+            IOOp(kind=OpKind.STAT, api=API.POSIX, rank=0, path="/scratch/f"),
+            IOOp(kind=OpKind.CLOSE, api=API.POSIX, rank=0, path="/scratch/f"),
+        ]
+        log = _run_instrumented(ops, nprocs=1)
+        rec = log.records_for("POSIX")[0]
+        assert rec.fcounters["POSIX_F_META_TIME"] > 0
+        assert rec.counters["POSIX_OPENS"] == 1
+        assert rec.counters["POSIX_STATS"] == 1
+
+    def test_mpiio_collective_counters(self):
+        ops = [
+            IOOp(kind=OpKind.WRITE, api=API.MPIIO, rank=r, path="/scratch/c", offset=r * MiB, size=MiB, collective=True)
+            for r in range(4)
+        ]
+        log = _run_instrumented(ops)
+        rec = log.records_for("MPIIO")[0]
+        assert rec.counters["MPIIO_COLL_WRITES"] == 4
+        assert rec.counters["MPIIO_INDEP_WRITES"] == 0
+
+
+class TestTextRoundTrip:
+    def test_round_trip_preserves_everything(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log)
+        log2 = parse_darshan_text(text)
+        assert log2.header.nprocs == sb01_trace.log.header.nprocs
+        assert log2.header.jobid == sb01_trace.log.header.jobid
+        assert len(log2.records) == len(sb01_trace.log.records)
+        orig = {(r.module, r.path): r for r in sb01_trace.log.records}
+        for rec in log2.records:
+            o = orig[(rec.module, rec.path)]
+            assert rec.rank == o.rank
+            assert rec.counters == o.counters
+
+    def test_module_section_order(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log)
+        posix_pos = text.index("POSIX module data")
+        mpiio_pos = text.index("MPI-IO module data")
+        lustre_pos = text.index("LUSTRE module data")
+        assert posix_pos < mpiio_pos < lustre_pos  # MPI-IO in the latter half
+
+    def test_parser_rejects_malformed_rows(self):
+        with pytest.raises(DarshanParseError):
+            parse_darshan_text("POSIX\t0\tbroken line without enough fields\n")
+
+    def test_parser_requires_header(self):
+        with pytest.raises(DarshanParseError):
+            parse_darshan_text("# exe: /bin/x\n")
+
+    def test_parser_tolerates_comments_and_blanks(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log)
+        noisy = text.replace("\n\n", "\n# stray comment\n\n", 1)
+        assert parse_darshan_text(noisy).header.exe == sb01_trace.log.header.exe

@@ -1,0 +1,162 @@
+"""Tests for the DXT extension (paper future work) and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.darshan.dxt import DxtCollector, dxt_timeline_facts, render_dxt_text
+from repro.darshan.writer import render_darshan_text
+from repro.sim.filesystem import LustreFileSystem
+from repro.sim.ops import API, IOOp, OpKind
+from repro.sim.runtime import IORuntime, JobSpec
+from repro.util.units import MiB
+
+
+def _run_with_dxt(ops, nprocs=4):
+    fs = LustreFileSystem(seed=3)
+    spec = JobSpec(exe="/bin/x", nprocs=nprocs)
+    rt = IORuntime(spec, fs)
+    dxt = DxtCollector()
+    rt.add_observer(dxt)
+    rt.run(ops)
+    return dxt
+
+
+class TestDxtCollector:
+    def test_captures_data_ops_only(self):
+        ops = [
+            IOOp(kind=OpKind.OPEN, api=API.POSIX, rank=0, path="/scratch/f"),
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=0, size=4096),
+            IOOp(kind=OpKind.READ, api=API.POSIX, rank=0, path="/scratch/f", offset=0, size=4096),
+            IOOp(kind=OpKind.CLOSE, api=API.POSIX, rank=0, path="/scratch/f"),
+        ]
+        dxt = _run_with_dxt(ops, nprocs=1)
+        assert len(dxt.segments) == 2
+        assert [s.operation for s in dxt.segments] == ["write", "read"]
+        assert all(s.end_time > s.start_time for s in dxt.segments)
+
+    def test_segment_fields(self):
+        ops = [IOOp(kind=OpKind.WRITE, api=API.MPIIO, rank=2, path="/scratch/f", offset=1024, size=4096)]
+        dxt = _run_with_dxt(ops)
+        mpiio = [s for s in dxt.segments if s.module == "X_MPIIO"]
+        assert mpiio and mpiio[0].rank == 2 and mpiio[0].offset == 1024
+        # Independent MPI-IO also lowers to a POSIX segment.
+        assert any(s.module == "X_POSIX" for s in dxt.segments)
+
+    def test_segment_cap_counts_drops(self):
+        fs = LustreFileSystem(seed=3)
+        spec = JobSpec(exe="/bin/x", nprocs=1)
+        rt = IORuntime(spec, fs)
+        dxt = DxtCollector(max_segments=5)
+        rt.add_observer(dxt)
+        rt.run(
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=i * 100, size=100)
+            for i in range(10)
+        )
+        assert len(dxt.segments) == 5
+        assert dxt.dropped == 5
+
+    def test_by_rank_grouping(self):
+        ops = [
+            IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=r, path="/scratch/f", offset=r * 100, size=100)
+            for r in (0, 1, 0)
+        ]
+        groups = _run_with_dxt(ops).by_rank()
+        assert len(groups[0]) == 2 and len(groups[1]) == 1
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            DxtCollector(max_segments=0)
+
+
+class TestDxtAnalysis:
+    def test_render_text_format(self):
+        dxt = _run_with_dxt(
+            [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=0, size=4096)]
+        )
+        text = render_dxt_text(dxt.segments)
+        assert "X_POSIX" in text and "/scratch/f" in text
+        assert text.startswith("# DXT trace")
+
+    def test_timeline_phase_detection(self):
+        ops = []
+        for i in range(50):
+            ops.append(IOOp(kind=OpKind.READ, api=API.POSIX, rank=0, path="/scratch/in", offset=i * MiB, size=MiB))
+        for i in range(50):
+            ops.append(IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/out", offset=i * MiB, size=MiB))
+        facts = dxt_timeline_facts(_run_with_dxt(ops, nprocs=1).segments)
+        assert facts[0].get("phase") == "read-then-write"
+        assert facts[0].get("n_segments") == 100
+
+    def test_burst_detection(self):
+        ops = []
+        # Quiet phase: tiny log writes separated by compute gaps...
+        for i in range(40):
+            ops.append(IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/log", offset=i * 4096, size=4096))
+            ops.append(IOOp(kind=OpKind.COMPUTE, api=API.POSIX, rank=0, duration=0.005))
+        # ... then a dense checkpoint burst at the end.
+        for i in range(20):
+            ops.append(IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/ckpt", offset=i * MiB, size=MiB))
+        facts = dxt_timeline_facts(_run_with_dxt(ops, nprocs=1).segments)
+        assert facts[0].get("n_bursts") >= 1
+        assert facts[0].get("peak_to_mean") > 3.0
+
+    def test_empty_segments(self):
+        assert dxt_timeline_facts([]) == []
+
+    def test_timeline_fact_round_trips_through_nl(self):
+        from repro.llm.facts import extract_facts, render_fact
+
+        ops = [IOOp(kind=OpKind.WRITE, api=API.POSIX, rank=0, path="/scratch/f", offset=0, size=4096)]
+        facts = dxt_timeline_facts(_run_with_dxt(ops, nprocs=1).segments)
+        text = render_fact(facts[0])
+        recovered = extract_facts(text)
+        assert any(f.kind == "dxt_timeline" for f in recovered)
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_file(self, sb01_trace, tmp_path):
+        path = tmp_path / "sb01.darshan.txt"
+        path.write_text(render_darshan_text(sb01_trace.log), encoding="utf-8")
+        return str(path)
+
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["diagnose", "t.txt", "--model", "llama-3.1-70b"])
+        assert args.command == "diagnose" and args.model == "llama-3.1-70b"
+        args = parser.parse_args(["tracebench", "table3"])
+        assert args.tb_command == "table3"
+
+    def test_diagnose_command(self, trace_file, capsys):
+        assert main(["diagnose", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "small_write" in out and "References" in out
+
+    def test_diagnose_no_rag(self, trace_file, capsys):
+        assert main(["diagnose", trace_file, "--no-rag"]) == 0
+        assert "References:" not in capsys.readouterr().out
+
+    def test_drishti_command(self, trace_file, capsys):
+        assert main(["drishti", trace_file]) == 0
+        assert "DRISHTI" in capsys.readouterr().out
+
+    def test_ion_command(self, trace_file, capsys):
+        assert main(["ion", trace_file]) == 0
+        assert "assessment" in capsys.readouterr().out.lower()
+
+    def test_table3_command(self, capsys):
+        assert main(["tracebench", "table3"]) == 0
+        assert "182" in capsys.readouterr().out
+
+    def test_export_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "tb"
+        assert main(["tracebench", "export", str(out_dir)]) == 0
+        assert (out_dir / "labels.tsv").exists()
+        assert len(list(out_dir.glob("*.darshan.txt"))) == 40
+
+    def test_evaluate_subset(self, capsys):
+        assert main(["evaluate", "--traces", "sb01-small-writes,ra01-amrex"]) == 0
+        out = capsys.readouterr().out
+        assert "IOAgent-gpt-4o" in out and "Overall" in out

@@ -1,0 +1,186 @@
+"""Tests for the evaluation protocol: accuracy, judging, scoring, harness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.accuracy import issue_assertions, match_stats
+from repro.evaluation.harness import evaluate_tools
+from repro.evaluation.ranking import JudgeConfig, rank_candidates
+from repro.evaluation.scoring import normalized_scores, score_from_rank
+from repro.evaluation.tables import render_table3, render_table4
+from repro.llm.findings import Finding, render_findings
+from repro.tracebench.dataset import TraceBench
+
+
+def _diag(keys, refs=0):
+    findings = [
+        Finding(
+            issue_key=k,
+            evidence=f"Evidence for {k} with 12345 bytes.",
+            assessment="Because of latency amplification.",
+            recommendation=f"Fix {k} by `doing -the thing`.",
+            references=tuple(f"[S{i:02d}] X, \"Y\"" for i in range(1, refs + 1)),
+        )
+        for k in keys
+    ]
+    return render_findings(findings)
+
+
+class TestAccuracy:
+    def test_issue_assertions_from_tags(self):
+        text = _diag(["small_write", "server_imbalance"])
+        assert issue_assertions(text) == {"small_write", "server_imbalance"}
+
+    def test_issue_assertions_from_aliases(self):
+        text = "The application makes many small writes and shows rank load imbalance."
+        asserted = issue_assertions(text)
+        assert {"small_write", "rank_imbalance"} <= asserted
+
+    def test_match_stats_confusion(self):
+        stats = match_stats(_diag(["small_write", "random_read"]), {"small_write", "no_mpi"})
+        assert (stats.matched, stats.false_positives, stats.missed) == (1, 1, 1)
+        assert stats.precision == pytest.approx(0.5)
+        assert stats.recall == pytest.approx(0.5)
+        assert 0 < stats.f1 < 1
+
+    def test_empty_cases(self):
+        stats = match_stats("nothing here", set())
+        assert stats.f1 == 0.0 or stats.precision == 1.0
+
+
+class TestRanking:
+    def _candidates(self):
+        return {
+            "good": _diag(["small_write", "server_imbalance"], refs=2),
+            "ok": _diag(["small_write"]),
+            "poor": _diag(["random_read"]),
+            "bad": "I suggest you plot some graphs and investigate.",
+        }
+
+    def test_mean_ranks_complete_and_bounded(self, client):
+        ranks = rank_candidates(
+            self._candidates(),
+            "accuracy",
+            client=client,
+            truth_labels={"small_write", "server_imbalance"},
+            call_id="t",
+        )
+        assert set(ranks) == {"good", "ok", "poor", "bad"}
+        assert all(1.0 <= r <= 4.0 for r in ranks.values())
+
+    def test_good_candidate_beats_bad_on_average(self, client):
+        """Average over many judged traces: signal beats judge noise."""
+        totals = {"good": 0.0, "bad": 0.0}
+        for i in range(25):
+            ranks = rank_candidates(
+                self._candidates(),
+                "accuracy",
+                client=client,
+                truth_labels={"small_write", "server_imbalance"},
+                call_id=f"trace{i}",
+            )
+            totals["good"] += ranks["good"]
+            totals["bad"] += ranks["bad"]
+        assert totals["good"] < totals["bad"]
+
+    def test_augmentations_cancel_positional_bias(self, client):
+        """With rotations off, the first-presented candidate gains rank;
+        the paper's augmentations remove that advantage."""
+        tied = {f"t{i}": _diag(["small_write"]) for i in range(4)}  # identical quality
+        biased_cfg = JudgeConfig(rotate_content=False, rotate_rank_slots=False, anonymize=False)
+        fair_cfg = JudgeConfig()
+        bias_first, fair_first = 0.0, 0.0
+        n = 40
+        for i in range(n):
+            b = rank_candidates(tied, "utility", client=client, config=biased_cfg, call_id=f"b{i}")
+            f = rank_candidates(tied, "utility", client=client, config=fair_cfg, call_id=f"f{i}")
+            bias_first += b["t0"] / n
+            fair_first += f["t0"] / n
+        assert bias_first < 2.3  # first position is advantaged
+        assert 2.3 < fair_first < 2.7  # rotations debias back to ~2.5
+        assert bias_first < fair_first
+
+    def test_empty_candidates(self, client):
+        assert rank_candidates({}, "accuracy", client=client) == {}
+
+
+class TestScoring:
+    def test_score_from_rank(self):
+        assert score_from_rank(1) == 3.0
+        assert score_from_rank(4) == 0.0
+
+    def test_normalized_scores_eq2(self):
+        per_trace = [{"a": 1.0, "b": 4.0}, {"a": 2.0, "b": 3.0}]
+        ns = normalized_scores(per_trace)
+        # a: (3+2)/(3*2) = 5/6 ; b: (0+1)/6
+        assert ns["a"] == pytest.approx(5 / 6)
+        assert ns["b"] == pytest.approx(1 / 6)
+
+    @given(
+        st.lists(
+            st.fixed_dictionaries(
+                {name: st.floats(min_value=1, max_value=4) for name in ("w", "x", "y", "z")}
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rank_score_sum_invariant(self, per_trace):
+        """If per-trace ranks are a permutation of 1..4, normalized scores
+        across the four tools sum to exactly 2.0 (the Table IV invariant)."""
+        permuted = []
+        for i, _ in enumerate(per_trace):
+            names = ["w", "x", "y", "z"]
+            ranks = {n: float(((i + j) % 4) + 1) for j, n in enumerate(names)}
+            permuted.append(ranks)
+        ns = normalized_scores(permuted)
+        assert sum(ns.values()) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert normalized_scores([]) == {}
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def mini_result(self, bench):
+        sub = TraceBench(
+            traces=[
+                bench.get("sb01-small-writes"),
+                bench.get("io500-14-mpiio-8k-shared"),
+                bench.get("ra01-amrex"),
+            ],
+            seed=0,
+        )
+        return evaluate_tools(sub)
+
+    def test_result_structure(self, mini_result):
+        assert len(mini_result.tool_names) == 4
+        assert set(mini_result.texts) == {
+            "sb01-small-writes",
+            "io500-14-mpiio-8k-shared",
+            "ra01-amrex",
+        }
+        for criterion in ("accuracy", "utility", "interpretability"):
+            assert len(mini_result.ranks[criterion]) == 3
+
+    def test_table4_shape_and_sum_invariant(self, mini_result):
+        table = mini_result.table4()
+        assert set(table) == {"accuracy", "utility", "interpretability", "average"}
+        for criterion, cols in table.items():
+            assert "Overall" in cols
+            for col, scores in cols.items():
+                assert sum(scores.values()) == pytest.approx(2.0, abs=0.05)
+
+    def test_render_table4_text(self, mini_result):
+        text = render_table4(mini_result)
+        assert "IOAgent-gpt-4o" in text and "Drishti" in text
+        assert "Overall" in text
+
+    def test_render_table3_matches_paper_totals(self):
+        text = render_table3()
+        assert text.splitlines()[-1].split()[-1] == "182"
+        assert "Misaligned Write requests" in text

@@ -1,0 +1,258 @@
+"""Tests for the SimLLM substrate: tokens, context, facts, engine, client."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.client import LLMClient
+from repro.llm.context import fit_prompt
+from repro.llm.facts import FACT_KINDS, Fact, extract_facts, render_fact
+from repro.llm.findings import Finding, parse_findings, render_findings
+from repro.llm.misconceptions import MISCONCEPTIONS, misconception_in_text, triggered_misconceptions
+from repro.llm.models import MODEL_REGISTRY, get_model
+from repro.llm.reasoning import THRESHOLDS, infer_findings
+from repro.llm.tokenizer import approx_tokens, take_tokens_back, take_tokens_front
+
+
+class TestTokenizer:
+    def test_approx_tokens_monotone(self):
+        assert approx_tokens("abcd" * 100) == 100
+        assert approx_tokens("") == 0
+
+    def test_take_front_respects_lines(self):
+        text = "\n".join(f"line {i}" for i in range(100))
+        front = take_tokens_front(text, 20)
+        assert front.endswith("\n")
+        assert approx_tokens(front) <= 21
+
+    def test_take_back_respects_lines(self):
+        text = "\n".join(f"line {i}" for i in range(100))
+        back = take_tokens_back(text, 20)
+        assert back.startswith("line")
+        assert "line 99" in back
+
+    def test_zero_budget(self):
+        assert take_tokens_front("abc", 0) == ""
+        assert take_tokens_back("abc", 0) == ""
+
+
+class TestContext:
+    def test_short_prompt_untouched(self):
+        model = get_model("gpt-4o")
+        fitted = fit_prompt("hello world", model)
+        assert not fitted.truncated
+        assert fitted.visible_text == "hello world"
+
+    def test_long_prompt_loses_the_middle(self):
+        model = get_model("gpt-4")
+        lines = [f"HEAD {i}" for i in range(100)]
+        lines += [f"MIDDLE {i}" for i in range(20000)]
+        lines += [f"TAIL {i}" for i in range(100)]
+        fitted = fit_prompt("\n".join(lines), model)
+        assert fitted.truncated
+        assert "HEAD 0" in fitted.visible_text
+        assert "TAIL 99" in fitted.visible_text
+        assert "MIDDLE 10000" not in fitted.visible_text
+        assert "context truncated" in fitted.visible_text
+        assert 0.0 < fitted.loss_fraction < 1.0
+
+    def test_visible_tokens_fit_window(self):
+        model = get_model("o1-preview")
+        fitted = fit_prompt("x" * 10_000_000, model)
+        assert fitted.visible_tokens <= model.context_tokens
+
+
+class TestModels:
+    def test_registry_contains_paper_models(self):
+        for name in ("gpt-4", "gpt-4o", "gpt-4o-mini", "o1-preview", "llama-3-70b", "llama-3.1-70b"):
+            assert name in MODEL_REGISTRY
+
+    def test_open_source_models_are_free(self):
+        assert get_model("llama-3.1-70b").usd_per_mtok_in == 0.0
+
+    def test_unknown_model_helpful_error(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("gpt-99")
+
+    def test_capability_ordering(self):
+        """The tiers encode the paper's quality ordering."""
+        assert get_model("gpt-4o").fact_recall > get_model("llama-3.1-70b").fact_recall
+        assert get_model("llama-3.1-70b").fact_recall > get_model("llama-3-70b").fact_recall
+        assert (
+            get_model("llama-3-70b").merge_retention_decay
+            > get_model("gpt-4o").merge_retention_decay
+        )
+
+
+def _example_fact(kind: str) -> Fact:
+    samples = {
+        "app_context": {"runtime_s": 722.0, "nprocs": 8, "total_bytes": 123456},
+        "mpi_presence": {"mpiio_used": False, "nprocs": 8, "mpiio_bytes": 0, "posix_bytes": 999},
+        "size_hist": {"module": "POSIX", "direction": "write", "p50_bytes": 562, "n_requests": 20000, "small_fraction": 0.995},
+        "volume": {"module": "MPIIO", "bytes_read": 10, "bytes_written": 20},
+        "counts": {"module": "STDIO", "reads": 5, "writes": 6, "n_files": 2},
+        "mpi_ops": {"indep_reads": 1, "indep_writes": 2, "coll_reads": 3, "coll_writes": 4},
+        "meta": {"module": "POSIX", "meta_time_s": 1.25, "meta_ops": 4500, "data_time_s": 0.5, "meta_fraction": 0.714},
+        "alignment": {"module": "POSIX", "direction": "read", "unaligned_fraction": 0.87, "alignment": 4096, "common_size": 47008},
+        "order": {"module": "POSIX", "direction": "write", "seq_fraction": 0.51, "consec_fraction": 0.25},
+        "shared": {"n_shared_files": 2, "shared_bytes": 999999999, "total_bytes": 1999999999, "example_path": "/scratch/s.dat"},
+        "rank_balance": {"module": "MPIIO", "gini": 0.677, "norm_variance": 19.5, "nprocs": 32},
+        "repetition": {"path": "/scratch/in.dat", "ratio": 9.0, "bytes_read": 94371840, "extent": 10485760},
+        "stdio_share": {"direction": "written", "share": 0.89, "stdio_bytes": 67108864, "total_bytes": 75497472},
+        "stripe": {"n_files": 4, "mount": "/scratch", "stripe_width": 1, "stripe_size": 1048576},
+        "server_usage": {"eff_osts": 1.0, "num_osts": 64, "utilization": 0.016, "top_share": 1.0, "total_bytes": 503316480},
+        "mount": {"fs_type": "lustre", "mount": "/scratch"},
+        "dxt_timeline": {"n_segments": 2400, "span_s": 12.5, "phase": "read-then-write", "n_bursts": 3, "peak_to_mean": 7.2},
+    }
+    return Fact(kind=kind, data=samples[kind])
+
+
+class TestFacts:
+    @pytest.mark.parametrize("kind", FACT_KINDS)
+    def test_render_extract_round_trip(self, kind):
+        """Every fact kind survives NL rendering and re-extraction."""
+        fact = _example_fact(kind)
+        text = render_fact(fact)
+        recovered = [f for f in extract_facts(text) if f.kind == kind]
+        assert recovered, f"no {kind} extracted from: {text}"
+        back = recovered[0]
+        for field, value in fact.data.items():
+            if isinstance(value, float):
+                assert back.data[field] == pytest.approx(value, abs=0.01), (kind, field)
+            else:
+                assert back.data[field] == value, (kind, field)
+
+    def test_extract_preserves_order(self):
+        text = render_fact(_example_fact("volume")) + " " + render_fact(_example_fact("counts"))
+        kinds = [f.kind for f in extract_facts(text)]
+        assert kinds == ["volume", "counts"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            render_fact(Fact(kind="nope", data={}))
+
+    def test_extract_from_unrelated_text(self):
+        assert extract_facts("nothing quantitative here at all") == []
+
+
+class TestFindings:
+    def _finding(self, key="small_write"):
+        return Finding(
+            issue_key=key,
+            evidence="20000 requests at 562 B median.",
+            assessment="Latency dominates.",
+            recommendation="Buffer the writes.",
+            references=("[S01] A, \"T\"", "[S02] B, \"U\""),
+        )
+
+    def test_render_parse_round_trip(self):
+        f = self._finding()
+        parsed = parse_findings(render_findings([f]))
+        assert len(parsed) == 1
+        assert parsed[0] == f
+
+    def test_notes_not_absorbed_into_fields(self):
+        text = render_findings([self._finding()]) + "\n\nNote: a stray misconception."
+        parsed = parse_findings(text)
+        assert "misconception" not in parsed[0].references[-1]
+        assert "misconception" not in parsed[0].recommendation
+
+    def test_unknown_issue_keys_skipped(self):
+        text = "### Finding: Made Up [not_a_real_issue]\nEvidence: x\n"
+        assert parse_findings(text) == []
+
+    def test_merged_with_unions_references(self):
+        a = self._finding()
+        b = Finding(issue_key="small_write", evidence="e", assessment="a", recommendation="r", references=("[S03] C, \"V\"",))
+        merged = a.merged_with(b)
+        assert len(merged.references) == 3
+
+    def test_merged_with_rejects_different_issue(self):
+        with pytest.raises(ValueError):
+            self._finding("small_write").merged_with(self._finding("small_read"))
+
+
+class TestReasoning:
+    def test_small_write_threshold_boundary(self):
+        base = {"module": "POSIX", "direction": "write", "p50_bytes": 1000}
+        hot = Fact("size_hist", {**base, "n_requests": 1000, "small_fraction": 0.95})
+        cold = Fact("size_hist", {**base, "n_requests": 100, "small_fraction": 0.95})
+        assert any(f.issue_key == "small_write" for f in infer_findings([hot]))
+        assert not infer_findings([cold])
+
+    def test_no_mpi_rule(self):
+        fact = Fact("mpi_presence", {"mpiio_used": False, "nprocs": 8, "mpiio_bytes": 0, "posix_bytes": 1})
+        assert any(f.issue_key == "no_mpi" for f in infer_findings([fact]))
+        single = Fact("mpi_presence", {"mpiio_used": False, "nprocs": 1, "mpiio_bytes": 0, "posix_bytes": 1})
+        assert not infer_findings([single])
+
+    def test_no_collective_rule_needs_zero_collectives(self):
+        nc = Fact("mpi_ops", {"indep_reads": 100, "indep_writes": 0, "coll_reads": 0, "coll_writes": 0})
+        ok = Fact("mpi_ops", {"indep_reads": 100, "indep_writes": 0, "coll_reads": 5, "coll_writes": 0})
+        assert any(f.issue_key == "no_collective_read" for f in infer_findings([nc]))
+        assert not any(f.issue_key == "no_collective_read" for f in infer_findings([ok]))
+
+    def test_server_imbalance_needs_volume(self):
+        starved = Fact("server_usage", {"eff_osts": 1.0, "num_osts": 64, "utilization": 0.016, "top_share": 1.0, "total_bytes": 1024})
+        assert not infer_findings([starved])
+
+    def test_rank_rule_prefers_mpiio_and_ignores_posix_variance(self):
+        posix_nv = Fact("rank_balance", {"module": "POSIX", "gini": 0.1, "norm_variance": 3.0, "nprocs": 32})
+        assert not infer_findings([posix_nv])  # CB-aggregator artifact
+        mpiio_nv = Fact("rank_balance", {"module": "MPIIO", "gini": 0.1, "norm_variance": 3.0, "nprocs": 32})
+        assert any(f.issue_key == "rank_imbalance" for f in infer_findings([mpiio_nv]))
+
+    def test_findings_reference_evidence_numbers(self):
+        fact = _example_fact("repetition")
+        findings = infer_findings([fact])
+        assert findings and "9.0x" in findings[0].evidence
+
+    def test_thresholds_documented(self):
+        assert set(THRESHOLDS) >= {"small_fraction", "seq_fraction", "rank_gini"}
+
+
+class TestMisconceptions:
+    def test_trigger_and_signature_detection(self):
+        facts = [_example_fact("stripe")]
+        triggered = triggered_misconceptions(facts)
+        assert any(m.key == "stripe_default_optimal" for m in triggered)
+        mis = next(m for m in MISCONCEPTIONS if m.key == "stripe_default_optimal")
+        assert misconception_in_text(mis.text) == [mis]
+
+    def test_signatures_unique(self):
+        sigs = [m.signature for m in MISCONCEPTIONS]
+        assert len(set(sigs)) == len(sigs)
+
+    def test_contradicts_are_valid_issue_keys(self):
+        from repro.core.issues import ISSUE_KEYS
+
+        for m in MISCONCEPTIONS:
+            assert set(m.contradicts) <= set(ISSUE_KEYS)
+
+
+class TestEngineClient:
+    def test_determinism(self, client):
+        prompt = "TASK: describe\n```json\n{\"module\": \"POSIX\", \"category\": \"io_size\", \"facts\": []}\n```"
+        a = client.complete(prompt, model="gpt-4o", call_id="t1").text
+        b = LLMClient(seed=0).complete(prompt, model="gpt-4o", call_id="t1").text
+        assert a == b
+
+    def test_usage_and_cost_accounting(self, client):
+        prompt = "TASK: describe\n```json\n{}\n```" + "x" * 4000
+        client.complete(prompt, model="gpt-4o", call_id="c")
+        usage = client.usage_by_model["gpt-4o"]
+        assert usage.calls == 1
+        assert usage.prompt_tokens > 1000
+        assert usage.cost_usd > 0
+        total = client.total_usage()
+        assert total.prompt_tokens == usage.prompt_tokens
+
+    def test_open_source_model_costs_nothing(self, client):
+        client.complete("TASK: describe\n```json\n{}\n```", model="llama-3.1-70b", call_id="c")
+        assert client.usage_by_model["llama-3.1-70b"].cost_usd == 0.0
+
+    def test_unknown_task_defaults_to_plain(self, client):
+        out = client.complete("just some text with no task marker", model="gpt-4o", call_id="c")
+        assert out.text  # plain handler answers something

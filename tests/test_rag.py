@@ -1,0 +1,156 @@
+"""Tests for the RAG substrate: corpus, chunking, embedding, retrieval."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.client import LLMClient
+from repro.rag.chunking import chunk_text
+from repro.rag.corpus import ISSUE_TOPICS, TOPICS, build_corpus, topics_for_issue
+from repro.rag.embedding import HashedTfIdfEmbedder
+from repro.rag.index import build_default_index
+from repro.rag.reflection import reflect_filter
+from repro.rag.retriever import Retriever
+from repro.util.text import simple_tokens
+
+
+class TestCorpus:
+    def test_sixty_six_documents(self):
+        docs = build_corpus(0)
+        assert len(docs) == 66
+
+    def test_doc_ids_unique_and_sequential(self):
+        docs = build_corpus(0)
+        assert [d.doc_id for d in docs] == [f"S{i:02d}" for i in range(1, 67)]
+
+    def test_topics_valid(self):
+        docs = build_corpus(0)
+        for doc in docs:
+            assert set(doc.topics) <= set(TOPICS)
+
+    def test_every_issue_has_topic_coverage(self):
+        from repro.core.issues import ISSUE_KEYS
+
+        docs = build_corpus(0)
+        covered = {t for d in docs for t in d.topics}
+        for key in ISSUE_KEYS:
+            assert set(topics_for_issue(key)) & covered, key
+
+    def test_deterministic(self):
+        assert build_corpus(0)[10].body == build_corpus(0)[10].body
+
+    def test_citation_format(self):
+        doc = build_corpus(0)[0]
+        assert doc.citation.startswith("[S01] ")
+        assert doc.title in doc.citation
+
+
+class TestChunking:
+    def test_short_doc_single_chunk(self):
+        chunks = chunk_text("D", "only a few words here")
+        assert len(chunks) == 1
+        assert chunks[0].chunk_id == "D#0"
+
+    def test_long_doc_overlapping_chunks(self):
+        words = " ".join(f"w{i}" for i in range(1200))
+        chunks = chunk_text("D", words, chunk_size=512, overlap=20)
+        assert len(chunks) == 3
+        # Overlap: last 20 tokens of chunk k = first 20 of chunk k+1.
+        t0 = simple_tokens(chunks[0].text)
+        t1 = simple_tokens(chunks[1].text)
+        assert t0[-20:] == t1[:20]
+
+    @given(
+        n_words=st.integers(min_value=0, max_value=3000),
+        chunk_size=st.integers(min_value=32, max_value=512),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_chunking_covers_all_tokens(self, n_words, chunk_size):
+        words = " ".join(f"w{i}" for i in range(n_words))
+        chunks = chunk_text("D", words, chunk_size=chunk_size, overlap=10)
+        recovered = set()
+        for c in chunks:
+            recovered.update(simple_tokens(c.text))
+        assert recovered == set(simple_tokens(words))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            chunk_text("D", "x", chunk_size=0)
+        with pytest.raises(ValueError):
+            chunk_text("D", "x", chunk_size=10, overlap=10)
+
+
+class TestEmbedding:
+    def _fitted(self):
+        docs = [d.body for d in build_corpus(0)]
+        return HashedTfIdfEmbedder().fit(docs)
+
+    def test_unit_norm(self):
+        emb = self._fitted()
+        import numpy as np
+
+        v = emb.embed("collective MPI-IO aggregates small requests")
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_empty_text_is_zero(self):
+        import numpy as np
+
+        assert np.allclose(self._fitted().embed(""), 0.0)
+
+    def test_topical_similarity_beats_cross_topic(self):
+        emb = self._fitted()
+        stripe_q = emb.embed("stripe width of 1 concentrates traffic on a single OST")
+        stripe_d = emb.embed(
+            "a stripe count of one places the file's entire load on a single OST"
+        )
+        meta_d = emb.embed("metadata servers serialize opens, creates, and stats")
+        assert stripe_q @ stripe_d > stripe_q @ meta_d
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            HashedTfIdfEmbedder().embed("x")
+
+
+class TestIndexAndRetrieval:
+    def test_top_k_size_and_order(self):
+        index = build_default_index()
+        hits = index.search("small write requests below one megabyte waste bandwidth", k=15)
+        assert len(hits) == 15
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_topical_retrieval_quality(self):
+        """A small-I/O query should surface small-io docs near the top."""
+        index = build_default_index()
+        hits = index.search(
+            "the median write request size is 562 bytes across 20000 write "
+            "requests with 99.5% of them below 128 KiB; aggregating small "
+            "writes into larger requests"
+        )
+        top_topics = [t for h in hits[:5] for t in h.doc.topics]
+        assert "small-io" in top_topics
+
+    def test_render_source_contains_topics_line(self):
+        index = build_default_index()
+        hit = index.search("striping", k=1)[0]
+        rendered = Retriever.render_source(hit)
+        assert "Topics:" in rendered and rendered.startswith(f"[{hit.doc.doc_id}]")
+
+
+class TestReflection:
+    def test_filters_off_topic_sources(self, client):
+        index = build_default_index()
+        retriever = Retriever(index)
+        description = (
+            "In the POSIX module, the median write request size is 562 bytes "
+            "across 20000 write requests, with 99.5% of them below 128 KiB."
+        )
+        hits = retriever.retrieve(description)
+        sources = [Retriever.render_source(h) for h in hits]
+        kept = reflect_filter(description, sources, client, call_id_prefix="t")
+        assert 0 < len(kept) < len(sources)  # rules out a good fraction (§IV-B3)
+        # Kept sources should be dominated by topically relevant ones.
+        small_io = sum(1 for s in kept if "small-io" in s or "Aggregation" in s)
+        assert small_io >= len(kept) / 2

@@ -1,0 +1,153 @@
+"""Tests for workload generation and the TraceBench suite.
+
+The headline invariants: the suite reproduces paper Table III *exactly*
+(182 labeled issues over 40 traces), and every trace's expert labels are
+recoverable from its counters by the expert rules with no false positives
+— i.e. the labels describe real behaviours of the generated traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summaries import app_context_facts, extract_fragments
+from repro.llm.reasoning import infer_findings
+from repro.tracebench.spec import TABLE3_EXPECTED, TRACE_SPECS, table3_counts
+from repro.workloads.base import Workload, WorkloadContext
+from repro.workloads.patterns import _offsets_for_rank, data_phase, metadata_phase
+from repro.sim.filesystem import LustreFileSystem
+from repro.sim.ops import API, OpKind
+from repro.util.rng import rng_for
+
+
+class TestPatterns:
+    def _ctx(self, nprocs=4):
+        return WorkloadContext(nprocs=nprocs, fs=LustreFileSystem(seed=0), rng=rng_for(0, "t"))
+
+    def test_data_phase_fpp_paths(self):
+        ops = list(data_phase("/scratch/f", "write", xfer=100, count_per_rank=2)(self._ctx()))
+        writes = [o for o in ops if o.kind is OpKind.WRITE]
+        assert {o.path for o in writes} == {f"/scratch/f.{r:05d}" for r in range(4)}
+
+    def test_data_phase_shared_single_path(self):
+        ops = list(
+            data_phase("/scratch/s", "write", xfer=100, count_per_rank=2, layout="shared")(self._ctx())
+        )
+        assert {o.path for o in ops} == {"/scratch/s"}
+
+    def test_collective_requires_mpiio(self):
+        with pytest.raises(ValueError):
+            data_phase("/f", "write", xfer=1, count_per_rank=1, collective=True, api="posix")
+
+    def test_unaligned_shim_shifts_offsets(self):
+        ops = list(
+            data_phase("/scratch/f", "write", xfer=4096, count_per_rank=3, unaligned_shim=17)(self._ctx(1))
+        )
+        writes = [o for o in ops if o.kind is OpKind.WRITE]
+        assert all(o.offset % 4096 == 17 for o in writes)
+
+    def test_metadata_phase_op_structure(self):
+        ops = list(metadata_phase("/scratch/md", files_per_rank=3)(self._ctx(2)))
+        opens = [o for o in ops if o.kind is OpKind.OPEN]
+        stats = [o for o in ops if o.kind is OpKind.STAT]
+        assert len(opens) == len(stats) == 6
+        assert len({o.path for o in opens}) == 6  # distinct files
+
+    @given(
+        rank=st.integers(min_value=0, max_value=7),
+        count=st.integers(min_value=1, max_value=200),
+        xfer=st.sampled_from([100, 4096, 47008]),
+        layout=st.sampled_from(["shared", "fpp"]),
+        pattern=st.sampled_from(["seq", "strided", "random"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_unique_and_nonnegative(self, rank, count, xfer, layout, pattern):
+        """No two requests of one rank overlap; offsets stay in range."""
+        offs = _offsets_for_rank(rank, 8, count, xfer, layout, pattern, rng_for(0, "h"))
+        assert len(np.unique(offs)) == count
+        assert (offs >= 0).all()
+        if pattern == "random":
+            # A permutation of the same block set.
+            base = _offsets_for_rank(rank, 8, count, xfer, layout, "seq", rng_for(0, "h"))
+            assert set(offs.tolist()) == set(base.tolist())
+
+    def test_rank_offsets_disjoint_on_shared_file(self):
+        all_offs = [
+            set(_offsets_for_rank(r, 4, 50, 4096, "shared", "strided", rng_for(0, "x")).tolist())
+            for r in range(4)
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (all_offs[i] & all_offs[j])
+
+
+class TestWorkloadExecution:
+    def test_workload_run_is_deterministic(self):
+        from repro.workloads.simple_bench import sb01_small_writes
+
+        log1, res1 = sb01_small_writes().run(seed=0)
+        log2, res2 = sb01_small_writes().run(seed=0)
+        assert res1.bytes_written == res2.bytes_written
+        assert render_eq(log1, log2)
+
+    def test_no_mpi_workloads_have_no_mpiio_records(self, bench):
+        trace = bench.get("io500-01-posix-4k-fpp")
+        assert not trace.log.records_for("MPIIO")
+        assert trace.log.header.nprocs > 1
+
+    def test_amrex_matches_paper_vitals(self, bench):
+        """The §III example: ~722 s, 8 processes, 11 files, stripe width 1."""
+        trace = bench.get("ra01-amrex")
+        assert trace.log.header.nprocs == 8
+        assert 700 <= trace.log.header.run_time <= 760
+        assert len(trace.log.files()) >= 10
+        widths = {
+            r.counters["LUSTRE_STRIPE_WIDTH"] for r in trace.log.records_for("LUSTRE")
+        }
+        assert 1 in widths
+
+
+def render_eq(log1, log2) -> bool:
+    from repro.darshan.writer import render_darshan_text
+
+    return render_darshan_text(log1) == render_darshan_text(log2)
+
+
+class TestTraceBench:
+    def test_table3_exact_match(self):
+        assert table3_counts() == TABLE3_EXPECTED
+
+    def test_suite_size_and_totals(self, bench):
+        assert len(bench) == 40
+        assert bench.total_labels() == 182
+        assert len(bench.by_source("simple-bench")) == 10
+        assert len(bench.by_source("io500")) == 21
+        assert len(bench.by_source("real-applications")) == 9
+
+    def test_trace_ids_unique(self):
+        ids = [s.trace_id for s in TRACE_SPECS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_trace_has_at_least_one_label(self):
+        assert all(s.labels for s in TRACE_SPECS)
+
+    def test_get_unknown_raises(self, bench):
+        with pytest.raises(KeyError):
+            bench.get("nope")
+
+    def test_labels_are_behaviourally_grounded(self, bench):
+        """Expert rules over full (unsampled) facts recover the labels
+        exactly, for every trace: no label is unobservable, none spurious."""
+        for trace in bench:
+            facts = app_context_facts(trace.log)
+            for fragment in extract_fragments(trace.log):
+                facts.extend(fragment.facts)
+            detected = {f.issue_key for f in infer_findings(facts)}
+            assert detected == set(trace.labels), trace.trace_id
+
+    def test_text_property_is_cached(self, bench):
+        trace = bench.get("sb01-small-writes")
+        assert trace.text is trace.text
