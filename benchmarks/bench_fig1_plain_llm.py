@@ -21,8 +21,8 @@ def test_fig1_plain_llm_diagnosis(benchmark):
     client = LLMClient(seed=0)
 
     def run_both():
-        gpt4 = IONTool(client=client, model="gpt-4").diagnose(trace)
-        gpt4o = IONTool(client=client, model="gpt-4o").diagnose(trace)
+        gpt4 = IONTool(client=client, model="gpt-4").diagnose(trace.log, trace.trace_id).text
+        gpt4o = IONTool(client=client, model="gpt-4o").diagnose(trace.log, trace.trace_id).text
         return gpt4, gpt4o
 
     gpt4_text, gpt4o_text = benchmark.pedantic(run_both, rounds=1, iterations=1)

@@ -41,6 +41,12 @@ def main() -> None:
     print()
     gpt = results["gpt-4o"]
     llama = results["llama-3.1-70b"]
+    if gpt.stage_metrics:
+        print("where the gpt-4o money goes (per pipeline stage):")
+        for stage, m in gpt.stage_metrics.items():
+            if m.calls:
+                print(f"  {stage:>10s}: {m.calls:4d} calls  ${m.cost_usd:.4f}")
+        print()
     print(
         f"The open backbone retains {100 * llama.mean_f1 / max(gpt.mean_f1, 1e-9):.0f}% "
         f"of the proprietary backbone's diagnosis quality at $0 marginal API cost "

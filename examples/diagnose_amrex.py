@@ -28,10 +28,10 @@ def main() -> None:
     print(f"expert labels: {sorted(trace.labels)}")
 
     print("\n" + "=" * 28 + " plain gpt-4 " + "=" * 28)
-    print(IONTool(model="gpt-4", seed=0).diagnose(trace)[:800])
+    print(IONTool(model="gpt-4", seed=0).diagnose(trace.log, trace.trace_id).text[:800])
 
     print("\n" + "=" * 28 + " plain gpt-4o " + "=" * 28)
-    gpt4o_text = IONTool(model="gpt-4o", seed=0).diagnose(trace)
+    gpt4o_text = IONTool(model="gpt-4o", seed=0).diagnose(trace.log, trace.trace_id).text
     print(gpt4o_text[:1500])
     stats = match_stats(gpt4o_text, trace.labels)
     print(

@@ -1,25 +1,58 @@
 """repro — reproduction of *IOAgent: Democratizing Trustworthy HPC I/O
 Performance Diagnosis Capability via LLMs* (IPDPS 2025).
 
-Public API highlights:
+Public API — three layers:
 
-* :class:`repro.core.agent.IOAgent` — the diagnosis agent (paper Fig. 2);
-* :func:`repro.tracebench.build_tracebench` — the TraceBench suite (§V);
+**Tools** (everything implements the
+:class:`~repro.core.registry.DiagnosticTool` protocol: ``name``,
+``diagnose(log, trace_id) -> DiagnosisReport``, ``usage()``):
+
+* :class:`repro.core.agent.IOAgent` — the diagnosis agent (paper Fig. 2),
+  a thin facade over the composable stage pipeline;
 * :class:`repro.baselines.DrishtiTool` / :class:`repro.baselines.IONTool`
   — the comparison tools;
+* :func:`repro.core.registry.get_tool` / ``register_tool`` /
+  ``available_tools`` — the registry the CLI, batch runner, and Table IV
+  harness resolve tools from; register your own tool and every driver
+  picks it up.
+
+**Pipeline** (:mod:`repro.core.pipeline`):
+
+* :class:`DiagnosisPipeline` composes pluggable stages (``preprocess →
+  summarize → describe → integrate → diagnose → merge``) over a typed
+  :class:`PipelineContext`; :class:`PipelineObserver` hooks
+  (``on_stage_start/end``, ``on_llm_call``) expose per-stage latency and
+  token spend.  Ablations swap stages, not booleans.
+
+**Service** (:mod:`repro.core.service`):
+
+* :class:`DiagnosisService` — production-style facade: concurrent
+  multi-trace execution, per-trace result caching keyed by ``(trace
+  digest, config)``, shared memoized RAG index, and per-stage metrics on
+  every :class:`~repro.core.batch.BatchResult`.
+
+Substrate:
+
+* :func:`repro.tracebench.build_tracebench` — the TraceBench suite (§V);
 * :func:`repro.evaluation.evaluate_tools` — the Table IV harness;
 * :mod:`repro.sim` + :mod:`repro.darshan` + :mod:`repro.workloads` — the
   simulated HPC substrate that generates Darshan traces offline;
 * :mod:`repro.llm` — the deterministic, capability-tiered SimLLM substrate.
 """
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"  # major: the 1.x tool entry points were redesigned
 
 __all__ = [
     "IOAgent",
     "IOAgentConfig",
     "InteractiveSession",
     "DiagnosisReport",
+    "DiagnosisPipeline",
+    "DiagnosisService",
+    "DiagnosticTool",
+    "register_tool",
+    "get_tool",
+    "available_tools",
     "DrishtiTool",
     "IONTool",
     "build_tracebench",
@@ -42,6 +75,18 @@ def __getattr__(name: str):
         from repro.core.report import DiagnosisReport
 
         return DiagnosisReport
+    if name == "DiagnosisPipeline":
+        from repro.core.pipeline import DiagnosisPipeline
+
+        return DiagnosisPipeline
+    if name == "DiagnosisService":
+        from repro.core.service import DiagnosisService
+
+        return DiagnosisService
+    if name in ("DiagnosticTool", "register_tool", "get_tool", "available_tools"):
+        from repro.core import registry
+
+        return getattr(registry, name)
     if name in ("DrishtiTool", "IONTool"):
         import repro.baselines as baselines
 

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from repro.baselines.drishti.triggers import TriggerResult, run_triggers
+from repro.core.registry import register_tool
+from repro.core.report import DiagnosisReport
 from repro.darshan.log import DarshanLog
+from repro.llm.client import Usage
 
 __all__ = ["DrishtiTool"]
 
@@ -12,15 +15,16 @@ _LEVEL_ORDER = {"HIGH": 0, "WARN": 1, "INFO": 2, "OK": 3}
 
 
 class DrishtiTool:
-    """Heuristic baseline: fixed triggers, canned text, no interaction."""
+    """Heuristic baseline (a `DiagnosticTool`): fixed triggers, canned
+    text, no LLM, no interaction."""
 
     name = "drishti"
 
     def __init__(self, include_ok: bool = False) -> None:
         self.include_ok = include_ok
 
-    def diagnose_log(self, log: DarshanLog) -> str:
-        """Produce the insight report for one Darshan log."""
+    def render_insights(self, log: DarshanLog) -> str:
+        """Produce the insight-report text for one Darshan log."""
         results = run_triggers(log)
         if not self.include_ok:
             results = [r for r in results if r.level != "OK"]
@@ -37,6 +41,13 @@ class DrishtiTool:
             lines.append("No insights triggered.")
         return "\n".join(lines)
 
-    def diagnose(self, trace) -> str:
-        """Diagnose a TraceBench LabeledTrace (tool-harness interface)."""
-        return self.diagnose_log(trace.log)
+    def diagnose(self, log: DarshanLog, trace_id: str = "trace") -> DiagnosisReport:
+        """Diagnose one Darshan log (DiagnosticTool protocol)."""
+        return DiagnosisReport(trace_id=trace_id, model="heuristic", text=self.render_insights(log))
+
+    def usage(self) -> Usage:
+        """Heuristic tool: no LLM spend, ever."""
+        return Usage()
+
+
+register_tool("drishti", DrishtiTool, replace=True)

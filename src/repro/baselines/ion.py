@@ -10,16 +10,18 @@ no references can be produced.
 
 from __future__ import annotations
 
+from repro.core.registry import register_tool
+from repro.core.report import DiagnosisReport
 from repro.darshan.log import DarshanLog
 from repro.darshan.writer import render_darshan_text
-from repro.llm.client import LLMClient
+from repro.llm.client import LLMClient, Usage
 from repro.llm.tasks.plain import build_plain_prompt
 
 __all__ = ["IONTool"]
 
 
 class IONTool:
-    """Plain-prompt LLM baseline."""
+    """Plain-prompt LLM baseline (a `DiagnosticTool`)."""
 
     name = "ion"
 
@@ -27,12 +29,16 @@ class IONTool:
         self.client = client or LLMClient(seed=seed)
         self.model = model
 
-    def diagnose_log(self, log: DarshanLog, trace_id: str = "trace") -> str:
+    def diagnose(self, log: DarshanLog, trace_id: str = "trace") -> DiagnosisReport:
         """Diagnose one Darshan log by direct prompting."""
         text = render_darshan_text(log)
         prompt = build_plain_prompt(text)
-        return self.client.complete(prompt, model=self.model, call_id=f"ion/{trace_id}").text
+        answer = self.client.complete(prompt, model=self.model, call_id=f"ion/{trace_id}").text
+        return DiagnosisReport(trace_id=trace_id, model=self.model, text=answer)
 
-    def diagnose(self, trace) -> str:
-        """Diagnose a TraceBench LabeledTrace (tool-harness interface)."""
-        return self.diagnose_log(trace.log, trace_id=trace.trace_id)
+    def usage(self) -> Usage:
+        """Cumulative LLM spend across every diagnosis this tool ran."""
+        return self.client.total_usage()
+
+
+register_tool("ion", IONTool, replace=True)

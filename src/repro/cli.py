@@ -2,14 +2,17 @@
 
 Commands:
 
-* ``diagnose <trace.darshan.txt>`` — run IOAgent on a darshan-parser text
-  file and print the report (optionally ``--model``, ``--no-rag``);
-* ``drishti <trace.darshan.txt>`` — run the Drishti baseline;
-* ``ion <trace.darshan.txt>`` — run the plain-prompt ION baseline;
+* one subcommand per registered diagnosis tool (``repro --list-tools``
+  shows them), all driven by the :mod:`repro.core.registry` — e.g.
+  ``diagnose <trace.darshan.txt>`` (alias ``ioagent``) runs IOAgent,
+  ``drishti`` the heuristic baseline, ``ion`` the plain-prompt baseline;
 * ``tracebench export <dir>`` — write the 40-trace suite + labels to disk;
 * ``tracebench table3`` — print the Table III composition;
 * ``evaluate [--traces id,id,...]`` — run the Table IV harness and print it;
 * ``chat <trace.darshan.txt>`` — diagnose, then answer questions from stdin.
+
+A tool registered via :func:`repro.core.registry.register_tool` before
+``build_parser()`` runs gets its CLI subcommand for free.
 """
 
 from __future__ import annotations
@@ -21,32 +24,59 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+    from repro.core.registry import available_tools
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="IOAgent reproduction: HPC I/O diagnosis from Darshan traces.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--list-tools",
+        action="store_true",
+        help="list the registered diagnosis tools and exit",
+    )
+    sub = parser.add_subparsers(dest="command", required=False)
 
-    def add_trace_cmd(name: str, help_text: str) -> argparse.ArgumentParser:
-        p = sub.add_parser(name, help=help_text)
+    def add_trace_cmd(name: str, help_text: str, aliases: tuple[str, ...] = ()) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text, aliases=list(aliases))
         p.add_argument("trace", help="path to darshan-parser text output")
         p.add_argument("--seed", type=int, default=0)
         return p
 
-    p = add_trace_cmd("diagnose", "diagnose a trace with IOAgent")
-    p.add_argument("--model", default="gpt-4o")
-    p.add_argument("--no-rag", action="store_true", help="disable knowledge retrieval")
-    p.add_argument("--merge", choices=("tree", "one-step"), default="tree")
-
-    add_trace_cmd("drishti", "run the Drishti heuristic baseline")
-
-    p = add_trace_cmd("ion", "run the plain-prompt ION baseline")
-    p.add_argument("--model", default="gpt-4o")
+    # One subcommand per registered tool.  IOAgent keeps its historical
+    # name `diagnose` (with `ioagent` as alias) and its design switches.
+    # Names that would collide with the fixed subcommands are skipped (the
+    # tool stays reachable through the API) rather than crashing argparse.
+    reserved = {"diagnose", "chat", "tracebench", "evaluate"}
+    for tool_name in available_tools():
+        if tool_name in reserved:
+            continue
+        if tool_name == "ioagent":
+            p = add_trace_cmd(
+                "diagnose", "diagnose a trace with IOAgent", aliases=("ioagent",)
+            )
+            p.add_argument("--no-rag", action="store_true", help="disable knowledge retrieval")
+            p.add_argument("--merge", choices=("tree", "one-step"), default="tree")
+        else:
+            p = add_trace_cmd(tool_name, f"run the {tool_name} diagnosis tool")
+        p.add_argument("--model", default="gpt-4o", help="LLM backbone (ignored by heuristic tools)")
+        p.add_argument(
+            "--max-workers",
+            type=int,
+            default=None,
+            help="thread-pool width for per-fragment parallelism",
+        )
+        p.set_defaults(func=_cmd_tool, tool_name=tool_name)
 
     p = add_trace_cmd("chat", "diagnose, then answer questions interactively")
     p.add_argument("--model", default="gpt-4o")
+    p.add_argument("--max-workers", type=int, default=None)
+    p.set_defaults(func=_cmd_chat)
 
     tb = sub.add_parser("tracebench", help="TraceBench suite operations")
+    tb.set_defaults(func=_cmd_tracebench)
     tb_sub = tb.add_subparsers(dest="tb_command", required=True)
     export = tb_sub.add_parser("export", help="write all traces + labels to a directory")
     export.add_argument("directory")
@@ -56,6 +86,13 @@ def build_parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("evaluate", help="run the Table IV evaluation harness")
     ev.add_argument("--traces", default="", help="comma-separated trace ids (default: all 40)")
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="thread-pool width for the LLM tools under evaluation",
+    )
+    ev.set_defaults(func=_cmd_evaluate)
     return parser
 
 
@@ -66,34 +103,18 @@ def _load_log(path: str):
         return parse_darshan_text(fh.read())
 
 
-def _cmd_diagnose(args) -> int:
-    from repro.core.agent import IOAgent, IOAgentConfig
+def _cmd_tool(args) -> int:
+    from repro.core.registry import get_tool
 
-    log = _load_log(args.trace)
-    agent = IOAgent(
-        IOAgentConfig(
-            model=args.model,
-            use_rag=not args.no_rag,
-            merge_strategy=args.merge,
-            seed=args.seed,
-        )
-    )
-    report = agent.diagnose(log, trace_id=args.trace)
+    kwargs: dict = {"seed": args.seed, "model": args.model}
+    if args.max_workers is not None:
+        kwargs["max_workers"] = args.max_workers
+    if args.tool_name == "ioagent":
+        kwargs["use_rag"] = not args.no_rag
+        kwargs["merge_strategy"] = args.merge
+    tool = get_tool(args.tool_name, **kwargs)
+    report = tool.diagnose(_load_log(args.trace), trace_id=args.trace)
     print(report.render())
-    return 0
-
-
-def _cmd_drishti(args) -> int:
-    from repro.baselines.drishti import DrishtiTool
-
-    print(DrishtiTool().diagnose_log(_load_log(args.trace)))
-    return 0
-
-
-def _cmd_ion(args) -> int:
-    from repro.baselines.ion import IONTool
-
-    print(IONTool(model=args.model, seed=args.seed).diagnose_log(_load_log(args.trace)))
     return 0
 
 
@@ -102,7 +123,8 @@ def _cmd_chat(args) -> int:
     from repro.core.session import InteractiveSession
 
     log = _load_log(args.trace)
-    agent = IOAgent(IOAgentConfig(model=args.model, seed=args.seed))
+    config = IOAgentConfig(model=args.model, seed=args.seed, max_workers=args.max_workers)
+    agent = IOAgent(config)
     report = agent.diagnose(log, trace_id=args.trace)
     print(report.render())
     session = InteractiveSession(report=report, client=agent.client, model=args.model)
@@ -145,7 +167,7 @@ def _cmd_tracebench(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    from repro.evaluation.harness import evaluate_tools
+    from repro.evaluation.harness import default_tools, evaluate_tools
     from repro.evaluation.tables import render_table4
     from repro.tracebench import build_tracebench
     from repro.tracebench.dataset import TraceBench
@@ -153,25 +175,35 @@ def _cmd_evaluate(args) -> int:
     suite = build_tracebench(args.seed)
     if args.traces:
         wanted = [t.strip() for t in args.traces.split(",") if t.strip()]
+        known = {t.trace_id for t in suite}
+        unknown = [t for t in wanted if t not in known]
+        if unknown:
+            print(f"error: unknown trace id(s): {', '.join(unknown)}", file=sys.stderr)
+            print("available trace ids:", file=sys.stderr)
+            for tid in sorted(known):
+                print(f"  {tid}", file=sys.stderr)
+            return 2
         suite = TraceBench(traces=[suite.get(t) for t in wanted], seed=args.seed)
-    result = evaluate_tools(suite, progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    tools = default_tools(seed=args.seed, max_workers=args.max_workers)
+    result = evaluate_tools(
+        suite, tools=tools, progress=lambda msg: print(f"  {msg}", file=sys.stderr)
+    )
     print(render_table4(result))
     return 0
 
 
-_COMMANDS = {
-    "diagnose": _cmd_diagnose,
-    "drishti": _cmd_drishti,
-    "ion": _cmd_ion,
-    "chat": _cmd_chat,
-    "tracebench": _cmd_tracebench,
-    "evaluate": _cmd_evaluate,
-}
-
-
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_tools:
+        from repro.core.registry import available_tools
+
+        for name in available_tools():
+            print(name)
+        return 0
+    if args.command is None:
+        parser.error("a command is required (or --list-tools / --version)")
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -1,36 +1,42 @@
-"""IOAgent: the end-to-end orchestrator (paper Fig. 2).
+"""IOAgent: a thin facade over the default diagnosis pipeline (Fig. 2).
 
-Pipeline per trace:
+Pipeline per trace (each step a :class:`repro.core.pipeline.Stage`):
 
 1. split the Darshan log by module (pre-processor);
 2. extract categorized JSON summary fragments (Table I);
-3. per fragment, in parallel: describe (JSON → NL), retrieve top-15
-   knowledge chunks, self-reflect-filter them, diagnose;
-4. merge the fragment diagnoses pairwise up a tree;
-5. wrap the merged text in a :class:`DiagnosisReport`.
+3. describe every fragment (JSON → NL), fragments in parallel;
+4. retrieve top-15 knowledge chunks per fragment and self-reflect-filter
+   them (skipped entirely when ``use_rag=False``);
+5. diagnose every fragment from its description + surviving knowledge;
+6. merge the fragment diagnoses pairwise up a tree (or in one step).
 
-Every LLM interaction goes through :class:`repro.llm.client.LLMClient`, so
-the agent is model-agnostic — the paper's headline claim — and the RAG /
-reflection / merge-strategy switches exist so the ablation benchmarks can
-turn each design element off individually.
+``IOAgent`` owns no orchestration logic of its own: it builds the default
+:class:`~repro.core.pipeline.DiagnosisPipeline` from its config and
+implements the :class:`~repro.core.registry.DiagnosticTool` protocol, so
+the CLI, the batch runner, and the Table IV harness all drive it the same
+way they drive the baselines.  Every LLM interaction goes through
+:class:`repro.llm.client.LLMClient`, so the agent is model-agnostic — the
+paper's headline claim — and ablations swap pipeline stages instead of
+threading booleans through one long method.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.describe import context_sentences, describe_fragment
-from repro.core.diagnose import diagnose_fragment
-from repro.core.integrate import integrate_fragment
-from repro.core.merge import one_step_merge, tree_merge
-from repro.core.preprocess import split_modules
+from repro.core.pipeline import (
+    DiagnosisPipeline,
+    PipelineContext,
+    PipelineObserver,
+    build_default_pipeline,
+)
+from repro.core.registry import register_tool
 from repro.core.report import DiagnosisReport
-from repro.core.summaries import app_context_facts, extract_fragments
 from repro.darshan.log import DarshanLog
-from repro.llm.client import LLMClient
+from repro.llm.client import LLMClient, Usage
 from repro.rag.index import build_default_index
 from repro.rag.retriever import Retriever
-from repro.util.parallel import parallel_map
 
 __all__ = ["IOAgentConfig", "IOAgent"]
 
@@ -56,84 +62,74 @@ class IOAgentConfig:
 
 
 class IOAgent:
-    """The LLM-based I/O diagnosis agent."""
+    """The LLM-based I/O diagnosis agent (a `DiagnosticTool`)."""
 
     def __init__(
         self,
         config: IOAgentConfig | None = None,
         client: LLMClient | None = None,
         retriever: Retriever | None = None,
+        pipeline: DiagnosisPipeline | None = None,
+        observers: Sequence[PipelineObserver] = (),
     ) -> None:
         self.config = config or IOAgentConfig()
         self.client = client or LLMClient(seed=self.config.seed)
         if retriever is None and self.config.use_rag:
             retriever = Retriever(build_default_index(), top_k=self.config.top_k)
         self.retriever = retriever
+        self.pipeline = pipeline or build_default_pipeline(self.config, observers=observers)
 
-    # -- pipeline ---------------------------------------------------------
+    # -- DiagnosticTool protocol ------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"ioagent-{self.config.model}"
 
     def diagnose(self, log: DarshanLog, trace_id: str = "trace") -> DiagnosisReport:
         """Run the full pipeline over one Darshan log."""
-        cfg = self.config
-        split_modules(log)  # the pre-processor CSV split (artifact stage)
-        fragments = extract_fragments(log)
-        app_facts = app_context_facts(log)
-        context = context_sentences(app_facts)
-        retrieved_total = 0
-        kept_total = 0
+        return self.run(log, trace_id).build_report()
 
-        def process_fragment(fragment) -> tuple[str, int, int]:
-            fid = fragment.fragment_id
-            description = describe_fragment(
-                fragment, app_facts, self.client, cfg.model, call_id=f"{trace_id}/{fid}/describe"
-            )
-            sources: list[str] = []
-            n_retrieved = 0
-            if cfg.use_rag and self.retriever is not None:
-                result = integrate_fragment(
-                    description,
-                    self.retriever,
-                    self.client,
-                    reflection_model=cfg.reflection_model,
-                    call_id=f"{trace_id}/{fid}",
-                    use_reflection=cfg.use_reflection,
-                    max_workers=cfg.max_workers,
-                )
-                sources = list(result.kept_sources)
-                n_retrieved = len(result.retrieved)
-            diagnosis = diagnose_fragment(
-                description,
-                sources,
-                context,
-                self.client,
-                cfg.model,
-                call_id=f"{trace_id}/{fid}/diagnose",
-            )
-            return diagnosis, n_retrieved, len(sources)
+    def usage(self) -> Usage:
+        """Cumulative LLM spend across every diagnosis this agent ran."""
+        return self.client.total_usage()
 
-        results = parallel_map(process_fragment, fragments, max_workers=cfg.max_workers)
-        summaries = [r[0] for r in results]
-        retrieved_total = sum(r[1] for r in results)
-        kept_total = sum(r[2] for r in results)
+    # -- pipeline access ---------------------------------------------------
 
-        if not summaries:
-            text = "No I/O activity was found in the trace; nothing to diagnose."
-        elif cfg.merge_strategy == "tree":
-            text = tree_merge(
-                summaries,
-                self.client,
-                cfg.model,
-                call_id_prefix=trace_id,
-                max_workers=cfg.max_workers,
-            )
-        else:
-            text = one_step_merge(summaries, self.client, cfg.model, call_id_prefix=trace_id)
-
-        return DiagnosisReport(
-            trace_id=trace_id,
-            model=cfg.model,
-            text=text,
-            n_fragments=len(fragments),
-            sources_retrieved=retrieved_total,
-            sources_kept=kept_total,
+    def run(
+        self,
+        log: DarshanLog,
+        trace_id: str = "trace",
+        observers: Sequence[PipelineObserver] = (),
+    ) -> PipelineContext:
+        """Like :meth:`diagnose` but returns the full pipeline context
+        (stage timings, per-stage usage, intermediate products)."""
+        return self.pipeline.run(
+            log,
+            trace_id,
+            config=self.config,
+            client=self.client,
+            retriever=self.retriever,
+            observers=observers,
         )
+
+
+def _build_ioagent(
+    model: str = "gpt-4o",
+    reflection_model: str | None = None,
+    seed: int = 0,
+    config: IOAgentConfig | None = None,
+    client: LLMClient | None = None,
+    retriever: Retriever | None = None,
+    **config_kwargs,
+) -> IOAgent:
+    """Registry factory: build an IOAgent from flat keyword knobs."""
+    if config is None:
+        if reflection_model is None:
+            reflection_model = IOAgentConfig.reflection_model
+        config = IOAgentConfig(
+            model=model, reflection_model=reflection_model, seed=seed, **config_kwargs
+        )
+    return IOAgent(config, client=client, retriever=retriever)
+
+
+register_tool("ioagent", _build_ioagent, replace=True)

@@ -2,40 +2,54 @@
 
 The paper motivates IOAgent partly by cost: o1-preview is "largely
 impractical for our large-scale use", and the design must make *open*
-models viable.  This module runs IOAgent (or a plain-prompt baseline)
-over many traces and reports per-backbone token/cost totals, so the
-"democratization" trade-off — open-weights quality at zero marginal API
-cost vs. frontier quality at list price — is measurable.
+models viable.  This module runs any registered
+:class:`~repro.core.registry.DiagnosticTool` over many traces — via
+:class:`~repro.core.service.DiagnosisService`, so batches get concurrency,
+per-trace caching, and per-stage telemetry for free — and reports
+per-backbone token/cost totals, so the "democratization" trade-off —
+open-weights quality at zero marginal API cost vs. frontier quality at
+list price — is measurable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.agent import IOAgent, IOAgentConfig
 from repro.core.report import DiagnosisReport
-from repro.evaluation.accuracy import match_stats
-from repro.llm.client import LLMClient
 from repro.tracebench.dataset import LabeledTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.service import StageMetrics
 
 __all__ = ["BatchResult", "run_batch", "cost_comparison"]
 
 
 @dataclass
 class BatchResult:
-    """Aggregate outcome of diagnosing a set of traces with one backbone."""
+    """Aggregate outcome of diagnosing a set of traces with one tool."""
 
     model: str
+    tool: str = "ioagent"
     reports: dict[str, DiagnosisReport] = field(default_factory=dict)
     mean_f1: float = 0.0
     llm_calls: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     cost_usd: float = 0.0
+    cache_hits: int = 0
+    # stage name -> aggregate latency/usage across the batch (pipeline
+    # tools only; empty for heuristic/plain-prompt tools).
+    stage_metrics: "dict[str, StageMetrics]" = field(default_factory=dict)
 
     @property
     def cost_per_trace(self) -> float:
         return self.cost_usd / max(1, len(self.reports))
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed per-stage wall-clock (0.0 when no stage metrics exist)."""
+        return sum(m.seconds for m in self.stage_metrics.values())
 
 
 def run_batch(
@@ -43,29 +57,19 @@ def run_batch(
     model: str = "gpt-4o",
     reflection_model: str = "gpt-4o-mini",
     seed: int = 0,
+    tool: str = "ioagent",
+    max_workers: int | None = None,
     **config_kwargs,
 ) -> BatchResult:
-    """Diagnose every trace with a fresh agent on one backbone."""
-    client = LLMClient(seed=seed)
-    agent = IOAgent(
-        IOAgentConfig(
-            model=model, reflection_model=reflection_model, seed=seed, **config_kwargs
-        ),
-        client=client,
+    """Diagnose every trace with one registered tool on one backbone."""
+    from repro.core.agent import IOAgentConfig
+    from repro.core.service import DiagnosisService
+
+    config = IOAgentConfig(
+        model=model, reflection_model=reflection_model, seed=seed, **config_kwargs
     )
-    result = BatchResult(model=model)
-    f1_total = 0.0
-    for trace in traces:
-        report = agent.diagnose(trace.log, trace_id=trace.trace_id)
-        result.reports[trace.trace_id] = report
-        f1_total += match_stats(report.text, trace.labels).f1
-    usage = client.total_usage()
-    result.mean_f1 = f1_total / max(1, len(traces))
-    result.llm_calls = usage.calls
-    result.prompt_tokens = usage.prompt_tokens
-    result.completion_tokens = usage.completion_tokens
-    result.cost_usd = usage.cost_usd
-    return result
+    service = DiagnosisService(tool=tool, config=config)
+    return service.diagnose_batch(traces, max_workers=max_workers)
 
 
 def cost_comparison(

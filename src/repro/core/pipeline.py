@@ -1,0 +1,386 @@
+"""Composable diagnosis pipeline (the paper's Fig. 2, as an API).
+
+The IOAgent flow — ``preprocess → summarize → describe → integrate →
+diagnose → merge`` — used to live inside one method.  This module breaks
+it into pluggable :class:`Stage` objects composed by a
+:class:`DiagnosisPipeline`, so ablations swap stages instead of threading
+booleans, new backbones plug in without touching orchestration, and every
+stage's latency and token spend is observable.
+
+Key pieces:
+
+* :class:`PipelineContext` — the typed carrier threaded through stages:
+  the Darshan log, summary fragments, per-fragment intermediate products,
+  per-stage wall-clock timings, and per-stage LLM usage;
+* :class:`Stage` — the protocol every stage implements (``name`` +
+  ``run(ctx)``); the six default stages live here too;
+* :class:`PipelineObserver` — event hooks (``on_stage_start``,
+  ``on_stage_end``, ``on_llm_call``) for telemetry and progress UIs;
+* :class:`DiagnosisPipeline` — runs stages in order, times them, and
+  attributes every LLM call made during a stage to that stage;
+* :func:`build_default_pipeline` — the paper-default stage list derived
+  from an :class:`~repro.core.agent.IOAgentConfig`.
+
+Determinism note: every LLM call is keyed by an explicit ``call_id``, so
+re-grouping the per-fragment work into stage-wide parallel sweeps produces
+byte-identical reports to the original fused loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+from repro.core.describe import context_sentences, describe_fragment
+from repro.core.diagnose import diagnose_fragment
+from repro.core.integrate import IntegrationResult, integrate_fragment
+from repro.core.merge import one_step_merge, tree_merge
+from repro.core.preprocess import ModuleTable, split_modules
+from repro.core.report import DiagnosisReport
+from repro.core.summaries import SummaryFragment, app_context_facts, extract_fragments
+from repro.darshan.log import DarshanLog
+from repro.llm.client import LLMClient, Usage
+from repro.llm.facts import Fact
+from repro.rag.retriever import Retriever
+from repro.util.parallel import parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.agent import IOAgentConfig
+
+__all__ = [
+    "PipelineContext",
+    "Stage",
+    "PipelineObserver",
+    "DiagnosisPipeline",
+    "PreprocessStage",
+    "SummarizeStage",
+    "DescribeStage",
+    "IntegrateStage",
+    "DiagnoseStage",
+    "MergeStage",
+    "DEFAULT_STAGE_ORDER",
+    "build_default_pipeline",
+]
+
+DEFAULT_STAGE_ORDER = (
+    "preprocess",
+    "summarize",
+    "describe",
+    "integrate",
+    "diagnose",
+    "merge",
+)
+
+
+@dataclass
+class PipelineContext:
+    """Everything a stage may read or write while diagnosing one trace.
+
+    Stages communicate exclusively through this object: earlier stages
+    populate fields that later stages consume (``fragments`` feeds
+    ``descriptions`` feeds ``integrations`` feeds ``diagnoses`` feeds
+    ``merged_text``).  The pipeline itself fills the telemetry fields
+    (``stage_seconds``, ``stage_usage``).
+    """
+
+    log: DarshanLog
+    trace_id: str
+    config: "IOAgentConfig"
+    client: LLMClient
+    retriever: Retriever | None = None
+
+    # Stage products, in pipeline order.
+    module_tables: dict[str, ModuleTable] = field(default_factory=dict)
+    fragments: list[SummaryFragment] = field(default_factory=list)
+    app_facts: list[Fact] = field(default_factory=list)
+    context: str = ""
+    descriptions: dict[str, str] = field(default_factory=dict)
+    integrations: dict[str, IntegrationResult] = field(default_factory=dict)
+    diagnoses: dict[str, str] = field(default_factory=dict)
+    merged_text: str = ""
+
+    # Telemetry: wall-clock seconds and LLM usage attributed per stage.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_usage: dict[str, Usage] = field(default_factory=dict)
+
+    @property
+    def sources_retrieved(self) -> int:
+        return sum(len(r.retrieved) for r in self.integrations.values())
+
+    @property
+    def sources_kept(self) -> int:
+        return sum(len(r.kept_sources) for r in self.integrations.values())
+
+    def fragment_sources(self, fragment_id: str) -> list[str]:
+        """Knowledge sources kept for one fragment ([] when RAG is off)."""
+        result = self.integrations.get(fragment_id)
+        return list(result.kept_sources) if result is not None else []
+
+    def build_report(self) -> DiagnosisReport:
+        """Assemble the final report from the accumulated stage products."""
+        return DiagnosisReport(
+            trace_id=self.trace_id,
+            model=self.config.model,
+            text=self.merged_text,
+            n_fragments=len(self.fragments),
+            sources_retrieved=self.sources_retrieved,
+            sources_kept=self.sources_kept,
+        )
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One pipeline step: reads/writes the context, nothing else."""
+
+    name: str
+
+    def run(self, ctx: PipelineContext) -> None: ...
+
+
+class PipelineObserver:
+    """Event-hook base class; subclass and override what you need.
+
+    All hooks are no-ops by default.  ``on_llm_call`` may fire from worker
+    threads (stages parallelize per-fragment work), so stateful observers
+    must synchronize their own accumulation.
+    """
+
+    def on_stage_start(self, stage: str, ctx: PipelineContext) -> None: ...
+
+    def on_stage_end(self, stage: str, ctx: PipelineContext, seconds: float) -> None: ...
+
+    def on_llm_call(
+        self, stage: str, ctx: PipelineContext, model: str, usage: Usage, call_id: str
+    ) -> None: ...
+
+
+# -- the six default stages ----------------------------------------------
+
+
+class PreprocessStage:
+    """Module-based pre-processor: split the log into per-module tables."""
+
+    name = "preprocess"
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.module_tables = split_modules(ctx.log)
+
+
+class SummarizeStage:
+    """Extract categorized JSON summary fragments + application context."""
+
+    name = "summarize"
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.fragments = extract_fragments(ctx.log)
+        ctx.app_facts = app_context_facts(ctx.log)
+        ctx.context = context_sentences(ctx.app_facts)
+
+
+class DescribeStage:
+    """JSON fragment → natural-language description, fragments in parallel."""
+
+    name = "describe"
+
+    def run(self, ctx: PipelineContext) -> None:
+        cfg = ctx.config
+
+        def describe(fragment: SummaryFragment) -> tuple[str, str]:
+            fid = fragment.fragment_id
+            text = describe_fragment(
+                fragment,
+                ctx.app_facts,
+                ctx.client,
+                cfg.model,
+                call_id=f"{ctx.trace_id}/{fid}/describe",
+            )
+            return fid, text
+
+        ctx.descriptions = dict(
+            parallel_map(describe, ctx.fragments, max_workers=cfg.max_workers)
+        )
+
+
+class IntegrateStage:
+    """Retrieve + self-reflection-filter domain knowledge per fragment."""
+
+    name = "integrate"
+
+    def run(self, ctx: PipelineContext) -> None:
+        cfg = ctx.config
+        if ctx.retriever is None:
+            ctx.integrations = {}
+            return
+
+        def integrate(fragment: SummaryFragment) -> tuple[str, IntegrationResult]:
+            fid = fragment.fragment_id
+            result = integrate_fragment(
+                ctx.descriptions[fid],
+                ctx.retriever,
+                ctx.client,
+                reflection_model=cfg.reflection_model,
+                call_id=f"{ctx.trace_id}/{fid}",
+                use_reflection=cfg.use_reflection,
+                max_workers=cfg.max_workers,
+            )
+            return fid, result
+
+        ctx.integrations = dict(
+            parallel_map(integrate, ctx.fragments, max_workers=cfg.max_workers)
+        )
+
+
+class DiagnoseStage:
+    """Per-fragment diagnosis from description + surviving knowledge."""
+
+    name = "diagnose"
+
+    def run(self, ctx: PipelineContext) -> None:
+        cfg = ctx.config
+
+        def diagnose(fragment: SummaryFragment) -> tuple[str, str]:
+            fid = fragment.fragment_id
+            text = diagnose_fragment(
+                ctx.descriptions[fid],
+                ctx.fragment_sources(fid),
+                ctx.context,
+                ctx.client,
+                cfg.model,
+                call_id=f"{ctx.trace_id}/{fid}/diagnose",
+            )
+            return fid, text
+
+        ctx.diagnoses = dict(
+            parallel_map(diagnose, ctx.fragments, max_workers=cfg.max_workers)
+        )
+
+
+class MergeStage:
+    """Merge fragment diagnoses into the final text (tree or one-step)."""
+
+    name = "merge"
+
+    def __init__(self, strategy: str = "tree") -> None:
+        if strategy not in ("tree", "one-step"):
+            raise ValueError("merge strategy must be 'tree' or 'one-step'")
+        self.strategy = strategy
+
+    def run(self, ctx: PipelineContext) -> None:
+        cfg = ctx.config
+        summaries = [ctx.diagnoses[f.fragment_id] for f in ctx.fragments]
+        if not summaries:
+            ctx.merged_text = "No I/O activity was found in the trace; nothing to diagnose."
+        elif self.strategy == "tree":
+            ctx.merged_text = tree_merge(
+                summaries,
+                ctx.client,
+                cfg.model,
+                call_id_prefix=ctx.trace_id,
+                max_workers=cfg.max_workers,
+            )
+        else:
+            ctx.merged_text = one_step_merge(
+                summaries, ctx.client, cfg.model, call_id_prefix=ctx.trace_id
+            )
+
+
+# -- the pipeline itself --------------------------------------------------
+
+
+class DiagnosisPipeline:
+    """Runs stages in order over a :class:`PipelineContext`.
+
+    The pipeline times each stage and attributes every LLM completion made
+    while a stage runs to that stage (stages execute sequentially, so a
+    single "current stage" marker is sound even though a stage fans its
+    own work out across threads).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        observers: Sequence[PipelineObserver] = (),
+    ) -> None:
+        self.stages: tuple[Stage, ...] = tuple(stages)
+        self.observers: tuple[PipelineObserver, ...] = tuple(observers)
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.stages)
+
+    def run(
+        self,
+        log: DarshanLog,
+        trace_id: str,
+        *,
+        config: "IOAgentConfig",
+        client: LLMClient,
+        retriever: Retriever | None = None,
+        observers: Sequence[PipelineObserver] = (),
+    ) -> PipelineContext:
+        """Execute every stage over one trace; returns the full context.
+
+        ``observers`` extends (per call) the observers bound at
+        construction — the service layer uses this to attach per-batch
+        metric collectors without mutating a shared pipeline.
+        """
+        ctx = PipelineContext(
+            log=log, trace_id=trace_id, config=config, client=client, retriever=retriever
+        )
+        all_observers = self.observers + tuple(observers)
+        current_stage = ""
+        usage_lock = Lock()
+        # Concurrent runs may share one client; every call this run makes
+        # is namespaced under its trace_id, so filter out other runs' calls
+        # (otherwise usage would be cross-attributed between traces).
+        call_prefix = f"{trace_id}/"
+
+        def on_usage(model: str, usage: Usage, call_id: str) -> None:
+            if not call_id.startswith(call_prefix):
+                return
+            with usage_lock:
+                ctx.stage_usage.setdefault(current_stage, Usage()).add(usage)
+            for obs in all_observers:
+                obs.on_llm_call(current_stage, ctx, model, usage, call_id)
+
+        client.add_usage_listener(on_usage)
+        try:
+            for stage in self.stages:
+                current_stage = stage.name
+                for obs in all_observers:
+                    obs.on_stage_start(stage.name, ctx)
+                started = time.perf_counter()
+                stage.run(ctx)
+                elapsed = time.perf_counter() - started
+                ctx.stage_seconds[stage.name] = (
+                    ctx.stage_seconds.get(stage.name, 0.0) + elapsed
+                )
+                for obs in all_observers:
+                    obs.on_stage_end(stage.name, ctx, elapsed)
+        finally:
+            client.remove_usage_listener(on_usage)
+        return ctx
+
+
+def build_default_pipeline(
+    config: "IOAgentConfig",
+    observers: Sequence[PipelineObserver] = (),
+) -> DiagnosisPipeline:
+    """The paper-default stage list for one config.
+
+    Ablation switches map to stage composition: ``use_rag=False`` drops
+    the integrate stage entirely; ``merge_strategy`` picks the merge
+    variant.  (``use_reflection`` stays a parameter of the integrate
+    stage because it alters behavior *within* the stage.)
+    """
+    stages: list[Stage] = [PreprocessStage(), SummarizeStage(), DescribeStage()]
+    if config.use_rag:
+        stages.append(IntegrateStage())
+    stages.append(DiagnoseStage())
+    stages.append(MergeStage(strategy=config.merge_strategy))
+    return DiagnosisPipeline(stages, observers=observers)

@@ -1,0 +1,143 @@
+"""The `DiagnosticTool` protocol and the tool registry.
+
+Every diagnosis tool in the repo — IOAgent, the Drishti heuristic
+baseline, the plain-prompt ION baseline, and anything a future PR adds —
+satisfies one uniform protocol:
+
+* ``name`` — the row label used by the Table IV harness and the CLI;
+* ``diagnose(log, trace_id) -> DiagnosisReport`` — one trace in, one
+  structured report out;
+* ``usage() -> Usage`` — cumulative LLM token/cost spend (zero for
+  heuristic tools).
+
+Tools register a *factory* under a short name, so callers construct them
+uniformly (``get_tool("ioagent", model="llama-3.1-70b")``) and discovery
+is programmatic (``available_tools()`` drives the CLI subcommands and
+``--list-tools``).  Factories receive only the keyword arguments their
+signature accepts, so generic callers can offer common knobs (``seed``,
+``model``, ``max_workers``) without every tool having to take them.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.core.report import DiagnosisReport
+from repro.darshan.log import DarshanLog
+from repro.llm.client import Usage
+
+__all__ = [
+    "DiagnosticTool",
+    "ToolNotFoundError",
+    "register_tool",
+    "unregister_tool",
+    "get_tool",
+    "get_tool_factory",
+    "available_tools",
+]
+
+
+@runtime_checkable
+class DiagnosticTool(Protocol):
+    """Anything that can diagnose a Darshan log into a structured report."""
+
+    @property
+    def name(self) -> str: ...
+
+    def diagnose(self, log: DarshanLog, trace_id: str = "trace") -> DiagnosisReport: ...
+
+    def usage(self) -> Usage: ...
+
+
+ToolFactory = Callable[..., DiagnosticTool]
+
+
+class ToolNotFoundError(KeyError):
+    """Raised when ``get_tool`` is asked for a name nobody registered."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(name)
+        self.tool_name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        options = ", ".join(self.available) or "<none>"
+        return f"unknown tool {self.tool_name!r}; available tools: {options}"
+
+
+_REGISTRY: dict[str, ToolFactory] = {}
+
+# Built-in tools are resolved lazily so importing the registry stays cheap
+# and free of cycles (agent → pipeline → core, baselines → llm).
+_BUILTIN_MODULES = ("repro.core.agent", "repro.baselines.drishti.tool", "repro.baselines.ion")
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Flag only set once every builtin imported cleanly, so a failed
+    # import surfaces again on the next call instead of leaving the
+    # registry silently partial.
+    _builtins_loaded = True
+
+
+def register_tool(name: str, factory: ToolFactory, *, replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    Registering an existing name raises unless ``replace=True`` — silent
+    shadowing of a comparison tool would corrupt evaluations.
+    """
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"tool {name!r} is already registered (pass replace=True)")
+    _REGISTRY[name] = factory
+
+
+def unregister_tool(name: str) -> None:
+    """Remove a registration (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def available_tools() -> tuple[str, ...]:
+    """Registered tool names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_tool_factory(name: str) -> ToolFactory:
+    """The raw factory for ``name`` (mainly for introspection)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ToolNotFoundError(name, available_tools()) from None
+
+
+def get_tool(name: str, **kwargs) -> DiagnosticTool:
+    """Instantiate the tool registered under ``name``.
+
+    Keyword arguments the factory's signature does not accept are dropped,
+    so generic drivers (CLI, harness) can pass their full knob set to any
+    tool.  Factories with a ``**kwargs`` catch-all receive everything.
+    """
+    factory = get_tool_factory(name)
+    try:
+        params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / C callables: pass through
+        return factory(**kwargs)
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return factory(**kwargs)
+    accepted = {
+        k: v
+        for k, v in kwargs.items()
+        if k in params
+        and params[k].kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    }
+    return factory(**accepted)

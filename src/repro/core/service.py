@@ -1,0 +1,233 @@
+"""Production-style facade: concurrent, cached, metered diagnosis.
+
+:class:`DiagnosisService` is the entry point a deployment would sit
+behind.  On top of any registered :class:`~repro.core.registry.DiagnosticTool`
+it adds the concerns the paper's production story needs but that don't
+belong inside a tool:
+
+* **concurrency** — traces fan out across a thread pool
+  (:func:`repro.util.parallel.parallel_map`), on top of each tool's own
+  per-fragment parallelism;
+* **caching** — per-trace results memoized by ``(trace digest, tool,
+  config)``, so re-diagnosing an unchanged log is free (``cache_hits`` is
+  reported on every batch);
+* **shared resources** — one tool instance (and therefore one memoized
+  RAG index) serves the whole service lifetime instead of being rebuilt
+  per call;
+* **telemetry** — per-stage wall-clock and LLM spend, collected through
+  the pipeline observer hooks and exposed as ``BatchResult.stage_metrics``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from threading import Lock
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.pipeline import PipelineContext, PipelineObserver
+from repro.core.registry import DiagnosticTool, get_tool
+from repro.core.report import DiagnosisReport
+from repro.darshan.log import DarshanLog
+from repro.darshan.writer import render_darshan_text
+from repro.llm.client import Usage
+from repro.util.parallel import parallel_map
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agent import IOAgentConfig
+    from repro.core.batch import BatchResult
+    from repro.tracebench.dataset import LabeledTrace
+
+__all__ = ["StageMetrics", "DiagnosisService", "trace_digest"]
+
+
+def trace_digest(log: DarshanLog) -> str:
+    """Stable content digest of a Darshan log (its parser-text rendering)."""
+    return hashlib.sha256(render_darshan_text(log).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StageMetrics:
+    """Aggregate latency/cost for one pipeline stage across a batch."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_usd: float = 0.0
+
+    def add_time(self, seconds: float) -> None:
+        self.seconds += seconds
+
+    def add_usage(self, usage: Usage) -> None:
+        self.calls += usage.calls
+        self.prompt_tokens += usage.prompt_tokens
+        self.completion_tokens += usage.completion_tokens
+        self.cost_usd += usage.cost_usd
+
+
+def _observable_runner(tool: DiagnosticTool):
+    """The tool's observer-aware ``run`` method, or None.
+
+    ``run`` is not part of the DiagnosticTool protocol, so a tool may
+    define an unrelated method of that name; only treat it as the
+    pipeline entry point if its signature actually takes ``observers``.
+    """
+    import inspect
+
+    runner = getattr(tool, "run", None)
+    if not callable(runner):
+        return None
+    try:
+        params = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return None
+    return runner if "observers" in params else None
+
+
+class _MetricsCollector(PipelineObserver):
+    """Thread-safe accumulator of per-stage time + usage across traces."""
+
+    def __init__(self) -> None:
+        self.stages: dict[str, StageMetrics] = {}
+        self._lock = Lock()
+
+    def _metrics(self, stage: str) -> StageMetrics:
+        return self.stages.setdefault(stage, StageMetrics())
+
+    def on_stage_end(self, stage: str, ctx: PipelineContext, seconds: float) -> None:
+        with self._lock:
+            self._metrics(stage).add_time(seconds)
+
+    def on_llm_call(
+        self, stage: str, ctx: PipelineContext, model: str, usage: Usage, call_id: str
+    ) -> None:
+        with self._lock:
+            self._metrics(stage).add_usage(usage)
+
+
+class DiagnosisService:
+    """Multi-trace diagnosis facade over a registered tool.
+
+    ``tool`` may be a registry name (``"ioagent"``, ``"drishti"``,
+    ``"ion"``) or an already-built :class:`DiagnosticTool` instance.  When
+    a name is given, construction knobs come from ``config`` (threaded to
+    factories that accept them; heuristic tools ignore what they don't
+    take).
+    """
+
+    def __init__(
+        self,
+        tool: str | DiagnosticTool = "ioagent",
+        config: "IOAgentConfig | None" = None,
+        max_workers: int | None = None,
+        cache: bool = True,
+        observers: Sequence[PipelineObserver] = (),
+    ) -> None:
+        if config is None:
+            from repro.core.agent import IOAgentConfig
+
+            config = IOAgentConfig()
+        self.config = config
+        if isinstance(tool, str):
+            tool = get_tool(
+                tool, config=config, model=config.model, seed=config.seed
+            )
+        self.tool: DiagnosticTool = tool
+        self.max_workers = max_workers if max_workers is not None else config.max_workers
+        self.observers = tuple(observers)
+        self._cache_enabled = cache
+        self._cache: dict[tuple[str, str, str], DiagnosisReport] = {}
+        self._cache_lock = Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- single trace ------------------------------------------------------
+
+    def _cache_key(self, log: DarshanLog) -> tuple[str, str, str]:
+        return (trace_digest(log), self.tool.name, repr(self.config))
+
+    def diagnose(
+        self,
+        log: DarshanLog,
+        trace_id: str = "trace",
+        observers: Sequence[PipelineObserver] = (),
+    ) -> DiagnosisReport:
+        """Diagnose one log, serving identical content from the cache.
+
+        Caching is content-addressed — keyed by ``(trace digest, tool,
+        config)`` — so resubmitting an identical log under a new name is a
+        hit; the cached report is relabeled with the requested
+        ``trace_id``.
+        """
+        key = self._cache_key(log) if self._cache_enabled else None
+        if key is not None:
+            with self._cache_lock:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self.cache_hits += 1
+                    return hit if hit.trace_id == trace_id else replace(hit, trace_id=trace_id)
+        report = self._run_tool(log, trace_id, observers)
+        if key is not None:
+            with self._cache_lock:
+                self.cache_misses += 1
+                self._cache.setdefault(key, report)
+        return report
+
+    def _run_tool(
+        self, log: DarshanLog, trace_id: str, observers: Sequence[PipelineObserver]
+    ) -> DiagnosisReport:
+        all_observers = self.observers + tuple(observers)
+        if all_observers and _observable_runner(self.tool) is not None:
+            # Pipeline-backed tools expose an observer-aware `run`; the
+            # full context feeds the per-stage telemetry.
+            ctx = self.tool.run(log, trace_id, observers=all_observers)
+            return ctx.build_report()
+        return self.tool.diagnose(log, trace_id=trace_id)
+
+    def clear_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def usage(self) -> Usage:
+        """Cumulative LLM spend of the underlying tool."""
+        return self.tool.usage()
+
+    # -- batches -----------------------------------------------------------
+
+    def diagnose_batch(
+        self,
+        traces: "Sequence[LabeledTrace]",
+        max_workers: int | None = None,
+    ) -> "BatchResult":
+        """Diagnose every trace concurrently; returns scored, metered results."""
+        from repro.core.batch import BatchResult
+        from repro.evaluation.accuracy import match_stats
+
+        metrics = _MetricsCollector()
+        workers = max_workers if max_workers is not None else self.max_workers
+        usage_before = self.usage()
+        hits_before = self.cache_hits
+
+        def one(trace: "LabeledTrace") -> tuple[str, DiagnosisReport, float]:
+            report = self.diagnose(trace.log, trace_id=trace.trace_id, observers=(metrics,))
+            return trace.trace_id, report, match_stats(report.text, trace.labels).f1
+
+        rows = parallel_map(one, traces, max_workers=workers)
+
+        result = BatchResult(model=self.config.model, tool=self.tool.name)
+        f1_total = 0.0
+        for trace_id, report, f1 in rows:
+            result.reports[trace_id] = report
+            f1_total += f1
+        usage = self.usage()
+        result.mean_f1 = f1_total / max(1, len(rows))
+        result.llm_calls = usage.calls - usage_before.calls
+        result.prompt_tokens = usage.prompt_tokens - usage_before.prompt_tokens
+        result.completion_tokens = usage.completion_tokens - usage_before.completion_tokens
+        result.cost_usd = usage.cost_usd - usage_before.cost_usd
+        result.cache_hits = self.cache_hits - hits_before
+        result.stage_metrics = metrics.stages
+        return result

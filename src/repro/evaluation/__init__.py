@@ -4,7 +4,8 @@ Implements the paper's §VI protocol: three criteria (accuracy, utility,
 interpretability), an anonymized LLM ranking with the three positional-
 bias augmentations and four prompt permutations per sample, the
 ``S = 4 − Rank`` / Eq. (1)–(2) normalized scoring, and a harness that runs
-every diagnosis tool over TraceBench and renders Table IV.
+every registered :class:`~repro.core.registry.DiagnosticTool` over
+TraceBench and renders Table IV.
 """
 
 from repro.evaluation.accuracy import issue_assertions, match_stats

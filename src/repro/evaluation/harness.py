@@ -1,26 +1,27 @@
 """The Table IV harness: run every tool over TraceBench and score it.
 
 Tools evaluated (paper Table IV rows): Drishti, ION (gpt-4o backbone),
-IOAgent-gpt-4o, and IOAgent-llama-3.1-70B.  For each trace the four
-diagnosis texts are ranked by the gpt-4o judge on accuracy, utility, and
-interpretability with four prompt permutations, then normalized per data
-source via Eq. (1)-(2).
+IOAgent-gpt-4o, and IOAgent-llama-3.1-70B.  Every tool is resolved from
+the :mod:`repro.core.registry` and driven solely through the
+:class:`~repro.core.registry.DiagnosticTool` protocol — the harness has
+no tool-specific code, so adding a row to Table IV is one
+``register_tool`` call.  For each trace the diagnosis texts are ranked by
+the gpt-4o judge on accuracy, utility, and interpretability with four
+prompt permutations, then normalized per data source via Eq. (1)-(2).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Sequence
 
-from repro.baselines.drishti import DrishtiTool
-from repro.baselines.ion import IONTool
-from repro.core.agent import IOAgent, IOAgentConfig
+from repro.core.registry import DiagnosticTool, get_tool
 from repro.evaluation.ranking import JudgeConfig, rank_candidates
 from repro.evaluation.scoring import normalized_scores
 from repro.llm.client import LLMClient
-from repro.tracebench.dataset import LabeledTrace, TraceBench
+from repro.tracebench.dataset import TraceBench
 
-__all__ = ["DiagnosisTool", "default_tools", "EvaluationResult", "evaluate_tools", "CRITERIA"]
+__all__ = ["default_tools", "EvaluationResult", "evaluate_tools", "CRITERIA"]
 
 CRITERIA = ("accuracy", "utility", "interpretability")
 SOURCE_TITLES = {
@@ -30,32 +31,13 @@ SOURCE_TITLES = {
 }
 
 
-class DiagnosisTool(Protocol):
-    """Anything that can diagnose a labeled trace into text."""
-
-    name: str
-
-    def diagnose(self, trace: LabeledTrace) -> str: ...
-
-
-class _IOAgentTool:
-    """Adapter presenting IOAgent under the tool-harness interface."""
-
-    def __init__(self, model: str, seed: int = 0, **config_kwargs) -> None:
-        self.name = f"ioagent-{model}"
-        self.agent = IOAgent(IOAgentConfig(model=model, seed=seed, **config_kwargs))
-
-    def diagnose(self, trace: LabeledTrace) -> str:
-        return self.agent.diagnose(trace.log, trace_id=trace.trace_id).text
-
-
-def default_tools(seed: int = 0) -> list[DiagnosisTool]:
-    """The paper's four Table IV rows."""
+def default_tools(seed: int = 0, max_workers: int | None = None) -> list[DiagnosticTool]:
+    """The paper's four Table IV rows, resolved from the registry."""
     return [
-        DrishtiTool(),
-        IONTool(model="gpt-4o", seed=seed),
-        _IOAgentTool("gpt-4o", seed=seed),
-        _IOAgentTool("llama-3.1-70b", seed=seed),
+        get_tool("drishti"),
+        get_tool("ion", model="gpt-4o", seed=seed),
+        get_tool("ioagent", model="gpt-4o", seed=seed, max_workers=max_workers),
+        get_tool("ioagent", model="llama-3.1-70b", seed=seed, max_workers=max_workers),
     ]
 
 
@@ -108,13 +90,13 @@ class EvaluationResult:
 
 def evaluate_tools(
     bench: TraceBench,
-    tools: list[DiagnosisTool] | None = None,
+    tools: Sequence[DiagnosticTool] | None = None,
     judge_config: JudgeConfig | None = None,
     judge_client: LLMClient | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> EvaluationResult:
     """Run the full §VI evaluation and return scored results."""
-    tools = tools if tools is not None else default_tools(seed=bench.seed)
+    tools = list(tools) if tools is not None else default_tools(seed=bench.seed)
     judge_config = judge_config or JudgeConfig(seed=bench.seed)
     judge_client = judge_client or LLMClient(seed=bench.seed)
     result = EvaluationResult(tool_names=[t.name for t in tools])
@@ -124,7 +106,10 @@ def evaluate_tools(
     for trace in bench:
         if progress:
             progress(f"diagnosing {trace.trace_id}")
-        texts = {tool.name: tool.diagnose(trace) for tool in tools}
+        texts = {
+            tool.name: tool.diagnose(trace.log, trace_id=trace.trace_id).text
+            for tool in tools
+        }
         result.texts[trace.trace_id] = texts
         result.trace_sources[trace.trace_id] = trace.source
         for criterion in CRITERIA:

@@ -10,13 +10,15 @@ rely on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.llm.engine import SimLLMEngine
 from repro.llm.models import ModelProfile, get_model
 from repro.llm.tokenizer import approx_tokens
 
-__all__ = ["ChatMessage", "Usage", "Completion", "LLMClient"]
+__all__ = ["ChatMessage", "Usage", "Completion", "LLMClient", "UsageListener"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,12 +55,40 @@ class Completion:
     truncated: bool  # whether the prompt overflowed the context window
 
 
+# Callback fired after every completion: (model_name, usage, call_id).
+UsageListener = Callable[[str, Usage, str], None]
+
+
 class LLMClient:
-    """Routes prompts to the engine; tracks usage per model."""
+    """Routes prompts to the engine; tracks usage per model.
+
+    Observers (the pipeline's telemetry layer, cost dashboards, tests) can
+    subscribe to every completion via :meth:`add_usage_listener`; listeners
+    are invoked synchronously after accounting, under no lock, with
+    ``(model_name, usage, call_id)``.  Accounting itself is guarded by a
+    lock because stages fan completions out across threads.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self.engine = SimLLMEngine(seed=seed)
         self.usage_by_model: dict[str, Usage] = {}
+        self._usage_lock = threading.Lock()
+        self._usage_listeners: list[UsageListener] = []
+
+    # -- usage observation -------------------------------------------------
+
+    def add_usage_listener(self, listener: UsageListener) -> None:
+        """Subscribe ``listener`` to every subsequent completion."""
+        with self._usage_lock:
+            self._usage_listeners.append(listener)
+
+    def remove_usage_listener(self, listener: UsageListener) -> None:
+        """Unsubscribe a previously-added listener (no-op if absent)."""
+        with self._usage_lock:
+            try:
+                self._usage_listeners.remove(listener)
+            except ValueError:
+                pass
 
     def complete(
         self,
@@ -84,12 +114,17 @@ class LLMClient:
             / 1e6,
             calls=1,
         )
-        self.usage_by_model.setdefault(profile.name, Usage()).add(usage)
+        with self._usage_lock:
+            self.usage_by_model.setdefault(profile.name, Usage()).add(usage)
+            listeners = list(self._usage_listeners)
+        for listener in listeners:
+            listener(profile.name, usage, call_id)
         return Completion(text=response, model=profile.name, usage=usage, truncated=truncated)
 
     def total_usage(self) -> Usage:
         """Aggregate usage across all models."""
         total = Usage()
-        for usage in self.usage_by_model.values():
-            total.add(usage)
+        with self._usage_lock:
+            for usage in self.usage_by_model.values():
+                total.add(usage)
         return total

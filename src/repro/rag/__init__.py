@@ -12,7 +12,13 @@ step that discards sources the vector ranking got wrong.
 from repro.rag.chunking import Chunk, chunk_text
 from repro.rag.corpus import KnowledgeDoc, TOPICS, build_corpus, topics_for_issue
 from repro.rag.embedding import HashedTfIdfEmbedder
-from repro.rag.index import SearchHit, VectorIndex, build_default_index
+from repro.rag.index import (
+    SearchHit,
+    VectorIndex,
+    build_default_index,
+    clear_default_index_cache,
+    default_index_builds,
+)
 from repro.rag.reflection import reflect_filter
 from repro.rag.retriever import Retriever
 
@@ -27,6 +33,8 @@ __all__ = [
     "VectorIndex",
     "SearchHit",
     "build_default_index",
+    "clear_default_index_cache",
+    "default_index_builds",
     "Retriever",
     "reflect_filter",
 ]

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from functools import lru_cache
 
 import numpy as np
 
@@ -11,7 +11,14 @@ from repro.rag.chunking import Chunk, chunk_text
 from repro.rag.corpus import KnowledgeDoc, build_corpus
 from repro.rag.embedding import HashedTfIdfEmbedder
 
-__all__ = ["SearchHit", "VectorIndex", "build_default_index", "DEFAULT_TOP_K"]
+__all__ = [
+    "SearchHit",
+    "VectorIndex",
+    "build_default_index",
+    "clear_default_index_cache",
+    "default_index_builds",
+    "DEFAULT_TOP_K",
+]
 
 # The paper retrieves the top 15 closest matches per summary fragment.
 DEFAULT_TOP_K = 15
@@ -59,7 +66,33 @@ class VectorIndex:
         ]
 
 
-@lru_cache(maxsize=2)
+# Module-level memo: every IOAgent / DiagnosisService shares one index per
+# seed instead of re-embedding the 66-doc corpus on each construction.  A
+# plain dict (not lru_cache) so the memo never evicts under multi-seed use
+# and tests can observe/reset it.
+_DEFAULT_INDEX_CACHE: dict[int, VectorIndex] = {}
+_DEFAULT_INDEX_LOCK = threading.Lock()
+_default_index_builds = 0
+
+
 def build_default_index(seed: int = 0) -> VectorIndex:
-    """Build (and memoize) the index over the default 66-doc corpus."""
-    return VectorIndex(build_corpus(seed))
+    """Build (and memoize per seed) the index over the default 66-doc corpus."""
+    global _default_index_builds
+    with _DEFAULT_INDEX_LOCK:
+        index = _DEFAULT_INDEX_CACHE.get(seed)
+        if index is None:
+            index = VectorIndex(build_corpus(seed))
+            _DEFAULT_INDEX_CACHE[seed] = index
+            _default_index_builds += 1
+        return index
+
+
+def default_index_builds() -> int:
+    """How many times the default index was actually constructed."""
+    return _default_index_builds
+
+
+def clear_default_index_cache() -> None:
+    """Drop all memoized default indices (tests / corpus hot-reload)."""
+    with _DEFAULT_INDEX_LOCK:
+        _DEFAULT_INDEX_CACHE.clear()

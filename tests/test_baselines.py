@@ -9,50 +9,61 @@ from repro.baselines.ion import IONTool
 from repro.evaluation.accuracy import issue_assertions
 
 
+def _drishti_text(trace):
+    """Drishti insight text for a labeled trace (protocol: report.text)."""
+    return DrishtiTool().diagnose(trace.log, trace_id=trace.trace_id).text
+
+
+def _ion_text(tool, trace):
+    """ION diagnosis text for a labeled trace (protocol: report.text)."""
+    return tool.diagnose(trace.log, trace_id=trace.trace_id).text
+
+
+
 class TestDrishti:
     def test_thirty_triggers_registered(self):
         assert len(TRIGGERS) == 30
 
     def test_small_write_trigger_fires(self, bench):
-        text = DrishtiTool().diagnose(bench.get("sb01-small-writes"))
+        text = _drishti_text(bench.get("sb01-small-writes"))
         assert "small write" in text.lower()
         assert "POSIX_SMALL_WRITES" in text
 
     def test_canned_recommendations_present(self, bench):
-        text = DrishtiTool().diagnose(bench.get("sb01-small-writes"))
+        text = _drishti_text(bench.get("sb01-small-writes"))
         assert "Recommendation:" in text
 
     def test_no_mpi_category_is_missed(self, bench):
         """Drishti has no multi-process-without-MPI trigger (a paper gap)."""
         trace = bench.get("io500-09-posix-tuned-4m")
-        asserted = issue_assertions(DrishtiTool().diagnose(trace))
+        asserted = issue_assertions(_drishti_text(trace))
         assert "no_mpi" not in asserted
 
     def test_stripe_blind_spot_on_shimmed_offsets(self, bench):
         """Offset-shifted 1 MiB requests evade the stripe-size check."""
         trace = bench.get("sb03-misaligned-writes")
-        asserted = issue_assertions(DrishtiTool().diagnose(trace))
+        asserted = issue_assertions(_drishti_text(trace))
         assert "misaligned_write" not in asserted  # labeled, but Drishti misses
 
     def test_fixed_threshold_false_positive(self, bench):
         """Minor small-read populations trip the >10% trigger (paper §II-B)."""
         trace = bench.get("io500-09-posix-tuned-4m")
-        asserted = issue_assertions(DrishtiTool().diagnose(trace))
+        asserted = issue_assertions(_drishti_text(trace))
         assert "small_read" in asserted
         assert "small_read" not in trace.labels
 
     def test_redundant_read_trigger(self, bench):
-        asserted = issue_assertions(DrishtiTool().diagnose(bench.get("sb07-repetitive-read")))
+        asserted = issue_assertions(_drishti_text(bench.get("sb07-repetitive-read")))
         assert "repetitive_read" in asserted
 
     def test_collective_triggers(self, bench):
-        asserted = issue_assertions(DrishtiTool().diagnose(bench.get("io500-14-mpiio-8k-shared")))
+        asserted = issue_assertions(_drishti_text(bench.get("io500-14-mpiio-8k-shared")))
         assert {"no_collective_read", "no_collective_write"} <= asserted
 
     def test_ok_insights_hidden_by_default(self, bench):
         trace = bench.get("io500-09-posix-tuned-4m")
-        assert "✓ OK" not in DrishtiTool().diagnose(trace)
-        assert "✓ OK" in DrishtiTool(include_ok=True).diagnose(trace)
+        assert "✓ OK" not in _drishti_text(trace)
+        assert "✓ OK" in DrishtiTool(include_ok=True).diagnose(trace.log).text
 
     def test_run_triggers_returns_results(self, bench):
         results = run_triggers(bench.get("sb01-small-writes").log)
@@ -64,7 +75,7 @@ class TestDrishti:
 class TestION:
     def test_small_trace_reasonable_diagnosis(self, bench):
         trace = bench.get("io500-14-mpiio-8k-shared")
-        text = IONTool(model="gpt-4o", seed=0).diagnose(trace)
+        text = IONTool(model="gpt-4o", seed=0).diagnose(trace.log, trace.trace_id).text
         asserted = issue_assertions(text)
         assert "no_collective_read" in asserted
 
@@ -72,18 +83,18 @@ class TestION:
         """The §III failure: MPI-IO facts in the middle of a huge trace are
         lost, so ION wrongly concludes there is no MPI at all."""
         trace = bench.get("io500-21-mpiio-mdtest")  # ~650k lines, MPI-IO used
-        text = IONTool(model="gpt-4o", seed=0).diagnose(trace)
+        text = IONTool(model="gpt-4o", seed=0).diagnose(trace.log, trace.trace_id).text
         asserted = issue_assertions(text)
         assert "no_collective_write" not in asserted  # the MPIIO facts are gone
         assert "no_mpi" in asserted  # and their absence is misread
 
     def test_no_references_ever(self, bench):
-        text = IONTool(model="gpt-4o", seed=0).diagnose(bench.get("sb01-small-writes"))
+        text = _ion_text(IONTool(model="gpt-4o", seed=0), bench.get("sb01-small-writes"))
         assert "References:" not in text
 
     def test_gpt4_plans_instead_of_diagnosing(self, bench):
         """The Fig. 1 left panel."""
-        text = IONTool(model="gpt-4", seed=0).diagnose(bench.get("ra01-amrex"))
+        text = _ion_text(IONTool(model="gpt-4", seed=0), bench.get("ra01-amrex"))
         assert "### Finding" not in text
         assert "plot the time series" in text
 
@@ -94,5 +105,5 @@ class TestION:
         ion = IONTool(model="gpt-4o", seed=0)
         hits = 0
         for trace_id in ("sb01-small-writes", "sb06-shared-file", "ra01-amrex", "ra02-e2e-original"):
-            hits += len(misconception_in_text(ion.diagnose(bench.get(trace_id))))
+            hits += len(misconception_in_text(_ion_text(ion, bench.get(trace_id))))
         assert hits >= 1

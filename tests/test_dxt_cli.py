@@ -160,3 +160,38 @@ class TestCli:
         assert main(["evaluate", "--traces", "sb01-small-writes,ra01-amrex"]) == 0
         out = capsys.readouterr().out
         assert "IOAgent-gpt-4o" in out and "Overall" in out
+
+    def test_evaluate_unknown_trace_ids(self, capsys):
+        code = main(["evaluate", "--traces", "sb01-small-writes,nope-1,nope-2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown trace id(s): nope-1, nope-2" in err
+        assert "sb01-small-writes" in err  # the available ids are listed
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_list_tools(self, capsys):
+        assert main(["--list-tools"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert {"ioagent", "drishti", "ion"} <= set(listed)
+
+    def test_ioagent_alias_and_max_workers(self, trace_file, capsys):
+        assert main(["ioagent", trace_file, "--max-workers", "1"]) == 0
+        assert "small_write" in capsys.readouterr().out
+
+    def test_max_workers_does_not_change_output(self, trace_file, capsys):
+        assert main(["diagnose", trace_file]) == 0
+        default_out = capsys.readouterr().out
+        assert main(["diagnose", trace_file, "--max-workers", "1"]) == 0
+        assert capsys.readouterr().out == default_out
+
+    def test_no_command_errors(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
