@@ -34,7 +34,7 @@ def main() -> None:
         print(f"trace {trace.trace_id} — labels: {sorted(trace.labels)}")
         for tool, text in result.texts[trace.trace_id].items():
             stats = match_stats(text, trace.labels)
-            first_line = next((l for l in text.splitlines() if l.strip()), "")
+            first_line = next((line for line in text.splitlines() if line.strip()), "")
             print(
                 f"  {tool:24s} matched={stats.matched} missed={stats.missed} "
                 f"false={stats.false_positives}  | {first_line[:60]}"

@@ -14,7 +14,6 @@ import tempfile
 
 from repro import IOAgent, IOAgentConfig
 from repro.core.preprocess import write_module_csvs
-from repro.util.units import KiB
 from repro.workloads import Workload, data_phase
 
 

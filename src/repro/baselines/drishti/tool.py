@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.baselines.drishti.triggers import TriggerResult, run_triggers
+from repro.baselines.drishti.triggers import run_triggers
 from repro.core.registry import register_tool
 from repro.core.report import DiagnosisReport
 from repro.darshan.log import DarshanLog

@@ -1,6 +1,6 @@
 """Drishti's heuristic triggers.
 
-Thirty named triggers over Darshan counters, in the spirit of the real
+Thirty-two named triggers over Darshan counters, in the spirit of the real
 tool: fixed thresholds "determined via expert knowledge", per-trigger
 hard-coded messages, and insight levels (HIGH / WARN / OK / INFO).  The
 limitations the paper calls out are reproduced deliberately:
@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.darshan.counters import SMALL_SIZE_SUFFIXES
 from repro.darshan.log import DarshanLog
 
 __all__ = ["TriggerResult", "TRIGGERS", "run_triggers", "THRESHOLDS"]
@@ -39,6 +40,10 @@ THRESHOLDS = {
     "imbalance_fraction": 0.15,  # (slowest-fastest)/slowest > 15%
     "stripe_small_file_bytes": 16 * 1_048_576,
     "redundant_read_ratio": 2.0,
+    "fsync_fraction": 0.5,  # more than one fsync per two writes
+    "fsync_min_ops": 500,
+    "small_collective_fraction": 0.9,  # tiny payloads behind collectives
+    "small_collective_min_ops": 500,
 }
 
 
@@ -74,8 +79,7 @@ def _total(log: DarshanLog, counter: str) -> float:
 
 def _small_ops(log: DarshanLog, direction: str) -> int:
     # Bins strictly below 1 MiB (Drishti's small-request threshold).
-    suffixes = ("0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M")
-    return int(sum(_total(log, f"POSIX_SIZE_{direction}_{s}") for s in suffixes))
+    return int(sum(_total(log, f"POSIX_SIZE_{direction}_{s}") for s in SMALL_SIZE_SUFFIXES))
 
 
 # -- size triggers (1-4) -----------------------------------------------------
@@ -342,6 +346,28 @@ def t_many_stats(log: DarshanLog) -> list[TriggerResult]:
     return []
 
 
+@_trigger("POSIX_FSYNC_FREQUENT")
+def t_fsync_frequent(log: DarshanLog) -> list[TriggerResult]:
+    writes = _total(log, "POSIX_WRITES")
+    syncs = _total(log, "POSIX_FSYNCS")
+    if (
+        writes > 0
+        and syncs > THRESHOLDS["fsync_min_ops"]
+        and syncs / writes > THRESHOLDS["fsync_fraction"]
+    ):
+        return [
+            TriggerResult(
+                "POSIX_FSYNC_FREQUENT",
+                "HIGH",
+                f"Application issues {int(syncs)} POSIX_FSYNCS against {int(writes)} "
+                f"POSIX_WRITES — synchronizing after nearly every write serializes "
+                f"I/O on commit latency.",
+                "Batch writes between fsync calls or rely on close-time flushing.",
+            )
+        ]
+    return []
+
+
 # -- shared file / rank triggers (14-17) --------------------------------------------
 
 
@@ -495,6 +521,37 @@ def t_collective_insight(log: DarshanLog) -> list[TriggerResult]:
                 "MPIIO_COLLECTIVE_INSIGHT",
                 "INFO",
                 f"Application performs {int(coll)} collective MPI-IO operations.",
+            )
+        ]
+    return []
+
+
+@_trigger("MPIIO_SMALL_COLLECTIVES")
+def t_small_collectives(log: DarshanLog) -> list[TriggerResult]:
+    coll = _total(log, "MPIIO_COLL_READS") + _total(log, "MPIIO_COLL_WRITES")
+    if coll <= THRESHOLDS["small_collective_min_ops"]:
+        return []
+    small = sum(
+        _total(log, f"MPIIO_SIZE_{d}_AGG_{s}")
+        for d in ("READ", "WRITE")
+        for s in SMALL_SIZE_SUFFIXES
+    )
+    ops = _total(log, "MPIIO_INDEP_READS") + _total(log, "MPIIO_INDEP_WRITES") + coll
+    # The AGG histogram mixes independent and collective requests, so only
+    # attribute smallness to collectives when they dominate the op mix.
+    if (
+        ops > 0
+        and coll / ops >= 0.5
+        and small / ops > THRESHOLDS["small_collective_fraction"]
+    ):
+        return [
+            TriggerResult(
+                "MPIIO_SMALL_COLLECTIVES",
+                "WARN",
+                f"Application performs {int(coll)} collective operations but "
+                f"{100 * small / ops:.1f}% of MPI-IO requests carry less than 1 MB "
+                f"each: collective buffering is amortizing very little data.",
+                "Aggregate more data per collective call (fewer, larger rounds).",
             )
         ]
     return []
@@ -667,7 +724,7 @@ def t_job_summary(log: DarshanLog) -> list[TriggerResult]:
 
 
 def run_triggers(log: DarshanLog) -> list[TriggerResult]:
-    """Run all 30 triggers over ``log``."""
+    """Run all 32 triggers over ``log``."""
     results: list[TriggerResult] = []
     for fn in TRIGGERS.values():
         results.extend(fn(log))

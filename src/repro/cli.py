@@ -6,13 +6,18 @@ Commands:
   shows them), all driven by the :mod:`repro.core.registry` — e.g.
   ``diagnose <trace.darshan.txt>`` (alias ``ioagent``) runs IOAgent,
   ``drishti`` the heuristic baseline, ``ion`` the plain-prompt baseline;
+* ``list-scenarios [--tag TAG]`` (or the ``--list-scenarios`` flag) —
+  enumerate the scenario registry;
 * ``tracebench export <dir>`` — write the 40-trace suite + labels to disk;
 * ``tracebench table3`` — print the Table III composition;
-* ``evaluate [--traces id,id,...]`` — run the Table IV harness and print it;
+* ``evaluate [--traces id,...] [--scenarios name-or-tag,...]`` — run the
+  Table IV harness over registry-selected scenarios and print it;
 * ``chat <trace.darshan.txt>`` — diagnose, then answer questions from stdin.
 
 A tool registered via :func:`repro.core.registry.register_tool` before
-``build_parser()`` runs gets its CLI subcommand for free.
+``build_parser()`` runs gets its CLI subcommand for free, and a scenario
+registered via :func:`repro.workloads.scenarios.register_scenario` is
+selectable by ``evaluate --scenarios`` with no CLI changes.
 """
 
 from __future__ import annotations
@@ -37,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered diagnosis tools and exit",
     )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="list the registered workload scenarios and exit",
+    )
     sub = parser.add_subparsers(dest="command", required=False)
 
     def add_trace_cmd(name: str, help_text: str, aliases: tuple[str, ...] = ()) -> argparse.ArgumentParser:
@@ -49,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     # name `diagnose` (with `ioagent` as alias) and its design switches.
     # Names that would collide with the fixed subcommands are skipped (the
     # tool stays reachable through the API) rather than crashing argparse.
-    reserved = {"diagnose", "chat", "tracebench", "evaluate"}
+    reserved = {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios"}
     for tool_name in available_tools():
         if tool_name in reserved:
             continue
@@ -83,8 +93,18 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--seed", type=int, default=0)
     tb_sub.add_parser("table3", help="print the Table III composition")
 
+    ls = sub.add_parser("list-scenarios", help="list the registered workload scenarios")
+    ls.add_argument("--tag", default=None, help="only scenarios matching this tag/selector")
+    ls.set_defaults(func=_cmd_list_scenarios)
+
     ev = sub.add_parser("evaluate", help="run the Table IV evaluation harness")
     ev.add_argument("--traces", default="", help="comma-separated trace ids (default: all 40)")
+    ev.add_argument(
+        "--scenarios",
+        default="",
+        help="comma-separated scenario names and/or tags (e.g. 'pathology', "
+        "'path09-fsync-per-write,hard'); see `list-scenarios`",
+    )
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument(
         "--max-workers",
@@ -138,6 +158,20 @@ def _cmd_chat(args) -> int:
     return 0
 
 
+def _cmd_list_scenarios(args) -> int:
+    from repro.workloads.scenarios import iter_scenarios
+
+    scenarios = iter_scenarios(getattr(args, "tag", None))
+    if not scenarios:
+        print(f"no scenarios match {args.tag!r}", file=sys.stderr)
+        return 2
+    width = max(len(s.name) for s in scenarios)
+    for s in scenarios:
+        causes = ",".join(sorted(s.root_causes)) or "<clean>"
+        print(f"{s.name:{width}s}  {s.difficulty:8s} {' '.join(s.tags):24s} {causes}")
+    return 0
+
+
 def _cmd_tracebench(args) -> int:
     if args.tb_command == "table3":
         from repro.evaluation.tables import render_table3
@@ -171,22 +205,63 @@ def _cmd_evaluate(args) -> int:
     from repro.evaluation.tables import render_table4
     from repro.tracebench import build_tracebench
     from repro.tracebench.dataset import TraceBench
+    from repro.tracebench.spec import TRACE_SPECS
+    from repro.workloads.scenarios import (
+        ScenarioNotFoundError,
+        available_tags,
+        build_scenario,
+        select_scenarios,
+    )
 
-    suite = build_tracebench(args.seed)
+    # The full 40-trace build is only paid when a TraceBench trace is
+    # actually evaluated; pathology-only runs never touch it.
+    tracebench_ids = {s.trace_id for s in TRACE_SPECS}
+    _suite_cache = []
+
+    def suite():
+        if not _suite_cache:
+            _suite_cache.append(build_tracebench(args.seed))
+        return _suite_cache[0]
+
+    selected = []
+    if args.scenarios:
+        tokens = [t.strip() for t in args.scenarios.split(",") if t.strip()]
+        try:
+            scenarios = select_scenarios(tokens)
+        except ScenarioNotFoundError as exc:
+            noun = "selector" if len(exc.unknown) == 1 else "selectors"
+            print(
+                f"error: unknown scenario {noun}: {', '.join(exc.unknown)}",
+                file=sys.stderr,
+            )
+            print(
+                "selectors match a scenario name, tag, source, or difficulty;",
+                file=sys.stderr,
+            )
+            print(f"available tags: {', '.join(available_tags())}", file=sys.stderr)
+            print("available scenarios: see `python -m repro list-scenarios`", file=sys.stderr)
+            return 2
+        # The memoized TraceBench build already holds the tracebench-tagged
+        # traces; anything else (e.g. the pathology tier) builds fresh.
+        selected.extend(
+            suite().get(s.name) if s.name in tracebench_ids else build_scenario(s, seed=args.seed)
+            for s in scenarios
+        )
     if args.traces:
         wanted = [t.strip() for t in args.traces.split(",") if t.strip()]
-        known = {t.trace_id for t in suite}
-        unknown = [t for t in wanted if t not in known]
+        unknown = [t for t in wanted if t not in tracebench_ids]
         if unknown:
             print(f"error: unknown trace id(s): {', '.join(unknown)}", file=sys.stderr)
             print("available trace ids:", file=sys.stderr)
-            for tid in sorted(known):
+            for tid in sorted(tracebench_ids):
                 print(f"  {tid}", file=sys.stderr)
             return 2
-        suite = TraceBench(traces=[suite.get(t) for t in wanted], seed=args.seed)
+        have = {t.trace_id for t in selected}
+        selected.extend(suite().get(t) for t in wanted if t not in have)
+    bench = TraceBench(traces=selected, seed=args.seed) if selected else suite()
     tools = default_tools(seed=args.seed, max_workers=args.max_workers)
     result = evaluate_tools(
-        suite, tools=tools, progress=lambda msg: print(f"  {msg}", file=sys.stderr)
+        bench, tools=tools, progress=lambda msg: print(f"  {msg}", file=sys.stderr)
     )
     print(render_table4(result))
     return 0
@@ -201,8 +276,14 @@ def main(argv: list[str] | None = None) -> int:
         for name in available_tools():
             print(name)
         return 0
+    if args.list_scenarios and args.command is None:
+        from repro.workloads.scenarios import available_scenarios
+
+        for name in available_scenarios():
+            print(name)
+        return 0
     if args.command is None:
-        parser.error("a command is required (or --list-tools / --version)")
+        parser.error("a command is required (or --list-tools / --list-scenarios / --version)")
     return args.func(args)
 
 

@@ -22,7 +22,7 @@ from repro.tracebench.dataset import LabeledTrace
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.service import StageMetrics
 
-__all__ = ["BatchResult", "run_batch", "cost_comparison"]
+__all__ = ["BatchResult", "run_batch", "run_scenario_batch", "cost_comparison"]
 
 
 @dataclass
@@ -70,6 +70,33 @@ def run_batch(
     )
     service = DiagnosisService(tool=tool, config=config)
     return service.diagnose_batch(traces, max_workers=max_workers)
+
+
+def run_scenario_batch(
+    selectors: tuple[str, ...] | list[str],
+    model: str = "gpt-4o",
+    seed: int = 0,
+    tool: str = "ioagent",
+    max_workers: int | None = None,
+    **config_kwargs,
+) -> BatchResult:
+    """Diagnose every scenario picked from the registry by ``selectors``.
+
+    ``selectors`` are scenario names and/or tags (``"tracebench"``,
+    ``"pathology"``, a difficulty tier, ...), resolved through the
+    scenario registry — the batch runner needs no per-suite wiring.
+    """
+    from repro.tracebench.build import build_scenario_suite
+
+    suite = build_scenario_suite(selectors, seed=seed)
+    return run_batch(
+        list(suite.traces),
+        model=model,
+        seed=seed,
+        tool=tool,
+        max_workers=max_workers,
+        **config_kwargs,
+    )
 
 
 def cost_comparison(

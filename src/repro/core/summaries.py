@@ -22,11 +22,11 @@ LLMs for metadata retrieval".
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.darshan.counters import SIZE_BIN_EDGES, SIZE_BIN_SUFFIXES
+from repro.darshan.counters import SIZE_BIN_SUFFIXES
 from repro.darshan.log import DarshanLog
 from repro.llm.facts import Fact
 from repro.util.stats import gini

@@ -16,6 +16,7 @@ __all__ = [
     "SIZE_BIN_EDGES",
     "SIZE_BIN_SUFFIXES",
     "SIZE_BIN_LABELS",
+    "SMALL_SIZE_SUFFIXES",
     "size_bin_index",
     "size_counters",
     "POSIX_COUNTERS",
@@ -68,6 +69,11 @@ SIZE_BIN_LABELS: tuple[str, ...] = (
     "100 MiB-1 GiB",
     "1 GiB+",
 )
+
+# Bins strictly below 1 MiB — Drishti's "small request" population.  One
+# definition shared by the triggers and the tests so the tools and their
+# counter-signature checks cannot drift apart.
+SMALL_SIZE_SUFFIXES: tuple[str, ...] = SIZE_BIN_SUFFIXES[:5]
 
 # Number of "common stride" / "common access size" slots Darshan keeps.
 N_STRIDE_SLOTS = 4

@@ -11,7 +11,12 @@ TraceBench and renders Table IV.
 from repro.evaluation.accuracy import issue_assertions, match_stats
 from repro.evaluation.ranking import JudgeConfig, rank_candidates
 from repro.evaluation.scoring import normalized_scores, score_from_rank
-from repro.evaluation.harness import EvaluationResult, evaluate_tools, default_tools
+from repro.evaluation.harness import (
+    EvaluationResult,
+    default_tools,
+    evaluate_scenarios,
+    evaluate_tools,
+)
 from repro.evaluation.tables import render_table3, render_table4
 
 __all__ = [
@@ -23,6 +28,7 @@ __all__ = [
     "normalized_scores",
     "EvaluationResult",
     "evaluate_tools",
+    "evaluate_scenarios",
     "default_tools",
     "render_table3",
     "render_table4",

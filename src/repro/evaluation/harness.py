@@ -21,13 +21,20 @@ from repro.evaluation.scoring import normalized_scores
 from repro.llm.client import LLMClient
 from repro.tracebench.dataset import TraceBench
 
-__all__ = ["default_tools", "EvaluationResult", "evaluate_tools", "CRITERIA"]
+__all__ = [
+    "default_tools",
+    "EvaluationResult",
+    "evaluate_tools",
+    "evaluate_scenarios",
+    "CRITERIA",
+]
 
 CRITERIA = ("accuracy", "utility", "interpretability")
 SOURCE_TITLES = {
     "simple-bench": "Simple-Bench",
     "io500": "IO500",
     "real-applications": "Real-Applications",
+    "pathology": "Pathology",
 }
 
 
@@ -75,12 +82,12 @@ class EvaluationResult:
         for criterion in CRITERIA:
             table[criterion] = {}
             for source in columns:
-                key = SOURCE_TITLES.get(source, "Overall") if source else "Overall"
+                key = SOURCE_TITLES.get(source, source) if source else "Overall"
                 table[criterion][key] = self.normalized(criterion, source)
         # Average across the three criteria.
         table["average"] = {}
         for source in columns:
-            key = SOURCE_TITLES.get(source, "Overall") if source else "Overall"
+            key = SOURCE_TITLES.get(source, source) if source else "Overall"
             avg: dict[str, float] = {}
             for tool in self.tool_names:
                 avg[tool] = sum(table[c][key][tool] for c in CRITERIA) / len(CRITERIA)
@@ -123,3 +130,30 @@ def evaluate_tools(
                 call_id=f"{trace.trace_id}",
             )
     return result
+
+
+def evaluate_scenarios(
+    selectors: Sequence[str] = ("tracebench",),
+    seed: int = 0,
+    tools: Sequence[DiagnosticTool] | None = None,
+    judge_config: JudgeConfig | None = None,
+    judge_client: LLMClient | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> EvaluationResult:
+    """Run the evaluation over scenarios picked from the registry.
+
+    ``selectors`` are scenario names and/or tags (``"tracebench"``,
+    ``"pathology"``, a difficulty tier, a source, ...); the suite is built
+    fresh from the registry, so plugin scenarios registered before the
+    call are first-class rows of the resulting table.
+    """
+    from repro.tracebench.build import build_scenario_suite
+
+    suite = build_scenario_suite(selectors, seed=seed)
+    return evaluate_tools(
+        suite,
+        tools=tools,
+        judge_config=judge_config,
+        judge_client=judge_client,
+        progress=progress,
+    )

@@ -61,9 +61,13 @@ def render_table3() -> str:
 def render_table4(result: EvaluationResult) -> str:
     """Paper Table IV: normalized scores per metric / source / tool."""
     table = result.table4()
-    canonical = ["Simple-Bench", "IO500", "Real-Applications", "Overall"]
+    canonical = ["Simple-Bench", "IO500", "Real-Applications", "Pathology", "Overall"]
     present = set(table["accuracy"])
-    columns = [c for c in canonical if c in present]
+    # Canonical columns first (paper order), then any other source a
+    # plugin scenario contributed, with Overall always last.
+    columns = [c for c in canonical if c in present and c != "Overall"]
+    columns += sorted(c for c in present if c not in canonical)
+    columns.append("Overall")
     lines = [
         "Table IV: Performance Results for Diagnosis Tools on TraceBench Subsets",
         f"{'Metric':>16s} {'Diagnosis Tool':24s} "

@@ -11,7 +11,7 @@ rely on.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.llm.engine import SimLLMEngine

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.llm.engine import register_task
 from repro.llm.findings import parse_findings
-from repro.llm.misconceptions import MISCONCEPTIONS, misconception_in_text
+from repro.llm.misconceptions import misconception_in_text
 from repro.llm.models import ModelProfile
 from repro.llm.tokenizer import approx_tokens
 from repro.util.text import sentence_split

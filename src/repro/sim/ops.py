@@ -8,7 +8,7 @@ Darshan counters are a lossy projection of it.  Workloads build lists of
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["API", "OpKind", "IOOp"]
 

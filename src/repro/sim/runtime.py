@@ -11,8 +11,8 @@ the Darshan instrumentation among them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol
+from dataclasses import dataclass
+from typing import Iterable, Protocol
 
 import numpy as np
 
@@ -214,6 +214,8 @@ class IORuntime:
         if op.kind is OpKind.OPEN and self.fs.contains(op.path):
             self.fs.layout_for(op.path)  # materialize layout on first open
         self._ops += 1
+        if op.kind is OpKind.SYNC:
+            return self.perf.sync_time()
         return self.perf.metadata_time()
 
     def _notify(self, op: IOOp, t0: float, t1: float) -> None:

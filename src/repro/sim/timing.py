@@ -36,6 +36,11 @@ class PerfModel:
     mdt_latency: float = 400e-6  # s
     collective_overhead: float = 1.5e-3  # s per collective round
     stdio_buffer: int = 4096  # stdio's user-space buffering granularity
+    # fsync/flush commit latency; None means "same as any metadata op".
+    # Real clusters sit well above that (a sync waits on device durability,
+    # not just an MDT round-trip), which fsync-heavy scenarios model by
+    # overriding this.
+    sync_latency: float | None = None
 
     def transfer_time(self, size: int, osts_used: int, sequential: bool) -> float:
         """Seconds to move ``size`` bytes over ``osts_used`` parallel OSTs."""
@@ -48,5 +53,9 @@ class PerfModel:
         return t
 
     def metadata_time(self) -> float:
-        """Seconds for one metadata operation (open/stat/seek/sync/close)."""
+        """Seconds for one metadata operation (open/stat/seek/close)."""
         return self.mdt_latency
+
+    def sync_time(self) -> float:
+        """Seconds for one sync/flush (falls back to the metadata cost)."""
+        return self.mdt_latency if self.sync_latency is None else self.sync_latency

@@ -7,7 +7,7 @@ Table III exactly (182 labeled issues in total), which
 ``tests/test_tracebench.py`` asserts.
 """
 
-from repro.tracebench.build import build_tracebench, build_trace
+from repro.tracebench.build import build_scenario_suite, build_trace, build_tracebench
 from repro.tracebench.dataset import LabeledTrace, TraceBench
 from repro.tracebench.spec import TRACE_SPECS, TraceSpec, table3_counts
 
@@ -19,4 +19,5 @@ __all__ = [
     "TraceBench",
     "build_tracebench",
     "build_trace",
+    "build_scenario_suite",
 ]

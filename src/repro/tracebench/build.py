@@ -1,18 +1,24 @@
-"""Build the TraceBench suite by running every workload under Darshan.
+"""Build trace suites by running registered scenarios under Darshan.
 
+The scenario registry (:mod:`repro.workloads.scenarios`) is the single
+source of workloads: the 40-trace TraceBench build is just the
+``tracebench`` selector, and any other selector (a tag like
+``pathology``, a difficulty tier, or explicit names) builds the same way.
 Building all 40 traces executes a few hundred thousand simulated I/O
-operations; results are memoized per seed so tests and benchmarks share
-one build.
+operations; the full-suite build is memoized per seed so tests and
+benchmarks share one run.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Iterable
 
 from repro.tracebench.dataset import LabeledTrace, TraceBench
 from repro.tracebench.spec import TRACE_SPECS, TraceSpec
+from repro.workloads.scenarios import build_scenario, select_scenarios
 
-__all__ = ["build_trace", "build_tracebench"]
+__all__ = ["build_trace", "build_tracebench", "build_scenario_suite"]
 
 
 def build_trace(spec: TraceSpec, seed: int = 0) -> LabeledTrace:
@@ -28,8 +34,29 @@ def build_trace(spec: TraceSpec, seed: int = 0) -> LabeledTrace:
     )
 
 
+def build_scenario_suite(selectors: Iterable[str], seed: int = 0) -> TraceBench:
+    """Build a suite from registry selectors (names and/or tags), in order.
+
+    Raises :class:`~repro.workloads.scenarios.ScenarioNotFoundError` when a
+    selector matches nothing.  The bare ``tracebench`` selector is served
+    from the memoized :func:`build_tracebench` rather than rebuilt.
+    """
+    selectors = tuple(selectors)
+    if selectors == ("tracebench",):
+        return build_tracebench(seed)
+    traces = [build_scenario(s, seed=seed) for s in select_scenarios(selectors)]
+    return TraceBench(traces=traces, seed=seed)
+
+
 @lru_cache(maxsize=4)
 def build_tracebench(seed: int = 0) -> TraceBench:
-    """Build (and memoize) the full 40-trace suite for ``seed``."""
-    traces = [build_trace(spec, seed=seed) for spec in TRACE_SPECS]
+    """Build (and memoize) the paper's 40-trace suite for ``seed``.
+
+    The suite is pinned to the trace ids in :data:`TRACE_SPECS` (which
+    register themselves as scenarios on import) and each id resolves
+    through the scenario registry — so a plugin *replacing* a TraceBench
+    scenario is honored, while an unrelated scenario squatting on the
+    ``tracebench`` tag cannot silently grow the paper's 40-trace suite.
+    """
+    traces = [build_scenario(spec.trace_id, seed=seed) for spec in TRACE_SPECS]
     return TraceBench(traces=traces, seed=seed)

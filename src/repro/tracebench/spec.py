@@ -4,6 +4,11 @@ The label sets were assigned per trace such that (a) every label is an
 actual behaviour of the generating workload's operation stream, and (b)
 the per-source counts sum exactly to paper Table III.  The invariant is
 enforced by :func:`table3_counts` plus the test suite.
+
+Importing this module registers every trace as a
+:class:`~repro.workloads.scenarios.Scenario` tagged ``tracebench`` (plus
+its source), which is how the suite build, harness, and CLI enumerate it;
+``TRACE_SPECS`` remains the Table III ground-truth view of the same data.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from repro.core.issues import ISSUE_KEYS
 from repro.workloads.base import Workload
 from repro.workloads.io500 import IO500_BUILDERS, IO500_CONFIGS
 from repro.workloads.real_apps import REAL_APP_BUILDERS
+from repro.workloads.scenarios import Scenario, register_scenario
 from repro.workloads.simple_bench import SIMPLE_BENCH_BUILDERS
 
 __all__ = ["TraceSpec", "TRACE_SPECS", "table3_counts", "TABLE3_EXPECTED"]
@@ -152,6 +158,31 @@ TABLE3_EXPECTED: dict[str, tuple[int, int, int]] = {
     "low_level_read": (1, 0, 0),
     "low_level_write": (1, 0, 0),
 }
+
+
+# The paper's own difficulty gradient: Simple-Bench traces are "the
+# easiest to diagnose", IO500 models realistic mis-tunings, and the
+# real-application traces are the multi-issue hard tier.
+_SOURCE_DIFFICULTY = {
+    "simple-bench": "easy",
+    "io500": "medium",
+    "real-applications": "hard",
+}
+
+_DESCRIPTIONS = {c.trace_id: c.description for c in IO500_CONFIGS}
+
+for _spec in TRACE_SPECS:
+    register_scenario(
+        Scenario(
+            name=_spec.trace_id,
+            source=_spec.source,
+            builder=_spec.builder,
+            root_causes=_spec.labels,
+            difficulty=_SOURCE_DIFFICULTY[_spec.source],
+            tags=("tracebench", _spec.source),
+            description=_DESCRIPTIONS.get(_spec.trace_id, ""),
+        )
+    )
 
 
 def table3_counts() -> dict[str, tuple[int, int, int]]:

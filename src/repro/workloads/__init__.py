@@ -1,24 +1,58 @@
 """Synthetic workload generators that produce Darshan traces.
 
 Each workload is a composition of *phases* (:mod:`repro.workloads.patterns`)
-executed by the simulated runtime under Darshan instrumentation.  The three
-TraceBench sources are modelled here:
+executed by the simulated runtime under Darshan instrumentation.  Workloads
+enter the system through the **scenario registry**
+(:mod:`repro.workloads.scenarios`): a :class:`~repro.workloads.scenarios.Scenario`
+couples a workload builder with its expert ground truth (``root_causes``),
+a difficulty tier, and selection tags, and everything downstream — the
+TraceBench build, the evaluation harness, the batch runner, and the CLI
+(``list-scenarios``, ``evaluate --scenarios TAG``) — enumerates scenarios
+through ``register_scenario`` / ``get_scenario`` / ``available_scenarios``
+rather than hard-coded lists.  It is the third extension surface next to
+the tool registry and the stage pipeline.
 
-* :mod:`repro.workloads.simple_bench` — the 10 rudimentary single-issue
-  C-script analogues;
-* :mod:`repro.workloads.io500` — 21 parameterizations of the IO500
-  benchmark phases (ior-easy, ior-hard, mdtest);
-* :mod:`repro.workloads.real_apps` — 9 real-application models (AMReX,
-  E2E original/recollected, OpenPMD original/recollected, HACC-IO, ...).
+Two scenario tiers ship built in:
+
+* the paper's three TraceBench sources (tag ``tracebench``):
+  :mod:`repro.workloads.simple_bench` — the 10 rudimentary single-issue
+  C-script analogues; :mod:`repro.workloads.io500` — 21 parameterizations
+  of the IO500 benchmark phases (ior-easy, ior-hard, mdtest); and
+  :mod:`repro.workloads.real_apps` — 9 real-application models (AMReX,
+  E2E original/recollected, OpenPMD original/recollected, HACC-IO, ...);
+* the extended pathology tier (tag ``pathology``):
+  :mod:`repro.workloads.pathologies` — 12 scenarios covering random small
+  reads, false sharing, metadata storms, straggler ranks, bursty N-to-1
+  checkpoints, read-modify-write, misaligned strides, tiny collectives,
+  fsync-per-write, redundant re-reads, stdio/MPI-IO interference, and a
+  clean-baseline control with an empty ground-truth label set.
 """
 
 from repro.workloads.base import Workload, WorkloadContext, run_workload
 from repro.workloads.patterns import (
+    checkpoint_burst_phase,
     data_phase,
+    false_sharing_phase,
+    fsync_per_write_phase,
     imbalanced_write_phase,
+    metadata_churn_phase,
     metadata_phase,
+    read_modify_write_phase,
     repetitive_read_phase,
     stdio_phase,
+    straggler_phase,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    ScenarioNotFoundError,
+    available_scenarios,
+    available_tags,
+    build_scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    select_scenarios,
+    unregister_scenario,
 )
 
 __all__ = [
@@ -30,4 +64,20 @@ __all__ = [
     "repetitive_read_phase",
     "imbalanced_write_phase",
     "stdio_phase",
+    "false_sharing_phase",
+    "metadata_churn_phase",
+    "checkpoint_burst_phase",
+    "read_modify_write_phase",
+    "fsync_per_write_phase",
+    "straggler_phase",
+    "Scenario",
+    "ScenarioNotFoundError",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "iter_scenarios",
+    "available_scenarios",
+    "available_tags",
+    "select_scenarios",
+    "build_scenario",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol
+from typing import Iterable, Protocol
 
 import numpy as np
 
@@ -45,7 +45,9 @@ class Workload:
     is applied before any I/O, like a job script running ``lfs setstripe``.
     ``uses_mpi=False`` models a multi-process application launched without
     MPI (TraceBench's *Multi-Process Without MPI* issue): such runs can
-    never produce MPI-IO records.
+    never produce MPI-IO records.  ``perf`` overrides the cluster
+    performance constants (``None`` keeps the :class:`PerfModel` defaults);
+    scenarios use it to model e.g. slow fsync commit latency.
     """
 
     name: str
@@ -59,6 +61,7 @@ class Workload:
     default_stripe_width: int = 1
     stripe_overrides: dict[str, tuple[int, int]] = field(default_factory=dict)
     compute_seconds: float = 0.0  # non-I/O runtime folded into the job clock
+    perf: PerfModel | None = None
 
     def run(self, seed: int = 0) -> tuple[DarshanLog, JobResult]:
         """Execute the workload and return its Darshan log + aggregates."""
@@ -83,7 +86,7 @@ def run_workload(workload: Workload, seed: int = 0) -> tuple[DarshanLog, JobResu
         # Stagger start times so each trace has a distinct but stable epoch.
         start_time=1_700_000_000 + workload.jobid * 3600,
     )
-    runtime = IORuntime(spec, fs)
+    runtime = IORuntime(spec, fs, perf=workload.perf)
     instrument = DarshanInstrument(spec, fs)
     runtime.add_observer(instrument)
 

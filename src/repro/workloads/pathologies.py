@@ -1,0 +1,409 @@
+"""The extended pathology tier: 12 scenarios beyond the paper's TraceBench.
+
+TraceBench's 40 traces cover the issue taxonomy but only a slice of how
+those issues arise in production.  Each workload here models one pathology
+the related diagnosis literature calls out — false sharing, metadata
+churn, stragglers, bursty defensive I/O, read-modify-write, fsync floods,
+redundant re-reads at scale, stdio/MPI-IO interference — plus one clean
+baseline control whose ground truth is *no issue at all* (a diagnoser
+that cannot stay quiet on it is over-triggering).
+
+Every workload registers a :class:`~repro.workloads.scenarios.Scenario`
+tagged ``pathology`` (plus a theme tag), so the harness, batch runner,
+and CLI pick them up with no further wiring:
+``python -m repro evaluate --scenarios pathology``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.timing import PerfModel
+from repro.util.units import KiB, MiB
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    checkpoint_burst_phase,
+    data_phase,
+    false_sharing_phase,
+    fsync_per_write_phase,
+    metadata_churn_phase,
+    read_modify_write_phase,
+    repetitive_read_phase,
+    stdio_phase,
+    straggler_phase,
+)
+from repro.workloads.scenarios import Scenario, register_scenario
+
+__all__ = ["PATHOLOGY_BUILDERS"]
+
+
+def path01_random_small_reads() -> Workload:
+    """16 MPI-less processes issue 4 KiB reads in shuffled order on one file."""
+    return Workload(
+        name="path01-random-small-reads",
+        exe="/home/user/pathology/random_small_reads",
+        nprocs=16,
+        jobid=901,
+        uses_mpi=False,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            data_phase(
+                "/scratch/path01/lookup.db",
+                "read",
+                xfer=4 * KiB,
+                count_per_rank=800,
+                api="posix",
+                layout="shared",
+                pattern="random",
+            ),
+        ),
+    )
+
+
+def path02_false_sharing() -> Workload:
+    """Ranks interleave 1 KiB records inside shared file-system blocks."""
+    return Workload(
+        name="path02-false-sharing",
+        exe="/home/user/pathology/false_sharing",
+        nprocs=8,
+        jobid=902,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            false_sharing_phase(
+                "/scratch/path02/cells.dat",
+                record_bytes=1024,
+                count_per_rank=2500,
+                api="mpiio",
+            ),
+        ),
+    )
+
+
+def path03_metadata_storm() -> Workload:
+    """16 ranks create then repeatedly reopen/stat 250 files each."""
+    return Workload(
+        name="path03-metadata-storm",
+        exe="/home/user/pathology/metadata_storm",
+        nprocs=16,
+        jobid=903,
+        uses_mpi=False,
+        phases=(
+            metadata_churn_phase(
+                "/scratch/path03/staging",
+                files_per_rank=250,
+                cycles=2,
+            ),
+        ),
+    )
+
+
+def path04_straggler_rank() -> Workload:
+    """Byte-balanced shared-file write where rank 0 moves its share in
+    4 KiB pieces: the imbalance lives in time, not volume."""
+    return Workload(
+        name="path04-straggler-rank",
+        exe="/home/user/pathology/straggler_rank",
+        nprocs=8,
+        jobid=904,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            straggler_phase(
+                "/scratch/path04/field.dat",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                straggler_rank=0,
+                slow_factor=256,
+                api="mpiio",
+            ),
+        ),
+    )
+
+
+def path05_bursty_checkpoint() -> Workload:
+    """Defensive N-to-1 checkpointing: write bursts between compute phases."""
+    return Workload(
+        name="path05-bursty-checkpoint",
+        exe="/home/user/pathology/bursty_checkpoint",
+        nprocs=16,
+        jobid=905,
+        num_osts=8,
+        default_stripe_width=8,
+        phases=(
+            checkpoint_burst_phase(
+                "/scratch/path05/ckpt.dat",
+                xfer=256 * KiB,
+                writes_per_burst=8,
+                bursts=4,
+                compute_seconds=10.0,
+                api="mpiio",
+            ),
+        ),
+    )
+
+
+def path06_read_modify_write() -> Workload:
+    """In-place 1000-byte record updates: read, modify, write back."""
+    return Workload(
+        name="path06-read-modify-write",
+        exe="/home/user/pathology/read_modify_write",
+        nprocs=8,
+        jobid=906,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            read_modify_write_phase(
+                "/scratch/path06/records.dat",
+                record_bytes=1000,
+                count_per_rank=2000,
+                api="mpiio",
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def path07_misaligned_stride() -> Workload:
+    """Large strided shared-file writes shifted off every stripe boundary."""
+    return Workload(
+        name="path07-misaligned-stride",
+        exe="/home/user/pathology/misaligned_stride",
+        nprocs=16,
+        jobid=907,
+        num_osts=8,
+        default_stripe_width=8,
+        phases=(
+            data_phase(
+                "/scratch/path07/slab.dat",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=6,
+                api="mpiio",
+                layout="shared",
+                pattern="strided",
+                unaligned_shim=2080,
+                mem_aligned=False,
+            ),
+        ),
+    )
+
+
+def path08_tiny_collectives() -> Workload:
+    """Collective I/O used correctly — but with 32 KiB per-rank payloads."""
+    return Workload(
+        name="path08-tiny-collectives",
+        exe="/home/user/pathology/tiny_collectives",
+        nprocs=16,
+        jobid=908,
+        num_osts=8,
+        default_stripe_width=8,
+        # Stripe size tuned down to the aggregated chunk (4 ranks x 32 KiB)
+        # so collective buffering emits aligned, advancing POSIX writes.
+        stripe_overrides={"/scratch/path08/frames.dat": (128 * KiB, 8)},
+        phases=(
+            data_phase(
+                "/scratch/path08/frames.dat",
+                "write",
+                xfer=32 * KiB,
+                count_per_rank=40,
+                api="mpiio",
+                collective=True,
+                layout="shared",
+                pattern="strided",
+            ),
+        ),
+    )
+
+
+def path09_fsync_per_write() -> Workload:
+    """4 MPI-less processes fsync after every 4 KiB append."""
+    return Workload(
+        name="path09-fsync-per-write",
+        exe="/home/user/pathology/fsync_per_write",
+        nprocs=4,
+        jobid=909,
+        uses_mpi=False,
+        # Syncs wait on device durability, not just an MDT round-trip.
+        perf=PerfModel(sync_latency=2e-3),
+        phases=(
+            fsync_per_write_phase(
+                "/scratch/path09/journal.log",
+                xfer=4 * KiB,
+                count_per_rank=900,
+                api="posix",
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def path10_redundant_reread() -> Workload:
+    """Every rank re-reads the same 4 MiB input ten times over."""
+    return Workload(
+        name="path10-redundant-reread",
+        exe="/home/user/pathology/redundant_reread",
+        nprocs=8,
+        jobid=910,
+        uses_mpi=False,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            repetitive_read_phase(
+                "/scratch/path10/model.bin",
+                region_bytes=4 * MiB,
+                xfer=1 * MiB,
+                repeats=10,
+            ),
+        ),
+    )
+
+
+def path11_stdio_mpiio_mix() -> Workload:
+    """Bulk MPI-IO output interleaved with a heavy stdio logging stream."""
+    return Workload(
+        name="path11-stdio-mpiio-mix",
+        exe="/home/user/pathology/stdio_mpiio_mix",
+        nprocs=4,
+        jobid=911,
+        num_osts=8,
+        default_stripe_width=2,
+        phases=(
+            data_phase(
+                "/scratch/path11/field.dat",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=30,
+                api="mpiio",
+                layout="fpp",
+            ),
+            stdio_phase(
+                "/scratch/path11/trace.log",
+                "write",
+                xfer=8 * KiB,
+                count_per_rank=2000,
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def path12_clean_baseline() -> Workload:
+    """The control: aligned collective writes over wide stripes, no issue."""
+    return Workload(
+        name="path12-clean-baseline",
+        exe="/home/user/pathology/clean_baseline",
+        nprocs=8,
+        jobid=912,
+        num_osts=8,
+        default_stripe_width=8,
+        phases=tuple(
+            data_phase(
+                f"/scratch/path12/out{i}.dat",
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=1,
+                api="mpiio",
+                collective=True,
+                layout="shared",
+            )
+            for i in range(3)
+        ),
+    )
+
+
+PATHOLOGY_BUILDERS = {
+    "path01-random-small-reads": path01_random_small_reads,
+    "path02-false-sharing": path02_false_sharing,
+    "path03-metadata-storm": path03_metadata_storm,
+    "path04-straggler-rank": path04_straggler_rank,
+    "path05-bursty-checkpoint": path05_bursty_checkpoint,
+    "path06-read-modify-write": path06_read_modify_write,
+    "path07-misaligned-stride": path07_misaligned_stride,
+    "path08-tiny-collectives": path08_tiny_collectives,
+    "path09-fsync-per-write": path09_fsync_per_write,
+    "path10-redundant-reread": path10_redundant_reread,
+    "path11-stdio-mpiio-mix": path11_stdio_mpiio_mix,
+    "path12-clean-baseline": path12_clean_baseline,
+}
+
+
+def _scenario(
+    name: str,
+    difficulty: str,
+    theme: str,
+    description: str,
+    *root_causes: str,
+) -> None:
+    register_scenario(
+        Scenario(
+            name=name,
+            source="pathology",
+            builder=PATHOLOGY_BUILDERS[name],
+            root_causes=frozenset(root_causes),
+            difficulty=difficulty,
+            tags=("pathology", theme),
+            description=description,
+        )
+    )
+
+
+_scenario(
+    "path01-random-small-reads", "easy", "small-io",
+    "shuffled 4 KiB reads from 16 MPI-less processes on one shared file",
+    "random_read", "small_read", "shared_file_access", "no_mpi",
+)
+_scenario(
+    "path02-false-sharing", "medium", "locking",
+    "rank-interleaved 1 KiB records contending inside shared blocks",
+    "small_write", "misaligned_write", "shared_file_access", "no_collective_write",
+)
+_scenario(
+    "path03-metadata-storm", "easy", "metadata",
+    "create/stat/reopen flood over 4000 files with no data at all",
+    "high_metadata_load", "no_mpi",
+)
+_scenario(
+    "path04-straggler-rank", "hard", "imbalance",
+    "byte-balanced shared write whose rank 0 trickles its share in 4 KiB pieces",
+    "rank_imbalance", "shared_file_access", "small_write", "no_collective_write",
+)
+_scenario(
+    "path05-bursty-checkpoint", "medium", "checkpoint",
+    "N-to-1 checkpoint bursts with fsync between compute phases",
+    "shared_file_access", "no_collective_write",
+)
+_scenario(
+    "path06-read-modify-write", "medium", "rmw",
+    "in-place 1000-byte record updates (read, modify, write back)",
+    "small_read", "small_write", "misaligned_read", "misaligned_write",
+    "random_write", "no_collective_read", "no_collective_write",
+)
+_scenario(
+    "path07-misaligned-stride", "medium", "alignment",
+    "strided 1 MiB shared-file writes shifted 2080 bytes off every boundary",
+    "misaligned_write", "shared_file_access", "no_collective_write",
+)
+_scenario(
+    "path08-tiny-collectives", "hard", "collective",
+    "collective I/O done right, except each rank contributes only 32 KiB",
+    "small_write", "shared_file_access",
+)
+_scenario(
+    "path09-fsync-per-write", "easy", "sync",
+    "an fsync after every single 4 KiB append",
+    "small_write", "high_metadata_load", "no_mpi",
+)
+_scenario(
+    "path10-redundant-reread", "easy", "caching",
+    "eight processes re-read the same 4 MiB input ten times each",
+    "repetitive_read", "shared_file_access", "no_mpi",
+)
+_scenario(
+    "path11-stdio-mpiio-mix", "medium", "interference",
+    "bulk MPI-IO output competing with a heavy stdio logging stream",
+    "low_level_write", "no_collective_write",
+)
+_scenario(
+    "path12-clean-baseline", "control", "control",
+    "aligned collective writes over wide stripes — nothing to diagnose",
+)

@@ -32,6 +32,12 @@ __all__ = [
     "repetitive_read_phase",
     "imbalanced_write_phase",
     "stdio_phase",
+    "false_sharing_phase",
+    "metadata_churn_phase",
+    "checkpoint_burst_phase",
+    "read_modify_write_phase",
+    "fsync_per_write_phase",
+    "straggler_phase",
 ]
 
 _API_MAP = {"posix": API.POSIX, "mpiio": API.MPIIO, "stdio": API.STDIO}
@@ -259,6 +265,267 @@ def imbalanced_write_phase(
                 local_offset += xfer
         for r in range(ctx.nprocs):
             yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=paths[r])
+
+    return phase
+
+
+def false_sharing_phase(
+    path: str,
+    record_bytes: int,
+    count_per_rank: int,
+    *,
+    api: str = "mpiio",
+) -> PhaseFn:
+    """Rank-interleaved sub-block records on one shared file.
+
+    Record *i* of rank *r* lands at ``(i * nprocs + r) * record_bytes``, so
+    neighbouring ranks write into the *same* file-system block — the classic
+    false-sharing / extent-lock-contention pattern.  With ``record_bytes``
+    below the block size most offsets are unaligned and every request is
+    small.
+    """
+    if record_bytes <= 0:
+        raise ValueError("record_bytes must be positive")
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=path)
+        for i in range(count_per_rank):
+            for r in range(ctx.nprocs):
+                yield IOOp(
+                    kind=OpKind.WRITE,
+                    api=api_enum,
+                    rank=r,
+                    path=path,
+                    offset=(i * ctx.nprocs + r) * record_bytes,
+                    size=record_bytes,
+                )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
+
+    return phase
+
+
+def metadata_churn_phase(
+    directory: str,
+    files_per_rank: int,
+    *,
+    cycles: int = 2,
+    with_stat: bool = True,
+    api: str = "posix",
+) -> PhaseFn:
+    """A create/stat/unlink-style flood: every file is reopened ``cycles``
+    extra times after creation.
+
+    Models checkpoint-cleanup and staging scripts that churn the metadata
+    server with open/stat/close cycles carrying no data at all.
+    """
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        for pass_no in range(1 + cycles):
+            for r in range(ctx.nprocs):
+                for i in range(files_per_rank):
+                    fpath = f"{directory}/rank{r:04d}/f{i:06d}"
+                    yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=fpath)
+                    if with_stat:
+                        yield IOOp(kind=OpKind.STAT, api=api_enum, rank=r, path=fpath)
+                    yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=fpath)
+
+    return phase
+
+
+def checkpoint_burst_phase(
+    path: str,
+    xfer: int,
+    writes_per_burst: int,
+    bursts: int,
+    *,
+    compute_seconds: float = 10.0,
+    api: str = "mpiio",
+    sync_each_burst: bool = True,
+) -> PhaseFn:
+    """Bursty N-to-1 checkpointing: write bursts separated by compute.
+
+    Every burst, each rank appends ``writes_per_burst`` requests to its own
+    contiguous segment of the shared checkpoint file, optionally syncs, then
+    computes for ``compute_seconds`` before the next burst — the classic
+    defensive-I/O timeline (quiet, spike, quiet, spike).
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        seg = writes_per_burst * xfer
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=path)
+        for b in range(bursts):
+            for i in range(writes_per_burst):
+                for r in range(ctx.nprocs):
+                    yield IOOp(
+                        kind=OpKind.WRITE,
+                        api=api_enum,
+                        rank=r,
+                        path=path,
+                        offset=(b * ctx.nprocs + r) * seg + i * xfer,
+                        size=xfer,
+                    )
+            for r in range(ctx.nprocs):
+                if sync_each_burst:
+                    yield IOOp(kind=OpKind.SYNC, api=api_enum, rank=r, path=path)
+                if compute_seconds > 0 and b < bursts - 1:
+                    yield IOOp(
+                        kind=OpKind.COMPUTE,
+                        api=api_enum,
+                        rank=r,
+                        duration=compute_seconds,
+                    )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
+
+    return phase
+
+
+def read_modify_write_phase(
+    path: str,
+    record_bytes: int,
+    count_per_rank: int,
+    *,
+    api: str = "posix",
+    layout: str = "fpp",
+) -> PhaseFn:
+    """Per record: read it, then write it back at the same offset.
+
+    The write can never be sequential (its offset sits *before* the read's
+    end), so read-modify-write shows up as heavy ``RW_SWITCHES`` plus a
+    non-sequential write stream — exactly how an update-in-place workload
+    looks in Darshan.
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        paths = _rank_paths(path, layout, ctx.nprocs)
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=paths[r])
+        for i in range(count_per_rank):
+            for r in range(ctx.nprocs):
+                offset = (
+                    (i * ctx.nprocs + r) * record_bytes
+                    if layout == "shared"
+                    else i * record_bytes
+                )
+                yield IOOp(
+                    kind=OpKind.READ,
+                    api=api_enum,
+                    rank=r,
+                    path=paths[r],
+                    offset=offset,
+                    size=record_bytes,
+                )
+                yield IOOp(
+                    kind=OpKind.WRITE,
+                    api=api_enum,
+                    rank=r,
+                    path=paths[r],
+                    offset=offset,
+                    size=record_bytes,
+                )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=paths[r])
+
+    return phase
+
+
+def fsync_per_write_phase(
+    path: str,
+    xfer: int,
+    count_per_rank: int,
+    *,
+    api: str = "posix",
+    layout: str = "fpp",
+) -> PhaseFn:
+    """Every write is followed by its own fsync.
+
+    Models paranoid durability (databases, naive logging): the sync flood
+    turns a bandwidth problem into a metadata/commit-latency problem, with
+    ``POSIX_FSYNCS`` tracking ``POSIX_WRITES`` one-for-one.
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        paths = _rank_paths(path, layout, ctx.nprocs)
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=paths[r])
+        for i in range(count_per_rank):
+            for r in range(ctx.nprocs):
+                offset = (i * ctx.nprocs + r) * xfer if layout == "shared" else i * xfer
+                yield IOOp(
+                    kind=OpKind.WRITE,
+                    api=api_enum,
+                    rank=r,
+                    path=paths[r],
+                    offset=offset,
+                    size=xfer,
+                )
+                yield IOOp(kind=OpKind.SYNC, api=api_enum, rank=r, path=paths[r])
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=paths[r])
+
+    return phase
+
+
+def straggler_phase(
+    path: str,
+    xfer: int,
+    count_per_rank: int,
+    *,
+    straggler_rank: int = 0,
+    slow_factor: int = 64,
+    api: str = "mpiio",
+) -> PhaseFn:
+    """One rank moves the same volume as its peers, but in tiny pieces.
+
+    Every rank writes ``count_per_rank * xfer`` bytes into its segment of a
+    shared file; ``straggler_rank`` issues each request as ``slow_factor``
+    sub-requests of ``xfer / slow_factor`` bytes.  Byte volume stays
+    perfectly balanced while per-op latency makes the straggler's I/O time
+    dominate — the signature lives in ``*_F_SLOWEST_RANK_TIME``, not in the
+    byte counters.
+    """
+    if slow_factor < 1 or xfer % slow_factor != 0:
+        raise ValueError("slow_factor must divide xfer")
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=path)
+        small = xfer // slow_factor
+        for i in range(count_per_rank):
+            for r in range(ctx.nprocs):
+                base = (r * count_per_rank + i) * xfer
+                if r == straggler_rank:
+                    for j in range(slow_factor):
+                        yield IOOp(
+                            kind=OpKind.WRITE,
+                            api=api_enum,
+                            rank=r,
+                            path=path,
+                            offset=base + j * small,
+                            size=small,
+                        )
+                else:
+                    yield IOOp(
+                        kind=OpKind.WRITE,
+                        api=api_enum,
+                        rank=r,
+                        path=path,
+                        offset=base,
+                        size=xfer,
+                    )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
 
     return phase
 

@@ -17,7 +17,6 @@ from repro.workloads.patterns import (
     data_phase,
     imbalanced_write_phase,
     metadata_phase,
-    repetitive_read_phase,
     stdio_phase,
 )
 

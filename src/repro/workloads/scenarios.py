@@ -1,0 +1,232 @@
+"""The scenario registry: workloads + ground truth as a uniform extension surface.
+
+Mirrors the tool registry (:mod:`repro.core.registry`): where a
+``DiagnosticTool`` is "one trace in, one report out", a :class:`Scenario`
+is "nothing in, one labeled trace out" — a workload builder plus the
+expert ground truth (``root_causes``), a difficulty tier, and free-form
+tags.  Everything that enumerates workloads — the TraceBench build, the
+evaluation harness, the batch runner, and the CLI — resolves scenarios
+through this registry, so adding a workload to the whole system is one
+``register_scenario`` call.
+
+Built-in scenarios load lazily from two modules:
+
+* :mod:`repro.tracebench.spec` — the paper's 40 TraceBench traces, tagged
+  ``tracebench`` plus their source;
+* :mod:`repro.workloads.pathologies` — the extended pathology tier (12
+  scenarios, tagged ``pathology``), including a clean-baseline control.
+
+Ordering is registration order (suite order), not alphabetical: the
+TraceBench sources keep their paper grouping and tables stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.core.issues import ISSUE_KEYS
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tracebench.dataset import LabeledTrace
+
+__all__ = [
+    "Scenario",
+    "ScenarioNotFoundError",
+    "DIFFICULTIES",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "iter_scenarios",
+    "available_tags",
+    "select_scenarios",
+    "build_scenario",
+]
+
+# Tiers roughly track how much of the ground truth survives into counters:
+# 'easy' single-issue traces, 'medium' realistic mis-tunings, 'hard'
+# multi-issue or counter-ambiguous traces, 'control' issue-free baselines.
+DIFFICULTIES = ("easy", "medium", "hard", "control")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered workload with its expert ground truth.
+
+    ``root_causes`` uses the Table II issue vocabulary
+    (:data:`repro.core.issues.ISSUE_KEYS`); an empty set is legal and marks
+    an issue-free control.  ``tags`` drive CLI/harness selection; a
+    scenario also matches its own ``name``, ``source``, and ``difficulty``
+    as selectors.
+    """
+
+    name: str
+    source: str
+    builder: Callable[[], Workload]
+    root_causes: frozenset[str]
+    difficulty: str = "medium"
+    tags: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if self.difficulty not in DIFFICULTIES:
+            raise ValueError(
+                f"unknown difficulty {self.difficulty!r}; expected one of {DIFFICULTIES}"
+            )
+        unknown = set(self.root_causes) - set(ISSUE_KEYS)
+        if unknown:
+            raise ValueError(f"unknown root causes for {self.name}: {sorted(unknown)}")
+
+    def matches(self, selector: str) -> bool:
+        """Whether a CLI/harness selector token picks this scenario."""
+        return selector == self.name or selector in self.selectors()
+
+    def selectors(self) -> frozenset[str]:
+        """Every non-name token that selects this scenario."""
+        return frozenset((self.source, self.difficulty, *self.tags))
+
+
+class ScenarioNotFoundError(KeyError):
+    """Raised for a scenario name (or selector) nobody registered."""
+
+    def __init__(self, unknown: str | Iterable[str], available: tuple[str, ...]) -> None:
+        names = (unknown,) if isinstance(unknown, str) else tuple(unknown)
+        super().__init__(", ".join(names))
+        self.unknown = names
+        self.available = available
+
+    def __str__(self) -> str:
+        options = ", ".join(self.available) or "<none>"
+        noun = "scenario" if len(self.unknown) == 1 else "scenarios"
+        return (
+            f"unknown {noun} {', '.join(repr(n) for n in self.unknown)}; "
+            f"available: {options}"
+        )
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+# Built-in scenarios resolve lazily so importing the registry stays cheap
+# and cycle-free (spec -> workloads, pathologies -> patterns).
+_BUILTIN_MODULES = ("repro.tracebench.spec", "repro.workloads.pathologies")
+_builtins_loaded = False
+_builtins_loading = False  # reentrancy guard: builtins register during import
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded, _builtins_loading
+    if _builtins_loaded or _builtins_loading:
+        return
+    import importlib
+
+    _builtins_loading = True
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+        # Set only once every builtin imported cleanly, so a failed import
+        # surfaces again instead of leaving the registry silently partial.
+        _builtins_loaded = True
+    finally:
+        _builtins_loading = False
+
+
+def register_scenario(scenario: Scenario, *, replace: bool = False) -> Scenario:
+    """Register ``scenario`` under its name.
+
+    Registering an existing name raises unless ``replace=True`` — silently
+    shadowing a benchmark scenario would corrupt ground truth.  Built-in
+    scenarios load first so a plugin collision with a benchmark name is
+    caught here, at the plugin's call site, not inside a later query.
+    """
+    _ensure_builtins()
+    if not replace and scenario.name in _REGISTRY:
+        raise ValueError(
+            f"scenario {scenario.name!r} is already registered (pass replace=True)"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registration (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def available_scenarios(tag: str | None = None) -> tuple[str, ...]:
+    """Registered scenario names in registration (suite) order.
+
+    ``tag`` filters by any selector token: a tag, a source, a difficulty
+    tier, or an exact name.
+    """
+    return tuple(s.name for s in iter_scenarios(tag))
+
+
+def iter_scenarios(tag: str | None = None) -> tuple[Scenario, ...]:
+    """Registered :class:`Scenario` objects, optionally selector-filtered."""
+    _ensure_builtins()
+    scenarios = tuple(_REGISTRY.values())
+    if tag is None:
+        return scenarios
+    return tuple(s for s in scenarios if s.matches(tag))
+
+
+def available_tags() -> tuple[str, ...]:
+    """Every selector token (tags, sources, difficulties) in use, sorted."""
+    _ensure_builtins()
+    tokens: set[str] = set()
+    for scenario in _REGISTRY.values():
+        tokens |= scenario.selectors()
+    return tuple(sorted(tokens))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up one scenario by exact name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioNotFoundError(name, available_scenarios()) from None
+
+
+def select_scenarios(selectors: Iterable[str]) -> list[Scenario]:
+    """Resolve selector tokens (names and/or tags) to scenarios, in order.
+
+    Each token picks every scenario it matches; duplicates collapse while
+    preserving first-match order.  Tokens matching nothing raise one
+    :class:`ScenarioNotFoundError` listing all of them, so callers (the
+    CLI among them) can show a single friendly error.
+    """
+    _ensure_builtins()
+    picked: dict[str, Scenario] = {}
+    unknown: list[str] = []
+    for token in selectors:
+        matched = [s for s in _REGISTRY.values() if s.matches(token)]
+        if not matched:
+            unknown.append(token)
+            continue
+        for scenario in matched:
+            picked.setdefault(scenario.name, scenario)
+    if unknown:
+        raise ScenarioNotFoundError(unknown, available_scenarios())
+    return list(picked.values())
+
+
+def build_scenario(scenario: Scenario | str, seed: int = 0) -> "LabeledTrace":
+    """Run one scenario's workload and return the labeled trace."""
+    from repro.tracebench.dataset import LabeledTrace
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    workload = scenario.builder()
+    log, _result = workload.run(seed=seed)
+    return LabeledTrace(
+        trace_id=scenario.name,
+        source=scenario.source,
+        log=log,
+        labels=scenario.root_causes,
+        description=scenario.description or workload.exe,
+    )

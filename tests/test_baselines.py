@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.baselines.drishti import DrishtiTool, TRIGGERS, run_triggers
 from repro.baselines.ion import IONTool
 from repro.evaluation.accuracy import issue_assertions
@@ -21,8 +19,8 @@ def _ion_text(tool, trace):
 
 
 class TestDrishti:
-    def test_thirty_triggers_registered(self):
-        assert len(TRIGGERS) == 30
+    def test_thirty_two_triggers_registered(self):
+        assert len(TRIGGERS) == 32
 
     def test_small_write_trigger_fires(self, bench):
         text = _drishti_text(bench.get("sb01-small-writes"))

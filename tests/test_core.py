@@ -14,7 +14,6 @@ from repro.core.merge import one_step_merge, tree_merge
 from repro.core.preprocess import split_modules, write_module_csvs
 from repro.core.session import InteractiveSession
 from repro.core.summaries import SUMMARY_COVERAGE, app_context_facts, extract_fragments
-from repro.llm.client import LLMClient
 from repro.llm.findings import Finding, parse_findings, render_findings
 
 

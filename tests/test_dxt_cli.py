@@ -195,3 +195,45 @@ class TestCli:
         with pytest.raises(SystemExit) as exc:
             main([])
         assert exc.value.code == 2
+
+    def test_list_scenarios_flag(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert "sb01-small-writes" in listed and "path12-clean-baseline" in listed
+        assert len(listed) >= 52
+
+    def test_list_scenarios_subcommand(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "sb01-small-writes" in out and "path09-fsync-per-write" in out
+        assert "<clean>" in out  # the control's empty ground truth
+
+    def test_list_scenarios_tag_filter(self, capsys):
+        assert main(["list-scenarios", "--tag", "pathology"]) == 0
+        out = capsys.readouterr().out
+        assert "path01-random-small-reads" in out
+        assert "sb01-small-writes" not in out
+
+    def test_list_scenarios_unknown_tag(self, capsys):
+        assert main(["list-scenarios", "--tag", "nope"]) == 2
+        assert "no scenarios match" in capsys.readouterr().err
+
+    def test_evaluate_scenarios_selector(self, capsys):
+        assert main(["evaluate", "--scenarios", "control"]) == 0
+        out = capsys.readouterr().out
+        assert "Pathology" in out and "IOAgent-gpt-4o" in out
+
+    def test_evaluate_unknown_scenario_selector(self, capsys):
+        code = main(["evaluate", "--scenarios", "pathology,bogus-tag"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario selector: bogus-tag" in err
+        assert "available tags:" in err and "pathology" in err
+
+    def test_evaluate_scenarios_and_traces_combine(self, capsys):
+        code = main(
+            ["evaluate", "--scenarios", "control", "--traces", "sb01-small-writes"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pathology" in out and "Simple-Bench" in out

@@ -3,8 +3,6 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.llm.client import LLMClient
 from repro.llm.context import fit_prompt

@@ -235,7 +235,8 @@ class TestUsageListener:
     def test_listener_fires_and_detaches(self):
         client = LLMClient(seed=0)
         seen: list[tuple[str, str]] = []
-        listener = lambda model, usage, call_id: seen.append((model, call_id))
+        def listener(model, usage, call_id):
+            seen.append((model, call_id))
         client.add_usage_listener(listener)
         client.complete("TASK: plain\nhello", model="gpt-4o", call_id="x1")
         assert seen == [("gpt-4o", "x1")]

@@ -6,9 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.llm.client import LLMClient
 from repro.rag.chunking import chunk_text
-from repro.rag.corpus import ISSUE_TOPICS, TOPICS, build_corpus, topics_for_issue
+from repro.rag.corpus import TOPICS, build_corpus, topics_for_issue
 from repro.rag.embedding import HashedTfIdfEmbedder
 from repro.rag.index import build_default_index
 from repro.rag.reflection import reflect_filter

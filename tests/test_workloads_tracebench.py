@@ -16,10 +16,10 @@ from hypothesis import strategies as st
 from repro.core.summaries import app_context_facts, extract_fragments
 from repro.llm.reasoning import infer_findings
 from repro.tracebench.spec import TABLE3_EXPECTED, TRACE_SPECS, table3_counts
-from repro.workloads.base import Workload, WorkloadContext
+from repro.workloads.base import WorkloadContext
 from repro.workloads.patterns import _offsets_for_rank, data_phase, metadata_phase
 from repro.sim.filesystem import LustreFileSystem
-from repro.sim.ops import API, OpKind
+from repro.sim.ops import OpKind
 from repro.util.rng import rng_for
 
 
