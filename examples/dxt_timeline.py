@@ -11,7 +11,7 @@ Usage:  python examples/dxt_timeline.py
 
 from __future__ import annotations
 
-from repro.darshan.dxt import DxtCollector, dxt_timeline_facts, render_dxt_text
+from repro.darshan.dxt import DxtCollector, dxt_temporal_facts, render_dxt_text
 from repro.darshan.instrument import DarshanInstrument
 from repro.llm.facts import render_fact
 from repro.sim.filesystem import LustreFileSystem
@@ -53,8 +53,8 @@ def main() -> None:
     print("---- DXT segment table (first 8 rows) ----")
     print("\n".join(render_dxt_text(dxt.segments).splitlines()[:9]))
     print()
-    print("---- timeline facts (LLM-ready) ----")
-    for fact in dxt_timeline_facts(dxt.segments):
+    print("---- temporal facts (LLM-ready) ----")
+    for fact in dxt_temporal_facts(dxt.segments):
         print(render_fact(fact))
 
 

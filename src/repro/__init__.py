@@ -19,7 +19,7 @@ Public API — three layers:
 **Pipeline** (:mod:`repro.core.pipeline`):
 
 * :class:`DiagnosisPipeline` composes pluggable stages (``preprocess →
-  summarize → describe → integrate → diagnose → merge``) over a typed
+  summarize → temporal → describe → integrate → diagnose → merge``) over a typed
   :class:`PipelineContext`; :class:`PipelineObserver` hooks
   (``on_stage_start/end``, ``on_llm_call``) expose per-stage latency and
   token spend.  Ablations swap stages, not booleans.
@@ -40,7 +40,7 @@ Substrate:
 * :mod:`repro.llm` — the deterministic, capability-tiered SimLLM substrate.
 """
 
-__version__ = "2.0.0"  # major: the 1.x tool entry points were redesigned
+__version__ = "2.1.0"  # minor: DXT temporal evidence channel + difficulty splits
 
 __all__ = [
     "IOAgent",

@@ -44,6 +44,18 @@ THRESHOLDS = {
     "fsync_min_ops": 500,
     "small_collective_fraction": 0.9,  # tiny payloads behind collectives
     "small_collective_min_ops": 500,
+    # DXT time-domain cutoffs.  The straggler and serialization
+    # conditions double as mutual-exclusion guards between the three
+    # DXT triggers, so they must be read from here, never inlined —
+    # tuning one in place would silently desynchronize the ownership
+    # logic that prevents one timeline from firing multiple triggers.
+    "dxt_time_skew": 3.0,
+    "dxt_bytes_balanced": 1.5,
+    "dxt_serialized_inflight": 1.3,
+    "dxt_serialized_min_ranks": 4,
+    "dxt_stall_gaps": 6,
+    "dxt_stall_idle_fraction": 0.25,
+    "dxt_stalled_ranks": 2,
 }
 
 
@@ -723,8 +735,112 @@ def t_job_summary(log: DarshanLog) -> list[TriggerResult]:
     ]
 
 
+# -- DXT time-domain triggers (33-35) ------------------------------------------
+# Real Drishti grew a DXT module for exactly this reason: some pathologies
+# live in *when* operations happen, not in the counters.  These triggers
+# are no-ops on counter-only logs (no DXT segments collected).
+
+
+def _temporal_facts(log: DarshanLog) -> dict[str, dict]:
+    from repro.darshan.dxt import cached_temporal_facts
+
+    return {f.kind: f.data for f in cached_temporal_facts(log)}
+
+
+def _time_skewed(facts: dict[str, dict]) -> bool:
+    """The straggler condition, shared by all three DXT triggers."""
+    skew = facts.get("dxt_rank_skew")
+    return skew is not None and (
+        max(skew["span_skew"], skew["time_skew"]) >= THRESHOLDS["dxt_time_skew"]
+    )
+
+
+def _serialized(facts: dict[str, dict]) -> bool:
+    """The lock-convoy condition, shared by the serialization/stall triggers."""
+    conc = facts.get("dxt_concurrency")
+    return (
+        conc is not None
+        and conc["active_ranks"] >= THRESHOLDS["dxt_serialized_min_ranks"]
+        and conc["mean_inflight"] <= THRESHOLDS["dxt_serialized_inflight"]
+    )
+
+
+@_trigger("DXT_TIME_STRAGGLER")
+def t_dxt_straggler(log: DarshanLog) -> list[TriggerResult]:
+    facts = _temporal_facts(log)
+    skew = facts.get("dxt_rank_skew")
+    if skew is None:
+        return []
+    stretched = max(skew["span_skew"], skew["time_skew"])
+    if _time_skewed(facts) and skew["bytes_ratio"] <= THRESHOLDS["dxt_bytes_balanced"]:
+        return [
+            TriggerResult(
+                "DXT_TIME_STRAGGLER",
+                "HIGH",
+                f"DXT timeline shows rank load imbalance in time: rank "
+                f"{skew['slowest_rank']} occupies an I/O window {stretched:.1f}x the "
+                f"median rank's while per-rank byte volume stays balanced "
+                f"({skew['bytes_ratio']:.2f}x the median).",
+                "Profile the straggler rank and rebalance its work or request sizes.",
+            )
+        ]
+    return []
+
+
+@_trigger("DXT_SERIALIZED_IO")
+def t_dxt_serialized(log: DarshanLog) -> list[TriggerResult]:
+    facts = _temporal_facts(log)
+    conc = facts.get("dxt_concurrency")
+    if conc is None:
+        return []
+    if _time_skewed(facts):
+        return []  # one straggler's lone tail also reads as serial
+    if _serialized(facts):
+        return [
+            TriggerResult(
+                "DXT_SERIALIZED_IO",
+                "HIGH",
+                f"DXT timeline shows serialized shared-file access (lock contention): "
+                f"a mean of {conc['mean_inflight']:.2f} operations in flight although "
+                f"{conc['active_ranks']} ranks perform I/O.",
+                "Use collective I/O or stripe-aligned, disjoint per-rank regions.",
+            )
+        ]
+    return []
+
+
+@_trigger("DXT_IO_STALLS")
+def t_dxt_stalls(log: DarshanLog) -> list[TriggerResult]:
+    facts = _temporal_facts(log)
+    idle = facts.get("dxt_idle")
+    if idle is None:
+        return []
+    if _time_skewed(facts):
+        return []  # the straggler trigger owns this timeline
+    if _serialized(facts):
+        return []  # the serialization trigger owns this timeline
+    repeated_gaps = (
+        idle["n_gaps"] >= THRESHOLDS["dxt_stall_gaps"]
+        and idle["idle_fraction"] >= THRESHOLDS["dxt_stall_idle_fraction"]
+    )
+    if repeated_gaps or idle["stalled_ranks"] >= THRESHOLDS["dxt_stalled_ranks"]:
+        return [
+            TriggerResult(
+                "DXT_IO_STALLS",
+                "WARN",
+                f"DXT timeline shows repeated I/O stalls: {idle['n_gaps']} pauses "
+                f"covering {100 * idle['idle_fraction']:.0f}% of the span, and "
+                f"{idle['stalled_ranks']} rank(s) stalled while their peers kept "
+                f"doing I/O (possible interference from other jobs or a "
+                f"producer/consumer hand-off).",
+                "Overlap I/O with computation or stage through a burst buffer.",
+            )
+        ]
+    return []
+
+
 def run_triggers(log: DarshanLog) -> list[TriggerResult]:
-    """Run all 32 triggers over ``log``."""
+    """Run all 35 triggers over ``log``."""
     results: list[TriggerResult] = []
     for fn in TRIGGERS.values():
         results.extend(fn(log))

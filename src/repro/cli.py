@@ -102,8 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument(
         "--scenarios",
         default="",
-        help="comma-separated scenario names and/or tags (e.g. 'pathology', "
-        "'path09-fsync-per-write,hard'); see `list-scenarios`",
+        help="comma-separated scenario names, tags, sources, and/or difficulty "
+        "tiers (e.g. 'pathology', 'hard', 'path09-fsync-per-write,easy'); "
+        "see `list-scenarios`.  The printed Table IV always includes the "
+        "per-difficulty accuracy split.",
     )
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument(
@@ -229,13 +231,28 @@ def _cmd_evaluate(args) -> int:
         try:
             scenarios = select_scenarios(tokens)
         except ScenarioNotFoundError as exc:
+            from repro.workloads.scenarios import DIFFICULTIES
+
             noun = "selector" if len(exc.unknown) == 1 else "selectors"
             print(
                 f"error: unknown scenario {noun}: {', '.join(exc.unknown)}",
                 file=sys.stderr,
             )
+            # Difficulty selectors are case-sensitive like every other
+            # token; a near-miss on one gets a targeted hint.
+            for token in exc.unknown:
+                if token.lower() in DIFFICULTIES and token not in DIFFICULTIES:
+                    print(
+                        f"hint: difficulty tiers are lowercase — did you mean "
+                        f"{token.lower()!r}?",
+                        file=sys.stderr,
+                    )
             print(
                 "selectors match a scenario name, tag, source, or difficulty;",
+                file=sys.stderr,
+            )
+            print(
+                f"difficulty tiers: {', '.join(DIFFICULTIES)}",
                 file=sys.stderr,
             )
             print(f"available tags: {', '.join(available_tags())}", file=sys.stderr)

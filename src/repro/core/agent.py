@@ -49,6 +49,9 @@ class IOAgentConfig:
     reflection_model: str = "gpt-4o-mini"
     use_rag: bool = True
     use_reflection: bool = True
+    # Consume the DXT temporal evidence channel when the log carries it.
+    # False reproduces the paper's counter-only system byte-for-byte.
+    use_dxt: bool = True
     merge_strategy: str = "tree"  # 'tree' | 'one-step'
     top_k: int = 15
     max_workers: int | None = None

@@ -33,6 +33,8 @@ class BatchResult:
     tool: str = "ioagent"
     reports: dict[str, DiagnosisReport] = field(default_factory=dict)
     mean_f1: float = 0.0
+    # difficulty tier -> mean F1 over the batch's traces of that tier.
+    f1_by_difficulty: dict[str, float] = field(default_factory=dict)
     llm_calls: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0

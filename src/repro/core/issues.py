@@ -160,6 +160,32 @@ ISSUES: tuple[Issue, ...] = (
         ),
         aliases=("low-level library on write", "stdio for write", "stdio writes"),
     ),
+    # -- time-domain issues (beyond the paper's Table II) -------------------
+    # These two pathologies live in when operations happen, not in how many
+    # bytes move, so their ground truth is only recoverable from the DXT
+    # temporal evidence channel (see docs/evidence.md).
+    Issue(
+        key="lock_contention",
+        label="Lock Contention on Shared Files",
+        description=(
+            "The application's accesses to a shared file are serialized by "
+            "file-system extent locks: ranks take turns instead of performing "
+            "I/O concurrently, so aggregate bandwidth collapses to that of a "
+            "single stream."
+        ),
+        aliases=("lock contention", "lock convoy", "serialized shared-file", "extent lock"),
+    ),
+    Issue(
+        key="io_stall",
+        label="I/O Stalls",
+        description=(
+            "The application's I/O stream repeatedly pauses mid-run — from "
+            "cross-job interference or congestion, or from ranks waiting on "
+            "data produced by other ranks — leaving the storage system idle "
+            "while the job holds it."
+        ),
+        aliases=("i/o stall", "io stall", "stalls while", "interference from other"),
+    ),
 )
 
 ISSUE_KEYS: tuple[str, ...] = tuple(issue.key for issue in ISSUES)

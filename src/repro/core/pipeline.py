@@ -56,6 +56,7 @@ __all__ = [
     "DiagnosisPipeline",
     "PreprocessStage",
     "SummarizeStage",
+    "TemporalStage",
     "DescribeStage",
     "IntegrateStage",
     "DiagnoseStage",
@@ -67,6 +68,7 @@ __all__ = [
 DEFAULT_STAGE_ORDER = (
     "preprocess",
     "summarize",
+    "temporal",
     "describe",
     "integrate",
     "diagnose",
@@ -177,6 +179,38 @@ class SummarizeStage:
         ctx.fragments = extract_fragments(ctx.log)
         ctx.app_facts = app_context_facts(ctx.log)
         ctx.context = context_sentences(ctx.app_facts)
+
+
+class TemporalStage:
+    """Fold DXT temporal evidence into the fragment stream.
+
+    When the log carries DXT segments (simulated runs always do; parsed
+    ``darshan-parser`` text never does), the timeline analysis —
+    burst/phase structure, per-rank time skew, concurrency, idle gaps,
+    per-file throughput skew — becomes one more summary fragment
+    (``DXT.timeline``) that the describe/diagnose stages treat exactly
+    like a counter-derived one.  Without segments the stage is a no-op,
+    so counter-only traces flow through unchanged.
+    """
+
+    name = "temporal"
+
+    def run(self, ctx: PipelineContext) -> None:
+        import inspect
+
+        from repro.darshan.dxt import cached_temporal_facts, dxt_temporal_facts
+
+        facts = cached_temporal_facts(ctx.log)
+        if not facts:
+            return
+        ctx.fragments.append(
+            SummaryFragment(
+                module="DXT",
+                category="timeline",
+                facts=tuple(facts),
+                code=inspect.getsource(dxt_temporal_facts),
+            )
+        )
 
 
 class DescribeStage:
@@ -374,11 +408,16 @@ def build_default_pipeline(
     """The paper-default stage list for one config.
 
     Ablation switches map to stage composition: ``use_rag=False`` drops
-    the integrate stage entirely; ``merge_strategy`` picks the merge
-    variant.  (``use_reflection`` stays a parameter of the integrate
-    stage because it alters behavior *within* the stage.)
+    the integrate stage entirely, ``use_dxt=False`` drops the temporal
+    stage (reproducing the paper's counter-only system exactly);
+    ``merge_strategy`` picks the merge variant.  (``use_reflection``
+    stays a parameter of the integrate stage because it alters behavior
+    *within* the stage.)
     """
-    stages: list[Stage] = [PreprocessStage(), SummarizeStage(), DescribeStage()]
+    stages: list[Stage] = [PreprocessStage(), SummarizeStage()]
+    if config.use_dxt:
+        stages.append(TemporalStage())
+    stages.append(DescribeStage())
     if config.use_rag:
         stages.append(IntegrateStage())
     stages.append(DiagnoseStage())

@@ -42,8 +42,21 @@ __all__ = ["StageMetrics", "DiagnosisService", "trace_digest"]
 
 
 def trace_digest(log: DarshanLog) -> str:
-    """Stable content digest of a Darshan log (its parser-text rendering)."""
-    return hashlib.sha256(render_darshan_text(log).encode("utf-8")).hexdigest()
+    """Stable content digest of a Darshan log.
+
+    Covers both evidence channels: the parser-text rendering of the
+    counters and, when present, the DXT segment table — two logs with
+    identical counters but different timelines must not share a cache
+    entry.
+    """
+    digest = hashlib.sha256(render_darshan_text(log).encode("utf-8"))
+    if log.dxt_segments:
+        from repro.darshan.dxt import dxt_digest
+
+        if log.dxt_digest_cache is None:
+            log.dxt_digest_cache = dxt_digest(log.dxt_segments)
+        digest.update(log.dxt_digest_cache.encode("ascii"))
+    return digest.hexdigest()
 
 
 @dataclass
@@ -204,26 +217,30 @@ class DiagnosisService:
     ) -> "BatchResult":
         """Diagnose every trace concurrently; returns scored, metered results."""
         from repro.core.batch import BatchResult
-        from repro.evaluation.accuracy import match_stats
+        from repro.evaluation.accuracy import f1_by_difficulty, match_stats
 
         metrics = _MetricsCollector()
         workers = max_workers if max_workers is not None else self.max_workers
         usage_before = self.usage()
         hits_before = self.cache_hits
 
-        def one(trace: "LabeledTrace") -> tuple[str, DiagnosisReport, float]:
+        def one(trace: "LabeledTrace"):
             report = self.diagnose(trace.log, trace_id=trace.trace_id, observers=(metrics,))
-            return trace.trace_id, report, match_stats(report.text, trace.labels).f1
+            stats = match_stats(report.text, trace.labels)
+            return trace.trace_id, report, stats, getattr(trace, "difficulty", "medium")
 
         rows = parallel_map(one, traces, max_workers=workers)
 
         result = BatchResult(model=self.config.model, tool=self.tool.name)
         f1_total = 0.0
-        for trace_id, report, f1 in rows:
+        for trace_id, report, stats, _difficulty in rows:
             result.reports[trace_id] = report
-            f1_total += f1
+            f1_total += stats.f1
         usage = self.usage()
         result.mean_f1 = f1_total / max(1, len(rows))
+        result.f1_by_difficulty = f1_by_difficulty(
+            [(difficulty, stats) for _, _, stats, difficulty in rows]
+        )
         result.llm_calls = usage.calls - usage_before.calls
         result.prompt_tokens = usage.prompt_tokens - usage_before.prompt_tokens
         result.completion_tokens = usage.completion_tokens - usage_before.completion_tokens

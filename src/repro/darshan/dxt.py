@@ -20,7 +20,16 @@ from repro.llm.facts import Fact
 from repro.sim.filesystem import LustreFileSystem
 from repro.sim.ops import API, IOOp, OpKind
 
-__all__ = ["DxtSegment", "DxtCollector", "render_dxt_text", "dxt_timeline_facts"]
+__all__ = [
+    "DxtSegment",
+    "DxtCollector",
+    "render_dxt_text",
+    "dxt_digest",
+    "dxt_timeline_facts",
+    "app_level_segments",
+    "dxt_temporal_facts",
+    "cached_temporal_facts",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +114,27 @@ def render_dxt_text(segments: list[DxtSegment]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def dxt_digest(segments: list[DxtSegment]) -> str:
+    """Fast stable content digest of a segment list.
+
+    Hot path of the service cache (every lookup digests the trace), so
+    the segment table is hashed as packed numeric rows plus a compact
+    stream dictionary instead of being rendered to text — ~10x cheaper
+    than hashing :func:`render_dxt_text` output on large traces.
+    """
+    import hashlib
+
+    streams: dict[tuple[str, str, str], int] = {}
+    rows = np.empty((len(segments), 6), dtype=np.float64)
+    for i, seg in enumerate(segments):
+        key = (seg.module, seg.path, seg.operation)
+        code = streams.setdefault(key, len(streams))
+        rows[i] = (code, seg.rank, seg.offset, seg.length, seg.start_time, seg.end_time)
+    digest = hashlib.sha256(rows.tobytes())
+    digest.update("\x00".join("|".join(key) for key in streams).encode("utf-8"))
+    return digest.hexdigest()
+
+
 def dxt_timeline_facts(
     segments: list[DxtSegment],
     n_bins: int = 20,
@@ -160,3 +190,250 @@ def dxt_timeline_facts(
             },
         )
     ]
+
+
+# ---------------------------------------------------------------------------
+# Temporal evidence extraction (the channel counters cannot provide)
+# ---------------------------------------------------------------------------
+
+
+def app_level_segments(segments: list[DxtSegment]) -> list[DxtSegment]:
+    """Segments at the interface the application called.
+
+    MPI-IO operations lower to POSIX transfers (independent 1:1, collectives
+    through aggregators), so a file with X_MPIIO segments also carries
+    X_POSIX ones that describe ROMIO's work, not the application's.  Rank
+    analysis over the raw stream would mistake collective-buffering
+    aggregators for stragglers; dropping lowered POSIX segments sees through
+    them, the same way counter-level rank analysis prefers MPIIO records.
+    """
+    mpiio_paths = {s.path for s in segments if s.module == "X_MPIIO"}
+    return [s for s in segments if s.module != "X_POSIX" or s.path not in mpiio_paths]
+
+
+def _merged_intervals(spans: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge (start, end) intervals into disjoint busy windows."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _overlap(intervals: list[tuple[float, float]], lo: float, hi: float) -> float:
+    """Total length of ``intervals`` falling inside ``[lo, hi]``."""
+    return sum(max(0.0, min(hi, end) - max(lo, start)) for start, end in intervals)
+
+
+def _rank_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    """Per-rank time skew: who occupies the longest I/O window, and why.
+
+    Three ratios versus the median active rank: wall-clock span (first
+    start to last end), busy I/O time, and byte volume.  A straggler shows
+    span or time skew with the byte ratio pinned near 1.0 — the imbalance
+    counters cannot see.
+    """
+    by_rank: dict[int, list[DxtSegment]] = {}
+    for seg in app_segments:
+        by_rank.setdefault(seg.rank, []).append(seg)
+    if len(by_rank) < 4:
+        return None
+    ranks = sorted(by_rank)
+    spans = np.array(
+        [max(s.end_time for s in by_rank[r]) - min(s.start_time for s in by_rank[r]) for r in ranks]
+    )
+    times = np.array([sum(s.duration for s in by_rank[r]) for r in ranks])
+    volumes = np.array([float(sum(s.length for s in by_rank[r])) for r in ranks])
+    slowest = int(np.argmax(spans))
+    med_span = float(np.median(spans))
+    med_time = float(np.median(times))
+    med_vol = float(np.median(volumes))
+    if med_span <= 0 or med_time <= 0 or med_vol <= 0:
+        return None
+    return Fact(
+        "dxt_rank_skew",
+        {
+            "slowest_rank": ranks[slowest],
+            "span_skew": float(spans[slowest] / med_span),
+            "time_skew": float(times[slowest] / med_time),
+            "bytes_ratio": float(volumes[slowest] / med_vol),
+            "nprocs": len(ranks),
+        },
+    )
+
+
+def _concurrency_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    """Mean/peak operations in flight while any I/O is outstanding.
+
+    With N ranks doing independent I/O the mean sits near N; a mean near
+    1.0 across many active ranks means the accesses are serialized — the
+    lock-convoy signature no counter records.
+    """
+    active_ranks = len({s.rank for s in app_segments})
+    if active_ranks < 4:
+        return None
+    events: list[tuple[float, int]] = []
+    for seg in app_segments:
+        events.append((seg.start_time, 1))
+        events.append((seg.end_time, -1))
+    events.sort()
+    inflight = 0
+    busy_time = 0.0
+    weighted = 0.0
+    peak = 0
+    prev_t = events[0][0]
+    for t, delta in events:
+        if inflight > 0:
+            busy_time += t - prev_t
+            weighted += inflight * (t - prev_t)
+        prev_t = t
+        inflight += delta
+        peak = max(peak, inflight)
+    if busy_time <= 0:
+        return None
+    return Fact(
+        "dxt_concurrency",
+        {
+            "mean_inflight": float(weighted / busy_time),
+            "peak_inflight": int(peak),
+            "active_ranks": active_ranks,
+        },
+    )
+
+
+def _idle_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    """Idle-gap structure of the I/O timeline.
+
+    Global gaps (no operation in flight anywhere) catch interference-style
+    stalls.  ``stalled_ranks`` counts ranks that spend >= 25% of the span
+    waiting *while other ranks kept doing I/O* — which distinguishes a
+    producer/consumer hand-off stall from a deliberate all-ranks compute
+    phase (where nobody is busy, so the waiting does not count).
+    """
+    busy = _merged_intervals([(s.start_time, s.end_time) for s in app_segments])
+    if not busy:
+        return None
+    t0, t1 = busy[0][0], busy[-1][1]
+    span = t1 - t0
+    if span <= 0:
+        return None
+    gaps = [
+        (busy[i][1], busy[i + 1][0])
+        for i in range(len(busy) - 1)
+        if busy[i + 1][0] - busy[i][1] > 0.02 * span
+    ]
+    idle = sum(hi - lo for lo, hi in gaps)
+
+    by_rank: dict[int, list[tuple[float, float]]] = {}
+    for seg in app_segments:
+        by_rank.setdefault(seg.rank, []).append((seg.start_time, seg.end_time))
+    stalled = 0
+    for spans in by_rank.values():
+        rank_busy = _merged_intervals(spans)
+        # Leading wait plus internal gaps; trailing idle (an early finisher)
+        # is not a stall.
+        rank_gaps = [(t0, rank_busy[0][0])]
+        rank_gaps += [
+            (rank_busy[i][1], rank_busy[i + 1][0]) for i in range(len(rank_busy) - 1)
+        ]
+        covered_wait = sum(_overlap(busy, lo, hi) for lo, hi in rank_gaps)
+        if covered_wait >= 0.25 * span:
+            stalled += 1
+    return Fact(
+        "dxt_idle",
+        {
+            "span_s": float(span),
+            "idle_fraction": float(idle / span),
+            "n_gaps": len(gaps),
+            "longest_gap_s": float(max((hi - lo for lo, hi in gaps), default=0.0)),
+            "stalled_ranks": stalled,
+        },
+    )
+
+
+def _file_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    """Per-file effective throughput skew among comparably-accessed files.
+
+    Files are bucketed by mean request size (throughput legitimately
+    differs between a 4 KiB log stream and 1 MiB bulk data); within the
+    dominant bucket, one file sustaining a fraction of its peers' rate
+    points at the server(s) behind it — a slow or overloaded OST that byte
+    counters, being perfectly balanced, never show.
+    """
+    per_file: dict[str, tuple[float, float, int]] = {}
+    for seg in app_segments:
+        nbytes, busy, count = per_file.get(seg.path, (0.0, 0.0, 0))
+        per_file[seg.path] = (nbytes + seg.length, busy + seg.duration, count + 1)
+    buckets: dict[int, list[tuple[str, float, float]]] = {}
+    for path, (nbytes, busy, count) in per_file.items():
+        if count < 8 or nbytes < 1024 * 1024 or busy <= 0:
+            continue
+        bucket = int(np.log2(max(1.0, nbytes / count)))
+        buckets.setdefault(bucket, []).append((path, nbytes / busy / (1024 * 1024), nbytes))
+    if not buckets:
+        return None
+    group = max(buckets.values(), key=lambda files: sum(f[2] for f in files))
+    if len(group) < 4:
+        return None
+    rates = np.array([mbps for _, mbps, _ in group])
+    median = float(np.median(rates))
+    slow_idx = int(np.argmin(rates))
+    slow_path, slow_mbps, _ = group[slow_idx]
+    if slow_mbps <= 0:
+        return None
+    return Fact(
+        "dxt_file_skew",
+        {
+            "n_files": len(group),
+            "slow_path": slow_path,
+            "slow_mbps": float(slow_mbps),
+            "median_mbps": median,
+            "ratio": float(median / slow_mbps),
+        },
+    )
+
+
+def dxt_temporal_facts(segments: list[DxtSegment], n_bins: int = 20) -> list[Fact]:
+    """Every temporal fact the DXT channel supports, as LLM-ready facts.
+
+    Combines the timeline/burst summary with per-rank time skew,
+    concurrency (serialization), idle-gap structure, and per-file
+    throughput skew — the evidence grounding time-domain pathologies
+    (stragglers, lock convoys, interference stalls, slow-OST hotspots)
+    that aggregate counters are blind to.
+    """
+    if not segments:
+        return []
+    app = app_level_segments(segments)
+    facts = dxt_timeline_facts(segments, n_bins=n_bins)
+    for fact in (
+        _rank_skew_fact(app),
+        _concurrency_fact(app),
+        # Idle analysis sees the raw stream: a collective-buffering
+        # aggregator between its application-level calls is busy moving
+        # its group's data (lowered POSIX segments), not stalled.
+        _idle_fact(segments),
+        _file_skew_fact(app),
+    ):
+        if fact is not None:
+            facts.append(fact)
+    return facts
+
+
+def cached_temporal_facts(log) -> list[Fact]:
+    """Temporal facts of a :class:`~repro.darshan.log.DarshanLog`, memoized.
+
+    Several consumers extract the same facts from the same log — the
+    ``temporal`` pipeline stage (once per diagnosing tool) and each of
+    Drishti's DXT triggers — and the segment sweeps are O(n log n), so
+    the result is computed once and parked on the log (segments are
+    immutable after collection, like ``dxt_digest_cache``).
+    """
+    if not log.dxt_segments:
+        return []
+    if log.dxt_facts_cache is None:
+        log.dxt_facts_cache = dxt_temporal_facts(log.dxt_segments)
+    return list(log.dxt_facts_cache)

@@ -41,10 +41,30 @@ class JobHeader:
 
 @dataclass(slots=True)
 class DarshanLog:
-    """A parsed (or synthesized) Darshan log."""
+    """A parsed (or synthesized) Darshan log.
+
+    ``dxt_segments`` is the optional temporal evidence channel: per-operation
+    DXT segments (:class:`repro.darshan.dxt.DxtSegment`) captured alongside
+    the counters when the trace came from the simulated runtime.  Logs parsed
+    from ``darshan-parser`` text carry ``None`` here — exactly like a real
+    deployment where DXT was not enabled — and every consumer treats the
+    channel as best-effort extra evidence, never a requirement.
+    """
 
     header: JobHeader
     records: list = field(default_factory=list)  # list[DarshanRecord]
+    dxt_segments: list | None = None  # list[DxtSegment] | None
+    # Memoized derivations of dxt_segments (segments are never mutated
+    # after collection): the content digest maintained by
+    # repro.core.service.trace_digest, and the temporal fact list
+    # maintained by repro.darshan.dxt.cached_temporal_facts.
+    dxt_digest_cache: str | None = field(default=None, repr=False, compare=False)
+    dxt_facts_cache: list | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def has_dxt(self) -> bool:
+        """Whether the temporal (DXT) evidence channel is available."""
+        return bool(self.dxt_segments)
 
     def modules(self) -> list[str]:
         """Module names present, in canonical section order."""

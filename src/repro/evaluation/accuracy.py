@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.core.issues import ISSUES
 from repro.llm.findings import parse_findings
 
-__all__ = ["issue_assertions", "MatchStats", "match_stats"]
+__all__ = ["issue_assertions", "MatchStats", "match_stats", "f1_by_difficulty"]
 
 
 def issue_assertions(text: str) -> set[str]:
@@ -62,3 +62,19 @@ def match_stats(text: str, labels: frozenset[str] | set[str]) -> MatchStats:
         false_positives=len(asserted - labels),
         missed=len(labels - asserted),
     )
+
+
+def f1_by_difficulty(rows: list[tuple[str, MatchStats]]) -> dict[str, float]:
+    """Mean F1 per difficulty tier from (difficulty, stats) pairs.
+
+    Tiers appear in canonical registry order (easy, medium, hard,
+    control) so rendered splits are stable regardless of trace order.
+    """
+    from repro.workloads.scenarios import DIFFICULTIES
+
+    grouped: dict[str, list[float]] = {}
+    for difficulty, stats in rows:
+        grouped.setdefault(difficulty, []).append(stats.f1)
+    ordered = [d for d in DIFFICULTIES if d in grouped]
+    ordered += sorted(set(grouped) - set(ordered))
+    return {d: sum(grouped[d]) / len(grouped[d]) for d in ordered}

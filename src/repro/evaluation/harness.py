@@ -59,6 +59,8 @@ class EvaluationResult:
     ranks: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
     # trace_id -> source
     trace_sources: dict[str, str] = field(default_factory=dict)
+    # trace_id -> difficulty tier ('easy' | 'medium' | 'hard' | 'control')
+    trace_difficulties: dict[str, str] = field(default_factory=dict)
 
     def sources(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -66,14 +68,38 @@ class EvaluationResult:
             seen.setdefault(src, None)
         return list(seen)
 
-    def normalized(self, criterion: str, source: str | None = None) -> dict[str, float]:
-        """NS(T, criterion, D) for D = one source or the whole suite."""
+    def difficulties(self) -> list[str]:
+        """Difficulty tiers present, in canonical easy→control order."""
+        present = set(self.trace_difficulties.values())
+        from repro.workloads.scenarios import DIFFICULTIES
+
+        ordered = [d for d in DIFFICULTIES if d in present]
+        return ordered + sorted(present - set(ordered))
+
+    def normalized(
+        self,
+        criterion: str,
+        source: str | None = None,
+        difficulty: str | None = None,
+    ) -> dict[str, float]:
+        """NS(T, criterion, D) for D = one source/difficulty or the suite."""
         per_trace = [
             ranks
             for trace_id, ranks in self.ranks[criterion].items()
-            if source is None or self.trace_sources[trace_id] == source
+            if (source is None or self.trace_sources[trace_id] == source)
+            and (
+                difficulty is None
+                or self.trace_difficulties.get(trace_id, "medium") == difficulty
+            )
         ]
         return normalized_scores(per_trace)
+
+    def accuracy_by_difficulty(self) -> dict[str, dict[str, float]]:
+        """Normalized accuracy per difficulty tier: tier -> tool -> score."""
+        return {
+            tier: self.normalized("accuracy", difficulty=tier)
+            for tier in self.difficulties()
+        }
 
     def table4(self) -> dict[str, dict[str, dict[str, float]]]:
         """criterion (+ 'average') -> column -> tool -> normalized score."""
@@ -119,6 +145,7 @@ def evaluate_tools(
         }
         result.texts[trace.trace_id] = texts
         result.trace_sources[trace.trace_id] = trace.source
+        result.trace_difficulties[trace.trace_id] = getattr(trace, "difficulty", "medium")
         for criterion in CRITERIA:
             truth = trace.labels if criterion == "accuracy" else None
             result.ranks[criterion][trace.trace_id] = rank_candidates(

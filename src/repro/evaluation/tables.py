@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.evaluation.harness import CRITERIA, EvaluationResult
 from repro.tracebench.spec import TABLE3_EXPECTED, table3_counts
 
-__all__ = ["render_table3", "render_table4", "TOOL_TITLES"]
+__all__ = ["render_table3", "render_table4", "render_table4_difficulty", "TOOL_TITLES"]
 
 TOOL_TITLES = {
     "drishti": "Drishti",
@@ -83,4 +83,28 @@ def render_table4(result: EvaluationResult) -> str:
             row += " ".join(f"{block[c].get(tool, float('nan')):>18.3f}" for c in columns)
             lines.append(row)
         lines.append("-" * 118)
+    lines.append("")
+    lines.append(render_table4_difficulty(result))
+    return "\n".join(lines)
+
+
+def render_table4_difficulty(result: EvaluationResult) -> str:
+    """The Table IV accuracy column, split per difficulty tier.
+
+    The hard tier holds the counter-invisible pathologies (see
+    docs/evidence.md); a tool's easy-vs-hard gap here is the headline
+    number for how much the temporal evidence channel buys it.
+    """
+    tiers = result.difficulties()
+    by_tier = result.accuracy_by_difficulty()
+    lines = [
+        "Table IV(b): Accuracy by scenario difficulty (normalized scores)",
+        f"{'Diagnosis Tool':24s} " + " ".join(f"{t:>10s}" for t in tiers),
+        "-" * (25 + 11 * len(tiers)),
+    ]
+    for tool in result.tool_names:
+        title = TOOL_TITLES.get(tool, tool)
+        row = f"{title:24s} "
+        row += " ".join(f"{by_tier[t].get(tool, float('nan')):>10.3f}" for t in tiers)
+        lines.append(row)
     return "\n".join(lines)

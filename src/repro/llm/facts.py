@@ -333,6 +333,83 @@ _register(
     },
 )
 
+_register(
+    "dxt_rank_skew",
+    lambda d: (
+        f"Extended tracing shows rank {d['slowest_rank']} occupies an I/O window "
+        f"{d['span_skew']:.1f}x the median rank's and spends {d['time_skew']:.1f}x "
+        f"the median I/O time while moving {d['bytes_ratio']:.2f}x the median "
+        f"per-rank volume across {d['nprocs']} ranks."
+    ),
+    r"Extended tracing shows rank (?P<rank>\d+) occupies an I/O window "
+    r"(?P<span>[0-9.]+)x the median rank's and spends (?P<time>[0-9.]+)x the "
+    r"median I/O time while moving (?P<bytes>[0-9.]+)x the median per-rank "
+    r"volume across (?P<np>\d+) ranks",
+    lambda m: {
+        "slowest_rank": int(m["rank"]),
+        "span_skew": float(m["span"]),
+        "time_skew": float(m["time"]),
+        "bytes_ratio": float(m["bytes"]),
+        "nprocs": int(m["np"]),
+    },
+)
+
+_register(
+    "dxt_concurrency",
+    lambda d: (
+        f"Extended tracing shows a mean of {d['mean_inflight']:.2f} I/O operations "
+        f"in flight (peak {d['peak_inflight']}) across {d['active_ranks']} ranks "
+        f"performing I/O."
+    ),
+    r"Extended tracing shows a mean of (?P<mean>[0-9.]+) I/O operations in flight "
+    r"\(peak (?P<peak>\d+)\) across (?P<ranks>\d+) ranks performing I/O",
+    lambda m: {
+        "mean_inflight": float(m["mean"]),
+        "peak_inflight": int(m["peak"]),
+        "active_ranks": int(m["ranks"]),
+    },
+)
+
+_register(
+    "dxt_idle",
+    lambda d: (
+        f"Extended tracing shows the I/O stream pausing {d['n_gaps']} time(s) for "
+        f"{_pct(d['idle_fraction'])}% of its {d['span_s']:.3f}-second span, with the "
+        f"longest pause lasting {d['longest_gap_s']:.3f} seconds and "
+        f"{d['stalled_ranks']} rank(s) stalled while their peers kept doing I/O."
+    ),
+    r"Extended tracing shows the I/O stream pausing (?P<gaps>\d+) time\(s\) for "
+    r"(?P<idle>[0-9.]+)% of its (?P<span>[0-9.]+)-second span, with the longest "
+    r"pause lasting (?P<longest>[0-9.]+) seconds and (?P<stalled>\d+) rank\(s\) "
+    r"stalled while their peers kept doing I/O",
+    lambda m: {
+        "n_gaps": int(m["gaps"]),
+        "idle_fraction": float(m["idle"]) / 100.0,
+        "span_s": float(m["span"]),
+        "longest_gap_s": float(m["longest"]),
+        "stalled_ranks": int(m["stalled"]),
+    },
+)
+
+_register(
+    "dxt_file_skew",
+    lambda d: (
+        f"Extended tracing shows {d['slow_path']} sustaining {d['slow_mbps']:.1f} MiB/s "
+        f"against a median of {d['median_mbps']:.1f} MiB/s over {d['n_files']} "
+        f"comparably-accessed files ({d['ratio']:.1f}x slower than its peers)."
+    ),
+    r"Extended tracing shows (?P<path>\S+) sustaining (?P<slow>[0-9.]+) MiB/s "
+    r"against a median of (?P<median>[0-9.]+) MiB/s over (?P<n>\d+) "
+    r"comparably-accessed files \((?P<ratio>[0-9.]+)x slower than its peers\)",
+    lambda m: {
+        "slow_path": m["path"],
+        "slow_mbps": float(m["slow"]),
+        "median_mbps": float(m["median"]),
+        "n_files": int(m["n"]),
+        "ratio": float(m["ratio"]),
+    },
+)
+
 FACT_KINDS: tuple[str, ...] = tuple(_SPEC)
 
 

@@ -22,6 +22,17 @@ Thresholds (documented for DESIGN.md's experiment index):
 * no collective I/O: >= 4 independent MPI-IO ops with zero collectives;
 * low-level library: STDIO carrying >= 30% of a direction's >= 1 MiB;
 * repetitive reads: >= 3x re-read ratio on a file.
+
+Temporal thresholds (DXT evidence channel, see docs/evidence.md):
+
+* rank straggler: slowest rank's I/O window or busy time >= 3x the median
+  while moving <= 1.5x the median bytes (time skew without byte skew);
+* slow server: one file of >= 4 comparably-accessed files sustaining
+  <= 1/3 of the median throughput (explains away a rank straggler);
+* lock contention: mean in-flight ops <= 1.3 across >= 4 active ranks,
+  with per-rank time balanced (a convoy, not a straggler's tail);
+* I/O stalls: >= 6 repeated global pauses covering >= 25% of the span, or
+  >= 2 ranks stalled while their peers kept doing I/O.
 """
 
 from __future__ import annotations
@@ -48,6 +59,13 @@ THRESHOLDS = {
     "stdio_share": 0.3,
     "stdio_min_bytes": 1024 * 1024,
     "reread_ratio": 3.0,
+    "dxt_time_skew": 3.0,
+    "dxt_bytes_balanced": 1.5,
+    "dxt_file_skew_ratio": 3.0,
+    "dxt_serialized_inflight": 1.3,
+    "dxt_stall_gaps": 6,
+    "dxt_stall_idle_fraction": 0.25,
+    "dxt_stalled_ranks": 2,
 }
 
 
@@ -351,6 +369,140 @@ def infer_findings(facts: list[Fact]) -> list[Finding]:
                     recommendation=(
                         "Cache the region in application memory (or burst buffer) after the "
                         "first read instead of re-reading it from the file system."
+                    ),
+                )
+            )
+
+    # -- temporal (DXT) evidence --------------------------------------------
+    # Ordering matters: a slow server explains away an apparent rank
+    # straggler (the rank is slow because its file's OST is), and a lock
+    # convoy explains away apparent stalls (ranks idle because they queue on
+    # the lock) — the expert attributes each symptom to its deepest cause.
+    skew = next(iter(kinds.get("dxt_rank_skew", [])), None)
+    time_skewed = skew is not None and (
+        skew.get("time_skew", 1.0) >= THRESHOLDS["dxt_time_skew"]
+        or skew.get("span_skew", 1.0) >= THRESHOLDS["dxt_time_skew"]
+    )
+
+    file_skew_fired = False
+    for f in kinds.get("dxt_file_skew", []):
+        if (
+            f.get("ratio", 1.0) >= THRESHOLDS["dxt_file_skew_ratio"]
+            and f.get("n_files", 0) >= 4
+        ):
+            file_skew_fired = True
+            add(
+                Finding(
+                    issue_key="server_imbalance",
+                    evidence=(
+                        f"Extended tracing shows {f.get('slow_path')} sustaining only "
+                        f"{f.get('slow_mbps', 0):.1f} MiB/s while the median of "
+                        f"{f.get('n_files')} comparably-accessed files reaches "
+                        f"{f.get('median_mbps', 0):.1f} MiB/s ({f.get('ratio', 0):.1f}x slower)."
+                    ),
+                    assessment=(
+                        "Byte traffic is spread evenly, yet one file's server lags its "
+                        "peers — a slow or overloaded OST behind that file, which "
+                        "aggregate volume counters can never show."
+                    ),
+                    recommendation=(
+                        "Check the health/load of the OSTs serving the slow file "
+                        "(`lfs getstripe`, server-side stats) and restripe it away "
+                        "from the degraded server."
+                    ),
+                )
+            )
+
+    lock_fired = False
+    for f in kinds.get("dxt_concurrency", []):
+        if (
+            f.get("active_ranks", 0) >= 4
+            and f.get("mean_inflight", 99.0) <= THRESHOLDS["dxt_serialized_inflight"]
+            and not time_skewed  # a straggler's lone tail also looks serial
+        ):
+            lock_fired = True
+            add(
+                Finding(
+                    issue_key="lock_contention",
+                    evidence=(
+                        f"Extended tracing shows a mean of {f.get('mean_inflight', 0):.2f} "
+                        f"operations in flight (peak {f.get('peak_inflight')}) although "
+                        f"{f.get('active_ranks')} ranks perform I/O: accesses are "
+                        f"serialized, one rank at a time."
+                    ),
+                    assessment=(
+                        "This is the extent-lock convoy signature: ranks queue on the "
+                        "shared file's locks and hand them around, so the file system "
+                        "serves one stream while the rest wait — invisible in counters, "
+                        "whose per-rank volumes stay perfectly balanced."
+                    ),
+                    recommendation=(
+                        "Use collective MPI-IO so aggregators write disjoint, "
+                        "stripe-aligned regions, align each rank's records to stripe "
+                        "boundaries, or switch to file-per-process output."
+                    ),
+                )
+            )
+
+    if time_skewed and not file_skew_fired:
+        if skew.get("bytes_ratio", 99.0) <= THRESHOLDS["dxt_bytes_balanced"]:
+            add(
+                Finding(
+                    issue_key="rank_imbalance",
+                    evidence=(
+                        f"Extended tracing shows rank {skew.get('slowest_rank')} occupying "
+                        f"an I/O window {skew.get('span_skew', 0):.1f}x the median rank's "
+                        f"({skew.get('time_skew', 0):.1f}x the median I/O time) while "
+                        f"moving only {skew.get('bytes_ratio', 0):.2f}x the median bytes."
+                    ),
+                    assessment=(
+                        "One rank drags the whole job in time while byte volume stays "
+                        "balanced — a straggler that per-rank volume counters cannot "
+                        "distinguish from healthy ranks."
+                    ),
+                    recommendation=(
+                        "Profile the slow rank (request sizes, interleaved compute, "
+                        "placement); batch its small requests or rebalance its work, "
+                        "and use collective I/O so stragglers are absorbed by "
+                        "aggregators."
+                    ),
+                )
+            )
+
+    for f in kinds.get("dxt_idle", []):
+        if lock_fired or time_skewed:
+            # Convoy waiting (or one straggler's gaps) already accounts for
+            # the idle structure; the deeper cause was reported above.
+            break
+        repeated_gaps = (
+            f.get("n_gaps", 0) >= THRESHOLDS["dxt_stall_gaps"]
+            and f.get("idle_fraction", 0.0) >= THRESHOLDS["dxt_stall_idle_fraction"]
+        )
+        stalled = f.get("stalled_ranks", 0) >= THRESHOLDS["dxt_stalled_ranks"]
+        if repeated_gaps or stalled:
+            add(
+                Finding(
+                    issue_key="io_stall",
+                    evidence=(
+                        f"Extended tracing shows the I/O stream pausing "
+                        f"{f.get('n_gaps')} time(s) for "
+                        f"{100 * f.get('idle_fraction', 0):.0f}% of its "
+                        f"{f.get('span_s', 0):.1f} s span (longest pause "
+                        f"{f.get('longest_gap_s', 0):.3f} s; {f.get('stalled_ranks')} "
+                        f"rank(s) stalled while their peers kept doing I/O)."
+                    ),
+                    assessment=(
+                        "Repeated mid-run pauses point at I/O stalls — interference "
+                        "from other jobs or congestion when the whole job pauses "
+                        "together, or ranks blocked on data produced by other ranks "
+                        "when only some stall. Aggregate counters collapse this "
+                        "timeline into totals and cannot show it."
+                    ),
+                    recommendation=(
+                        "Overlap I/O with computation (non-blocking or "
+                        "double-buffered I/O), stage through a burst buffer to "
+                        "decouple from shared-system congestion, and pipeline "
+                        "producer/consumer phases instead of strict hand-offs."
                     ),
                 )
             )

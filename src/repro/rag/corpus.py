@@ -54,6 +54,10 @@ ISSUE_TOPICS: dict[str, tuple[str, ...]] = {
     "low_level_read": ("stdio",),
     "low_level_write": ("stdio",),
     "repetitive_read": ("repetition", "burst-buffer"),
+    # Time-domain issues lean on the shared-file/locking and balance
+    # literature; no dedicated corpus topic exists (yet).
+    "lock_contention": ("shared-file", "collective-io"),
+    "io_stall": ("rank-balance", "burst-buffer"),
 }
 
 

@@ -80,11 +80,14 @@ class LustreFileSystem:
         block_size: int = 4096,
         memory_alignment: int = 8,
         seed: int = 0,
+        slow_osts: dict[int, float] | None = None,
     ) -> None:
         if num_osts <= 0:
             raise ValueError("num_osts must be positive")
         if default_stripe_width > num_osts:
             raise ValueError("default stripe width cannot exceed OST count")
+        if slow_osts and any(f < 1.0 for f in slow_osts.values()):
+            raise ValueError("slow_osts factors must be >= 1.0")
         self.mount_point = mount_point.rstrip("/") or "/"
         self.fs_type = fs_type
         self.num_osts = num_osts
@@ -93,24 +96,49 @@ class LustreFileSystem:
         self.default_stripe_width = default_stripe_width
         self.block_size = block_size
         self.memory_alignment = memory_alignment
+        # Degraded servers: OST id -> service-time multiplier (>= 1.0).
+        # A slow OST serves the same bytes, just slower — traffic counters
+        # stay perfectly balanced, which is what makes the resulting
+        # hotspot invisible to counter-only diagnosis.
+        self.slow_osts: dict[int, float] = dict(slow_osts or {})
         self._seed = seed
-        self._overrides: dict[str, tuple[int, int]] = {}
+        self._overrides: dict[str, tuple[int, int, int | None]] = {}
         self._layouts: dict[str, StripeLayout] = {}
         self._file_sizes: dict[str, int] = {}
 
     # -- configuration -------------------------------------------------
 
-    def set_stripe(self, path: str, stripe_size: int, stripe_width: int) -> None:
+    def set_stripe(
+        self,
+        path: str,
+        stripe_size: int,
+        stripe_width: int,
+        stripe_offset: int | None = None,
+    ) -> None:
         """Install an ``lfs setstripe``-style override for ``path``.
 
         Must be called before the file is first touched, as on real Lustre
-        (striping cannot be changed on a non-empty file).
+        (striping cannot be changed on a non-empty file).  ``stripe_offset``
+        pins the starting OST (``lfs setstripe -i``); ``None`` keeps the
+        deterministic per-path pseudo-random placement.
         """
         if path in self._layouts:
             raise ValueError(f"cannot restripe already-materialized file {path!r}")
         if stripe_width > self.num_osts:
             raise ValueError("stripe width cannot exceed OST count")
-        self._overrides[path] = (int(stripe_size), int(stripe_width))
+        if stripe_offset is not None and not 0 <= stripe_offset < self.num_osts:
+            raise ValueError("stripe offset must name a valid OST")
+        self._overrides[path] = (int(stripe_size), int(stripe_width), stripe_offset)
+
+    def ost_slowdown(self, ost_ids) -> float:
+        """Service-time multiplier for a transfer touching ``ost_ids``.
+
+        A striped transfer completes when its slowest stripe does, so the
+        worst touched OST's factor applies to the whole operation.
+        """
+        if not self.slow_osts:
+            return 1.0
+        return max((self.slow_osts.get(ost, 1.0) for ost in ost_ids), default=1.0)
 
     # -- layout / geometry ----------------------------------------------
 
@@ -122,11 +150,12 @@ class LustreFileSystem:
         """Materialize (or fetch) the stripe layout of ``path``."""
         layout = self._layouts.get(path)
         if layout is None:
-            size, width = self._overrides.get(
-                path, (self.default_stripe_size, self.default_stripe_width)
+            size, width, start = self._overrides.get(
+                path, (self.default_stripe_size, self.default_stripe_width, None)
             )
-            rng = rng_for(self._seed, "layout", path)
-            start = int(rng.integers(0, self.num_osts))
+            if start is None:
+                rng = rng_for(self._seed, "layout", path)
+                start = int(rng.integers(0, self.num_osts))
             ost_ids = tuple((start + i) % self.num_osts for i in range(width))
             layout = StripeLayout(
                 stripe_size=size, stripe_width=width, stripe_offset=start, ost_ids=ost_ids

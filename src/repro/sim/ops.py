@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["API", "OpKind", "IOOp"]
+__all__ = ["API", "OpKind", "IOOp", "compute", "barrier"]
 
 
 class API(str, enum.Enum):
@@ -32,6 +32,7 @@ class OpKind(str, enum.Enum):
     SYNC = "sync"
     CLOSE = "close"
     COMPUTE = "compute"  # advances the rank clock without touching the FS
+    BARRIER = "barrier"  # synchronizes every rank's clock (MPI_Barrier)
 
 
 # Kinds that Darshan counts as metadata operations.
@@ -80,3 +81,15 @@ class IOOp:
 def compute(rank: int, seconds: float) -> IOOp:
     """Convenience constructor for a compute phase on ``rank``."""
     return IOOp(kind=OpKind.COMPUTE, api=API.POSIX, rank=rank, duration=seconds)
+
+
+def barrier() -> IOOp:
+    """Convenience constructor for a job-wide barrier.
+
+    Like COMPUTE, a barrier never reaches the filesystem or any observer —
+    MPI synchronization is invisible to Darshan — but it aligns every
+    rank's clock, which is how workloads model cross-rank dependencies
+    (producer/consumer handoffs, lock-token passing) whose cost shows up
+    only in the time domain.
+    """
+    return IOOp(kind=OpKind.BARRIER, api=API.POSIX, rank=0)

@@ -120,6 +120,12 @@ class IORuntime:
         if op.kind is OpKind.COMPUTE:
             self._clock[op.rank] += op.duration
             return
+        if op.kind is OpKind.BARRIER:
+            # MPI_Barrier: every rank waits for the slowest.  Invisible to
+            # observers (Darshan sees no I/O), but the waiting time shapes
+            # the DXT timeline — which is the point.
+            self._clock[:] = self._clock.max(initial=0.0)
+            return
         if op.collective:
             self._execute_collective(op)
             return
@@ -195,10 +201,12 @@ class IORuntime:
             sequential = self._last_end.get(key, 0) == op.offset
             self._last_end[key] = op.end_offset
             osts_used = 1
+            slowdown = 1.0
             if self.fs.contains(op.path):
                 layout = self.fs.layout_for(op.path)
                 per_ost = layout.bytes_per_ost(op.offset, op.size)
                 osts_used = max(1, len(per_ost))
+                slowdown = self.fs.ost_slowdown(per_ost)
                 for ost, nbytes in per_ost.items():
                     self._ost_bytes[ost] = self._ost_bytes.get(ost, 0) + nbytes
                 self.fs.record_extent(op.path, op.end_offset)
@@ -207,7 +215,7 @@ class IORuntime:
             else:
                 self._bytes_written += op.size
             self._ops += 1
-            return self.perf.transfer_time(op.size, osts_used, sequential)
+            return self.perf.transfer_time(op.size, osts_used, sequential) * slowdown
         # Metadata operations.
         if op.kind is OpKind.SEEK:
             self._last_end[(op.rank, op.path)] = op.offset

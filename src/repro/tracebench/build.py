@@ -23,14 +23,21 @@ __all__ = ["build_trace", "build_tracebench", "build_scenario_suite"]
 
 def build_trace(spec: TraceSpec, seed: int = 0) -> LabeledTrace:
     """Generate one labeled trace from its spec."""
+    from repro.workloads.scenarios import ScenarioNotFoundError, get_scenario
+
     workload = spec.builder()
     log, _result = workload.run(seed=seed)
+    try:
+        difficulty = get_scenario(spec.trace_id).difficulty
+    except ScenarioNotFoundError:  # spec built outside the registry
+        difficulty = "medium"
     return LabeledTrace(
         trace_id=spec.trace_id,
         source=spec.source,
         log=log,
         labels=spec.labels,
         description=workload.exe,
+        difficulty=difficulty,
     )
 
 

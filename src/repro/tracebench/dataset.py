@@ -13,13 +13,19 @@ __all__ = ["LabeledTrace", "TraceBench"]
 
 @dataclass(frozen=True)
 class LabeledTrace:
-    """One generated Darshan trace plus its expert labels."""
+    """One generated Darshan trace plus its expert labels.
+
+    ``difficulty`` carries the scenario registry's tier (``easy`` /
+    ``medium`` / ``hard`` / ``control``) so the evaluation can split
+    Table IV accuracy per tier.
+    """
 
     trace_id: str
     source: str
     log: DarshanLog
     labels: frozenset[str]
     description: str = ""
+    difficulty: str = "medium"
 
     @cached_property
     def text(self) -> str:

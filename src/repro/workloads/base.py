@@ -41,13 +41,18 @@ class Workload:
 
     ``phases`` run in order; each phase sees a context with an independent
     RNG stream so reordering or resizing one phase never perturbs another.
-    ``stripe_overrides`` maps paths to ``(stripe_size, stripe_width)`` and
-    is applied before any I/O, like a job script running ``lfs setstripe``.
+    ``stripe_overrides`` maps paths to ``(stripe_size, stripe_width)`` or
+    ``(stripe_size, stripe_width, stripe_offset)`` — the three-element form
+    pins the starting OST, like ``lfs setstripe -i`` — and is applied
+    before any I/O, like a job script running ``lfs setstripe``.
     ``uses_mpi=False`` models a multi-process application launched without
     MPI (TraceBench's *Multi-Process Without MPI* issue): such runs can
     never produce MPI-IO records.  ``perf`` overrides the cluster
     performance constants (``None`` keeps the :class:`PerfModel` defaults);
     scenarios use it to model e.g. slow fsync commit latency.
+    ``slow_osts`` marks degraded storage servers (OST id -> service-time
+    multiplier): traffic counters stay balanced while the affected
+    operations slow down, a purely temporal pathology.
     """
 
     name: str
@@ -59,9 +64,10 @@ class Workload:
     num_osts: int = 64
     default_stripe_size: int = 1 * MiB
     default_stripe_width: int = 1
-    stripe_overrides: dict[str, tuple[int, int]] = field(default_factory=dict)
+    stripe_overrides: dict[str, tuple] = field(default_factory=dict)
     compute_seconds: float = 0.0  # non-I/O runtime folded into the job clock
     perf: PerfModel | None = None
+    slow_osts: dict[int, float] = field(default_factory=dict)
 
     def run(self, seed: int = 0) -> tuple[DarshanLog, JobResult]:
         """Execute the workload and return its Darshan log + aggregates."""
@@ -69,15 +75,24 @@ class Workload:
 
 
 def run_workload(workload: Workload, seed: int = 0) -> tuple[DarshanLog, JobResult]:
-    """Build the filesystem/runtime/instrument stack and execute ``workload``."""
+    """Build the filesystem/runtime/instrument stack and execute ``workload``.
+
+    The runtime always carries both evidence channels: the Darshan counter
+    instrumentation and a :class:`~repro.darshan.dxt.DxtCollector`, whose
+    segments are attached to the returned log (``log.dxt_segments``) so
+    downstream consumers can reason about the time domain.
+    """
+    from repro.darshan.dxt import DxtCollector
+
     fs = LustreFileSystem(
         num_osts=workload.num_osts,
         default_stripe_size=workload.default_stripe_size,
         default_stripe_width=workload.default_stripe_width,
         seed=seed,
+        slow_osts=workload.slow_osts,
     )
-    for path, (ssize, swidth) in workload.stripe_overrides.items():
-        fs.set_stripe(path, ssize, swidth)
+    for path, override in workload.stripe_overrides.items():
+        fs.set_stripe(path, *override)
     spec = JobSpec(
         exe=workload.exe,
         nprocs=workload.nprocs,
@@ -89,6 +104,8 @@ def run_workload(workload: Workload, seed: int = 0) -> tuple[DarshanLog, JobResu
     runtime = IORuntime(spec, fs, perf=workload.perf)
     instrument = DarshanInstrument(spec, fs)
     runtime.add_observer(instrument)
+    dxt = DxtCollector()
+    runtime.add_observer(dxt)
 
     def ops() -> Iterable[IOOp]:
         for i, phase in enumerate(workload.phases):
@@ -103,4 +120,5 @@ def run_workload(workload: Workload, seed: int = 0) -> tuple[DarshanLog, JobResu
     result = runtime.run(ops())
     run_time = result.runtime + workload.compute_seconds
     log = instrument.finalize(run_time)
+    log.dxt_segments = dxt.segments
     return log, result

@@ -1,4 +1,4 @@
-"""The extended pathology tier: 12 scenarios beyond the paper's TraceBench.
+"""The extended pathology tier: 17 scenarios beyond the paper's TraceBench.
 
 TraceBench's 40 traces cover the issue taxonomy but only a slice of how
 those issues arise in production.  Each workload here models one pathology
@@ -7,6 +7,12 @@ churn, stragglers, bursty defensive I/O, read-modify-write, fsync floods,
 redundant re-reads at scale, stdio/MPI-IO interference — plus one clean
 baseline control whose ground truth is *no issue at all* (a diagnoser
 that cannot stay quiet on it is over-triggering).
+
+The hard tier (path13-path17) is deliberately *counter-invisible*: byte
+and operation counters stay balanced and clean, and the ground truth —
+compute-bound stragglers, lock convoys, interference stalls, slow-OST
+hotspots, producer/consumer hand-off stalls — is only recoverable from
+the DXT temporal evidence channel (see docs/evidence.md).
 
 Every workload registers a :class:`~repro.workloads.scenarios.Scenario`
 tagged ``pathology`` (plus a theme tag), so the harness, batch runner,
@@ -21,10 +27,14 @@ from repro.util.units import KiB, MiB
 from repro.workloads.base import Workload
 from repro.workloads.patterns import (
     checkpoint_burst_phase,
+    compute_straggler_phase,
     data_phase,
     false_sharing_phase,
     fsync_per_write_phase,
+    interference_stall_phase,
+    lock_convoy_phase,
     metadata_churn_phase,
+    producer_consumer_phase,
     read_modify_write_phase,
     repetitive_read_phase,
     stdio_phase,
@@ -311,6 +321,121 @@ def path12_clean_baseline() -> Workload:
     )
 
 
+def path13_straggler_compute() -> Workload:
+    """A straggler even the time counters miss: rank 0 writes the same
+    volume in the same pieces, but stalls in compute before every write."""
+    return Workload(
+        name="path13-straggler-compute",
+        exe="/home/user/pathology/straggler_compute",
+        nprocs=8,
+        jobid=913,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            compute_straggler_phase(
+                "/scratch/path13/field.dat",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                straggler_rank=0,
+                stall_seconds=0.5,
+                api="mpiio",
+            ),
+        ),
+    )
+
+
+def path14_lock_convoy() -> Workload:
+    """Shared-file writers serialized by extent-lock handoffs."""
+    return Workload(
+        name="path14-lock-convoy",
+        exe="/home/user/pathology/lock_convoy",
+        nprocs=8,
+        jobid=914,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            lock_convoy_phase(
+                "/scratch/path14/cells.dat",
+                xfer=64 * KiB,
+                rounds=80,
+                api="mpiio",
+            ),
+        ),
+    )
+
+
+def path15_bursty_interference() -> Workload:
+    """Textbook-clean sequential writes, repeatedly frozen by outside traffic."""
+    return Workload(
+        name="path15-bursty-interference",
+        exe="/home/user/pathology/bursty_interference",
+        nprocs=8,
+        jobid=915,
+        uses_mpi=False,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            interference_stall_phase(
+                "/scratch/path15/stream.dat",
+                xfer=1 * MiB,
+                writes_per_window=6,
+                stalls=9,
+                stall_seconds=0.6,
+            ),
+        ),
+    )
+
+
+def path16_slow_ost_hotspot() -> Workload:
+    """One degraded OST: balanced traffic, but files striped over OST 3
+    are served 4x slower.  Every byte counter looks healthy."""
+    path = "/scratch/path16/out.dat"
+    return Workload(
+        name="path16-slow-ost-hotspot",
+        exe="/home/user/pathology/slow_ost_hotspot",
+        nprocs=8,
+        jobid=916,
+        num_osts=8,
+        default_stripe_width=2,
+        # Pin file r's two stripes to OSTs (r, r+1): traffic spreads evenly
+        # over all 8 OSTs, and every 1 MiB request on files 2 and 3 must
+        # touch the degraded OST 3.
+        stripe_overrides={f"{path}.{r:05d}": (512 * KiB, 2, r) for r in range(8)},
+        slow_osts={3: 4.0},
+        phases=(
+            data_phase(
+                path,
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                api="mpiio",
+                layout="fpp",
+            ),
+        ),
+    )
+
+
+def path17_producer_consumer() -> Workload:
+    """Strict produce/hand-off/consume rounds over one staging file."""
+    return Workload(
+        name="path17-producer-consumer",
+        exe="/home/user/pathology/producer_consumer",
+        nprocs=8,
+        jobid=917,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            producer_consumer_phase(
+                "/scratch/path17/staging.dat",
+                xfer=1 * MiB,
+                rounds=5,
+                items_per_round=8,
+                api="mpiio",
+            ),
+        ),
+    )
+
+
 PATHOLOGY_BUILDERS = {
     "path01-random-small-reads": path01_random_small_reads,
     "path02-false-sharing": path02_false_sharing,
@@ -324,6 +449,11 @@ PATHOLOGY_BUILDERS = {
     "path10-redundant-reread": path10_redundant_reread,
     "path11-stdio-mpiio-mix": path11_stdio_mpiio_mix,
     "path12-clean-baseline": path12_clean_baseline,
+    "path13-straggler-compute": path13_straggler_compute,
+    "path14-lock-convoy": path14_lock_convoy,
+    "path15-bursty-interference": path15_bursty_interference,
+    "path16-slow-ost-hotspot": path16_slow_ost_hotspot,
+    "path17-producer-consumer": path17_producer_consumer,
 }
 
 
@@ -406,4 +536,32 @@ _scenario(
 _scenario(
     "path12-clean-baseline", "control", "control",
     "aligned collective writes over wide stripes — nothing to diagnose",
+)
+# -- the counter-invisible hard tier (temporal ground truth) ---------------
+_scenario(
+    "path13-straggler-compute", "hard", "imbalance",
+    "byte- and time-counter-balanced shared write whose rank 0 stalls in "
+    "compute before every request",
+    "rank_imbalance", "shared_file_access", "no_collective_write",
+)
+_scenario(
+    "path14-lock-convoy", "hard", "locking",
+    "shared-file writers serialized one rank at a time by extent-lock handoffs",
+    "lock_contention", "shared_file_access", "small_write", "no_collective_write",
+)
+_scenario(
+    "path15-bursty-interference", "hard", "interference",
+    "clean sequential streams frozen nine times by cross-job interference",
+    "io_stall", "no_mpi",
+)
+_scenario(
+    "path16-slow-ost-hotspot", "hard", "hotspot",
+    "perfectly balanced fpp writes with one degraded OST serving its files 4x slower",
+    "server_imbalance", "no_collective_write",
+)
+_scenario(
+    "path17-producer-consumer", "hard", "pipeline",
+    "strict produce/hand-off/consume rounds where each half of the job idles "
+    "while the other works",
+    "io_stall", "shared_file_access", "no_collective_read", "no_collective_write",
 )

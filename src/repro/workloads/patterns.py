@@ -38,6 +38,10 @@ __all__ = [
     "read_modify_write_phase",
     "fsync_per_write_phase",
     "straggler_phase",
+    "compute_straggler_phase",
+    "lock_convoy_phase",
+    "interference_stall_phase",
+    "producer_consumer_phase",
 ]
 
 _API_MAP = {"posix": API.POSIX, "mpiio": API.MPIIO, "stdio": API.STDIO}
@@ -524,6 +528,194 @@ def straggler_phase(
                         offset=base,
                         size=xfer,
                     )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
+
+    return phase
+
+
+def compute_straggler_phase(
+    path: str,
+    xfer: int,
+    count_per_rank: int,
+    *,
+    straggler_rank: int = 0,
+    stall_seconds: float = 0.5,
+    api: str = "mpiio",
+) -> PhaseFn:
+    """A straggler whose imbalance is invisible even to time counters.
+
+    Every rank writes identical request counts and sizes into its segment
+    of a shared file, but ``straggler_rank`` interleaves a compute stall
+    before each of its requests (slow preprocessing, NUMA contention, a
+    noisy neighbour on its node).  Byte counters stay balanced *and* the
+    per-rank I/O-time counters stay balanced — compute never reaches
+    Darshan — so the straggler exists only in the DXT timeline, where the
+    slow rank's I/O window stretches far past its peers'.
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=path)
+        for i in range(count_per_rank):
+            for r in range(ctx.nprocs):
+                if r == straggler_rank:
+                    yield IOOp(
+                        kind=OpKind.COMPUTE, api=api_enum, rank=r, duration=stall_seconds
+                    )
+                yield IOOp(
+                    kind=OpKind.WRITE,
+                    api=api_enum,
+                    rank=r,
+                    path=path,
+                    offset=(r * count_per_rank + i) * xfer,
+                    size=xfer,
+                )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
+
+    return phase
+
+
+def lock_convoy_phase(
+    path: str,
+    xfer: int,
+    rounds: int,
+    *,
+    api: str = "mpiio",
+) -> PhaseFn:
+    """Extent-lock convoy: shared-file writers proceed one rank at a time.
+
+    Each round the write "token" passes around all ranks — modelled with a
+    job-wide barrier before every write, the way an extent-lock handoff
+    serializes writers on real Lustre.  Per-rank bytes, op counts, and
+    even per-rank I/O times stay perfectly balanced; what collapses is
+    concurrency, visible only in the DXT timeline (mean operations in
+    flight ~= 1 despite every rank being active).
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        from repro.sim.ops import barrier
+
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=path)
+        for i in range(rounds):
+            for r in range(ctx.nprocs):
+                yield barrier()  # the lock handoff: wait for the holder
+                yield IOOp(
+                    kind=OpKind.WRITE,
+                    api=api_enum,
+                    rank=r,
+                    path=path,
+                    offset=(r * rounds + i) * xfer,
+                    size=xfer,
+                )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
+
+    return phase
+
+
+def interference_stall_phase(
+    path: str,
+    xfer: int,
+    writes_per_window: int,
+    stalls: int,
+    *,
+    stall_seconds: float = 0.6,
+    api: str = "posix",
+) -> PhaseFn:
+    """Healthy sequential I/O repeatedly frozen by external interference.
+
+    Every rank streams large sequential writes to its own file — textbook
+    clean, and the counters say so — but ``stalls`` times during the run
+    the whole job pauses for ``stall_seconds`` (another job saturating the
+    shared OSTs, fabric congestion, a metadata server hiccup).  The
+    repeated mid-run gaps exist only in the DXT timeline.
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        paths = _rank_paths(path, "fpp", ctx.nprocs)
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=paths[r])
+        offset = [0] * ctx.nprocs
+        for window in range(stalls + 1):
+            for _ in range(writes_per_window):
+                for r in range(ctx.nprocs):
+                    yield IOOp(
+                        kind=OpKind.WRITE,
+                        api=api_enum,
+                        rank=r,
+                        path=paths[r],
+                        offset=offset[r],
+                        size=xfer,
+                    )
+                    offset[r] += xfer
+            if window < stalls:
+                for r in range(ctx.nprocs):
+                    yield IOOp(
+                        kind=OpKind.COMPUTE, api=api_enum, rank=r, duration=stall_seconds
+                    )
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=paths[r])
+
+    return phase
+
+
+def producer_consumer_phase(
+    path: str,
+    xfer: int,
+    rounds: int,
+    items_per_round: int,
+    *,
+    api: str = "mpiio",
+) -> PhaseFn:
+    """Strict producer/consumer hand-off over a shared staging file.
+
+    The first half of the ranks write a round's worth of data, a barrier
+    hands it off, the second half read it back, another barrier closes the
+    round.  Each group idles while the other works — half the job's wall
+    time is spent stalled — yet the counters only see a balanced mix of
+    reads and writes on one shared file.  The alternating stall pattern
+    lives purely in the DXT timeline.
+    """
+    api_enum = _API_MAP[api]
+
+    def phase(ctx: WorkloadContext) -> Iterator[IOOp]:
+        from repro.sim.ops import barrier
+
+        half = max(1, ctx.nprocs // 2)
+        producers = range(half)
+        consumers = range(half, ctx.nprocs)
+        for r in range(ctx.nprocs):
+            yield IOOp(kind=OpKind.OPEN, api=api_enum, rank=r, path=path)
+        for round_no in range(rounds):
+            for i in range(items_per_round):
+                for r in producers:
+                    yield IOOp(
+                        kind=OpKind.WRITE,
+                        api=api_enum,
+                        rank=r,
+                        path=path,
+                        offset=((round_no * half + r) * items_per_round + i) * xfer,
+                        size=xfer,
+                    )
+            yield barrier()  # consumers may not read before the data exists
+            for i in range(items_per_round):
+                for r in consumers:
+                    yield IOOp(
+                        kind=OpKind.READ,
+                        api=api_enum,
+                        rank=r,
+                        path=path,
+                        offset=((round_no * half + (r - half) % half) * items_per_round + i)
+                        * xfer,
+                        size=xfer,
+                    )
+            yield barrier()  # producers reuse the buffers next round
         for r in range(ctx.nprocs):
             yield IOOp(kind=OpKind.CLOSE, api=api_enum, rank=r, path=path)
 

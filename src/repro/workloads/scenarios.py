@@ -229,4 +229,5 @@ def build_scenario(scenario: Scenario | str, seed: int = 0) -> "LabeledTrace":
         log=log,
         labels=scenario.root_causes,
         description=scenario.description or workload.exe,
+        difficulty=scenario.difficulty,
     )

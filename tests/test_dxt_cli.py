@@ -230,6 +230,28 @@ class TestCli:
         assert "unknown scenario selector: bogus-tag" in err
         assert "available tags:" in err and "pathology" in err
 
+    def test_evaluate_difficulty_selector(self, capsys):
+        """`--scenarios <difficulty>` works like any tag selector and the
+        output carries the per-difficulty accuracy split."""
+        assert main(["evaluate", "--scenarios", "control"]) == 0
+        out = capsys.readouterr().out
+        assert "Accuracy by scenario difficulty" in out
+        assert "control" in out
+
+    def test_evaluate_unknown_difficulty_hint(self, capsys):
+        code = main(["evaluate", "--scenarios", "HARD"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario selector: HARD" in err
+        assert "did you mean 'hard'" in err
+        assert "difficulty tiers: easy, medium, hard, control" in err
+
+    def test_evaluate_unknown_selector_lists_difficulties(self, capsys):
+        code = main(["evaluate", "--scenarios", "nightmare"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "difficulty tiers: easy, medium, hard, control" in err
+
     def test_evaluate_scenarios_and_traces_combine(self, capsys):
         code = main(
             ["evaluate", "--scenarios", "control", "--traces", "sb01-small-writes"]

@@ -103,6 +103,10 @@ def _example_fact(kind: str) -> Fact:
         "server_usage": {"eff_osts": 1.0, "num_osts": 64, "utilization": 0.016, "top_share": 1.0, "total_bytes": 503316480},
         "mount": {"fs_type": "lustre", "mount": "/scratch"},
         "dxt_timeline": {"n_segments": 2400, "span_s": 12.5, "phase": "read-then-write", "n_bursts": 3, "peak_to_mean": 7.2},
+        "dxt_rank_skew": {"slowest_rank": 0, "span_skew": 5.2, "time_skew": 4.8, "bytes_ratio": 1.0, "nprocs": 8},
+        "dxt_concurrency": {"mean_inflight": 1.06, "peak_inflight": 2, "active_ranks": 8},
+        "dxt_idle": {"n_gaps": 9, "idle_fraction": 0.42, "span_s": 8.125, "longest_gap_s": 0.5, "stalled_ranks": 4},
+        "dxt_file_skew": {"slow_path": "/scratch/out.00003", "slow_mbps": 120.5, "median_mbps": 485.0, "n_files": 8, "ratio": 4.0},
     }
     return Fact(kind=kind, data=samples[kind])
 
