@@ -91,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
     export = tb_sub.add_parser("export", help="write all traces + labels to a directory")
     export.add_argument("directory")
     export.add_argument("--seed", type=int, default=0)
+    export.add_argument(
+        "--dxt",
+        action="store_true",
+        help="embed the DXT segment table in each trace (preserves the temporal channel)",
+    )
     tb_sub.add_parser("table3", help="print the Table III composition")
 
     ls = sub.add_parser("list-scenarios", help="list the registered workload scenarios")
@@ -188,10 +193,16 @@ def _cmd_tracebench(args) -> int:
     os.makedirs(args.directory, exist_ok=True)
     suite = build_tracebench(args.seed)
     manifest = ["trace_id\tsource\tnprocs\tlabels"]
+    from repro.darshan.writer import render_darshan_text
+
+    include_dxt = getattr(args, "dxt", False)
     for trace in suite:
         path = os.path.join(args.directory, f"{trace.trace_id}.darshan.txt")
+        text = (
+            render_darshan_text(trace.log, include_dxt=True) if include_dxt else trace.text
+        )
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(trace.text)
+            fh.write(text)
         manifest.append(
             f"{trace.trace_id}\t{trace.source}\t{trace.log.header.nprocs}\t"
             + ",".join(sorted(trace.labels))

@@ -25,10 +25,17 @@ from repro.darshan.counters import (
     STDIO_F_COUNTERS,
     size_bin_index,
 )
+from repro.darshan.dxt import (
+    DxtCollector,
+    DxtSegment,
+    parse_dxt_text,
+    render_dxt_text,
+)
 from repro.darshan.instrument import DarshanInstrument
 from repro.darshan.log import DarshanLog, JobHeader
 from repro.darshan.parser import parse_darshan_text
 from repro.darshan.records import DarshanRecord
+from repro.darshan.segtable import SegmentTable, SegmentTableBuilder
 from repro.darshan.writer import render_darshan_text
 
 __all__ = [
@@ -49,4 +56,10 @@ __all__ = [
     "DarshanInstrument",
     "render_darshan_text",
     "parse_darshan_text",
+    "DxtSegment",
+    "DxtCollector",
+    "SegmentTable",
+    "SegmentTableBuilder",
+    "render_dxt_text",
+    "parse_dxt_text",
 ]

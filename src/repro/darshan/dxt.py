@@ -5,25 +5,41 @@ Darshan DXT traces as future work" (§II-A).  This module implements that
 extension: per-operation event records (file, rank, operation, offset,
 length, start/end time — the fields DXT captures), a collector that
 attaches to the simulated runtime alongside the counter instrumentation,
-a ``darshan-dxt-parser``-style text rendering, and timeline analysis
-(phase segmentation and burst detection) that a DXT-aware IOAgent summary
-category can feed the LLM.
+a ``darshan-dxt-parser``-style text rendering (and its inverse), and the
+temporal analysis a DXT-aware IOAgent summary category can feed the LLM.
+
+Segments are stored columnar (:class:`~repro.darshan.segtable.
+SegmentTable`, one numpy array per field) and every kernel here is a
+vectorized array sweep — per-rank reductions via ``np.bincount`` on rank
+codes, concurrency via a sorted event-delta prefix sum, idle analysis via
+sorted interval arrays and ``np.maximum.accumulate``, file skew via
+grouped reductions on path codes.  The scalar per-object reference
+implementations these were validated against live in
+:mod:`repro.darshan.dxt_reference`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from repro.darshan.segtable import (
+    READ_CODE,
+    DxtSegment,
+    SegmentTable,
+    SegmentTableBuilder,
+    as_table,
+    group_bounds,
+)
 from repro.llm.facts import Fact
 from repro.sim.filesystem import LustreFileSystem
 from repro.sim.ops import API, IOOp, OpKind
 
 __all__ = [
     "DxtSegment",
+    "SegmentTable",
     "DxtCollector",
     "render_dxt_text",
+    "parse_dxt_text",
     "dxt_digest",
     "dxt_timeline_facts",
     "app_level_segments",
@@ -32,25 +48,10 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, slots=True)
-class DxtSegment:
-    """One traced I/O operation (a DXT_POSIX / DXT_MPIIO segment)."""
-
-    module: str  # 'X_POSIX' | 'X_MPIIO' | 'X_STDIO'
-    rank: int
-    path: str
-    operation: str  # 'read' | 'write'
-    offset: int
-    length: int
-    start_time: float
-    end_time: float
-
-    @property
-    def duration(self) -> float:
-        return self.end_time - self.start_time
-
-
 _MODULE_TAG = {API.POSIX: "X_POSIX", API.MPIIO: "X_MPIIO", API.STDIO: "X_STDIO"}
+_DATA_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
+
+DXT_TEXT_HEADER = "# DXT trace (module, rank, wt/rd, segment, offset, length, start, end)"
 
 
 class DxtCollector:
@@ -58,7 +59,10 @@ class DxtCollector:
 
     Unlike the counter instrumentation, DXT keeps *every* data operation,
     which is why real deployments leave it off by default (the overhead
-    the paper mentions).  ``max_segments`` bounds memory like Darshan's
+    the paper mentions).  Segments accumulate into chunked columnar
+    buffers (:class:`~repro.darshan.segtable.SegmentTableBuilder`) — no
+    per-operation object allocation — and ``segments`` exposes them as a
+    :class:`SegmentTable`.  ``max_segments`` bounds memory like Darshan's
     own per-record segment limit; excess operations are counted but not
     stored.
     """
@@ -67,28 +71,34 @@ class DxtCollector:
         if max_segments <= 0:
             raise ValueError("max_segments must be positive")
         self.max_segments = max_segments
-        self.segments: list[DxtSegment] = []
+        self._builder = SegmentTableBuilder()
+        self._table: SegmentTable | None = None
         self.dropped = 0
 
     def on_op(self, op: IOOp, t_start: float, t_end: float, fs: LustreFileSystem | None) -> None:
         """Record data operations; metadata ops are not DXT segments."""
-        if op.kind not in (OpKind.READ, OpKind.WRITE):
+        if op.kind not in _DATA_KINDS:
             return
-        if len(self.segments) >= self.max_segments:
+        if len(self._builder) >= self.max_segments:
             self.dropped += 1
             return
-        self.segments.append(
-            DxtSegment(
-                module=_MODULE_TAG[op.api],
-                rank=op.rank,
-                path=op.path,
-                operation="read" if op.kind is OpKind.READ else "write",
-                offset=op.offset,
-                length=op.size,
-                start_time=t_start,
-                end_time=t_end,
-            )
+        self._builder.append(
+            _MODULE_TAG[op.api],
+            op.rank,
+            op.path,
+            "read" if op.kind is OpKind.READ else "write",
+            op.offset,
+            op.size,
+            t_start,
+            t_end,
         )
+
+    @property
+    def segments(self) -> SegmentTable:
+        """The collected segments as a columnar table (memoized per count)."""
+        if self._table is None or len(self._table) != len(self._builder):
+            self._table = self._builder.build()
+        return self._table
 
     def by_rank(self) -> dict[int, list[DxtSegment]]:
         """Segments grouped per rank, preserving issue order."""
@@ -98,45 +108,101 @@ class DxtCollector:
         return out
 
 
-def render_dxt_text(segments: list[DxtSegment]) -> str:
+# ---------------------------------------------------------------------------
+# Text serialization (darshan-dxt-parser format) and content digest
+# ---------------------------------------------------------------------------
+
+
+def render_dxt_text(segments) -> str:
     """Render segments in darshan-dxt-parser's tabular format."""
-    lines = ["# DXT trace (module, rank, wt/rd, segment, offset, length, start, end)"]
-    per_stream: dict[tuple[str, int, str], int] = {}
-    for seg in segments:
-        key = (seg.module, seg.rank, seg.path)
-        index = per_stream.get(key, 0)
-        per_stream[key] = index + 1
-        lines.append(
-            f"{seg.module:8s} {seg.rank:5d} {seg.operation:5s} {index:7d} "
-            f"{seg.offset:12d} {seg.length:10d} {seg.start_time:10.4f} {seg.end_time:10.4f}"
-            f"  {seg.path}"
+    table = as_table(segments)
+    lines = [DXT_TEXT_HEADER]
+    if len(table):
+        # Per-stream segment index = cumulative count within each
+        # (module, rank, path) stream, in issue order — computed as a
+        # grouped running count instead of a per-row dict sweep.
+        stacked = np.stack(
+            [table.module_code.astype(np.int64), table.rank, table.path_code.astype(np.int64)]
         )
+        _, inverse = np.unique(stacked, axis=1, return_inverse=True)
+        inverse = inverse.ravel()
+        order, firsts, counts = group_bounds(inverse)
+        within = np.empty(inverse.size, dtype=np.int64)
+        within[order] = np.arange(inverse.size) - np.repeat(firsts, counts)
+        indices = within.tolist()
+        modules, paths, operations = table.modules, table.paths, table.operations
+        rows = zip(
+            table.module_code.tolist(),
+            table.rank.tolist(),
+            table.op_code.tolist(),
+            table.offset.tolist(),
+            table.length.tolist(),
+            table.start.tolist(),
+            table.end.tolist(),
+            table.path_code.tolist(),
+        )
+        for i, (m, rank, o, offset, length, start, end, p) in enumerate(rows):
+            lines.append(
+                f"{modules[m]:8s} {rank:5d} {operations[o]:5s} {indices[i]:7d} "
+                f"{offset:12d} {length:10d} {start:10.4f} {end:10.4f}"
+                f"  {paths[p]}"
+            )
     return "\n".join(lines) + "\n"
 
 
-def dxt_digest(segments: list[DxtSegment]) -> str:
-    """Fast stable content digest of a segment list.
+def parse_dxt_text(text: str) -> SegmentTable:
+    """Parse :func:`render_dxt_text` output back into a segment table.
+
+    The inverse of the text rendering, so exported traces keep the
+    temporal channel.  Start/end times are quantized to the rendering's
+    1e-4 s resolution; integer fields round-trip exactly.  Comment and
+    blank lines are skipped, matching the counter-text parser's tolerance.
+    """
+    builder = SegmentTableBuilder()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 8)
+        if len(parts) != 9:
+            raise ValueError(
+                f"DXT line {lineno}: expected 9 whitespace-separated fields, got {len(parts)}"
+            )
+        module, rank, operation, _index, offset, length, start, end, path = parts
+        if operation not in ("read", "write"):
+            raise ValueError(
+                f"DXT line {lineno}: unknown operation {operation!r} (expected read/write)"
+            )
+        builder.append(
+            module,
+            int(rank),
+            path,
+            operation,
+            int(offset),
+            int(length),
+            float(start),
+            float(end),
+        )
+    return builder.build()
+
+
+def dxt_digest(segments) -> str:
+    """Fast stable content digest of a segment table.
 
     Hot path of the service cache (every lookup digests the trace), so
-    the segment table is hashed as packed numeric rows plus a compact
-    stream dictionary instead of being rendered to text — ~10x cheaper
-    than hashing :func:`render_dxt_text` output on large traces.
+    the table's column buffers are hashed directly plus the compact
+    string dictionaries — no per-segment iteration, no text rendering.
     """
-    import hashlib
+    return as_table(segments).digest()
 
-    streams: dict[tuple[str, str, str], int] = {}
-    rows = np.empty((len(segments), 6), dtype=np.float64)
-    for i, seg in enumerate(segments):
-        key = (seg.module, seg.path, seg.operation)
-        code = streams.setdefault(key, len(streams))
-        rows[i] = (code, seg.rank, seg.offset, seg.length, seg.start_time, seg.end_time)
-    digest = hashlib.sha256(rows.tobytes())
-    digest.update("\x00".join("|".join(key) for key in streams).encode("utf-8"))
-    return digest.hexdigest()
+
+# ---------------------------------------------------------------------------
+# Timeline analysis (phases and bursts)
+# ---------------------------------------------------------------------------
 
 
 def dxt_timeline_facts(
-    segments: list[DxtSegment],
+    segments,
     n_bins: int = 20,
     burst_threshold: float = 3.0,
 ) -> list[Fact]:
@@ -147,44 +213,41 @@ def dxt_timeline_facts(
     bursts), and reports the read->write phase structure — the kind of
     temporal insight counter-only Darshan cannot provide.
     """
-    if not segments:
+    table = as_table(segments)
+    if not len(table):
         return []
-    t0 = min(s.start_time for s in segments)
-    t1 = max(s.end_time for s in segments)
+    starts = table.start
+    t0 = float(starts.min())
+    t1 = float(table.end.max())
     span = max(t1 - t0, 1e-9)
-    starts = np.array([s.start_time for s in segments])
-    lengths = np.array([s.length for s in segments], dtype=np.float64)
+    lengths = table.length.astype(np.float64)
     bins = np.minimum(((starts - t0) / span * n_bins).astype(int), n_bins - 1)
     traffic = np.bincount(bins, weights=lengths, minlength=n_bins)
     mean_traffic = traffic.mean()
-    bursts = (
-        np.nonzero(traffic > burst_threshold * mean_traffic)[0] if mean_traffic > 0 else []
+    n_bursts = (
+        int(np.count_nonzero(traffic > burst_threshold * mean_traffic)) if mean_traffic > 0 else 0
     )
 
-    read_bytes = float(sum(s.length for s in segments if s.operation == "read"))
-    write_bytes = float(sum(s.length for s in segments if s.operation == "write"))
-    # A crude phase signature: midpoint of read traffic vs write traffic.
-    read_mid = float(
-        np.average(starts[[s.operation == "read" for s in segments]])
-        if read_bytes
-        else t0
-    )
-    write_mid = float(
-        np.average(starts[[s.operation == "write" for s in segments]])
-        if write_bytes
-        else t0
-    )
+    # Phase signature: midpoint of read traffic vs write traffic.  Proper
+    # boolean masks with explicit empty guards: a op kind with segments
+    # but zero bytes still counts as present (and an empty selection can
+    # never reach np.mean, which would yield NaN).
+    read_mask = table.op_code == READ_CODE
+    has_reads = bool(read_mask.any())
+    has_writes = bool((~read_mask).any())
+    read_mid = float(starts[read_mask].mean()) if has_reads else t0
+    write_mid = float(starts[~read_mask].mean()) if has_writes else t0
     phase = "read-then-write" if read_mid < write_mid else "write-then-read"
-    if not read_bytes or not write_bytes:
-        phase = "read-only" if read_bytes else "write-only"
+    if not (has_reads and has_writes):
+        phase = "read-only" if has_reads else "write-only"
 
     return [
         Fact(
             "dxt_timeline",
             {
-                "n_segments": len(segments),
+                "n_segments": len(table),
                 "span_s": float(span),
-                "n_bursts": int(len(bursts)),
+                "n_bursts": n_bursts,
                 "peak_to_mean": float(traffic.max() / mean_traffic) if mean_traffic else 0.0,
                 "phase": phase,
             },
@@ -197,7 +260,7 @@ def dxt_timeline_facts(
 # ---------------------------------------------------------------------------
 
 
-def app_level_segments(segments: list[DxtSegment]) -> list[DxtSegment]:
+def app_level_segments(segments) -> SegmentTable:
     """Segments at the interface the application called.
 
     MPI-IO operations lower to POSIX transfers (independent 1:1, collectives
@@ -207,28 +270,54 @@ def app_level_segments(segments: list[DxtSegment]) -> list[DxtSegment]:
     aggregators for stragglers; dropping lowered POSIX segments sees through
     them, the same way counter-level rank analysis prefers MPIIO records.
     """
-    mpiio_paths = {s.path for s in segments if s.module == "X_MPIIO"}
-    return [s for s in segments if s.module != "X_POSIX" or s.path not in mpiio_paths]
+    table = as_table(segments)
+    module_codes = {name: code for code, name in enumerate(table.modules)}
+    posix = module_codes.get("X_POSIX")
+    mpiio = module_codes.get("X_MPIIO")
+    if posix is None or mpiio is None:
+        return table
+    mpiio_paths = np.unique(table.path_code[table.module_code == mpiio])
+    lowered = (table.module_code == posix) & np.isin(table.path_code, mpiio_paths)
+    return table.take(~lowered)
 
 
-def _merged_intervals(spans: list[tuple[float, float]]) -> list[tuple[float, float]]:
-    """Merge (start, end) intervals into disjoint busy windows."""
-    merged: list[tuple[float, float]] = []
-    for start, end in sorted(spans):
-        if merged and start <= merged[-1][1]:
-            prev_start, prev_end = merged[-1]
-            merged[-1] = (prev_start, max(prev_end, end))
-        else:
-            merged.append((start, end))
-    return merged
+def _merged_intervals(start: np.ndarray, end: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge (start, end) interval arrays into disjoint busy windows.
+
+    Sort by (start, end), carry the running maximum end forward, and cut a
+    new window wherever the next start exceeds it — the vectorized
+    formulation of the classic merge sweep.
+    """
+    order = np.lexsort((end, start))
+    s = start[order]
+    e = end[order]
+    running_end = np.maximum.accumulate(e)
+    window_starts = np.empty(s.size, dtype=bool)
+    window_starts[0] = True
+    window_starts[1:] = s[1:] > running_end[:-1]
+    firsts = np.flatnonzero(window_starts)
+    lasts = np.concatenate([firsts[1:] - 1, [s.size - 1]])
+    return s[firsts], running_end[lasts]
 
 
-def _overlap(intervals: list[tuple[float, float]], lo: float, hi: float) -> float:
-    """Total length of ``intervals`` falling inside ``[lo, hi]``."""
-    return sum(max(0.0, min(hi, end) - max(lo, start)) for start, end in intervals)
+def _busy_coverage(busy_start: np.ndarray, busy_end: np.ndarray, t) -> np.ndarray:
+    """Total busy time before ``t``, for disjoint sorted busy intervals."""
+    t = np.asarray(t, dtype=np.float64)
+    prefix = np.concatenate([[0.0], np.cumsum(busy_end - busy_start)])
+    idx = np.searchsorted(busy_start, t, side="right")
+    # Interval idx-1 starts at or before t; trim the part extending past t.
+    prev = np.maximum(idx - 1, 0)
+    overshoot = np.where(idx > 0, np.maximum(busy_end[prev] - np.maximum(t, busy_start[prev]), 0.0), 0.0)
+    return prefix[idx] - overshoot
 
 
-def _rank_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
+def _rank_groups(table: SegmentTable):
+    """(sorted unique ranks, per-segment group index)."""
+    ranks, inverse = np.unique(table.rank, return_inverse=True)
+    return ranks, inverse.ravel()
+
+
+def _rank_skew_fact(app: SegmentTable) -> Fact | None:
     """Per-rank time skew: who occupies the longest I/O window, and why.
 
     Three ratios versus the median active rank: wall-clock span (first
@@ -236,17 +325,16 @@ def _rank_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
     span or time skew with the byte ratio pinned near 1.0 — the imbalance
     counters cannot see.
     """
-    by_rank: dict[int, list[DxtSegment]] = {}
-    for seg in app_segments:
-        by_rank.setdefault(seg.rank, []).append(seg)
-    if len(by_rank) < 4:
+    ranks, inverse = _rank_groups(app)
+    if ranks.size < 4:
         return None
-    ranks = sorted(by_rank)
-    spans = np.array(
-        [max(s.end_time for s in by_rank[r]) - min(s.start_time for s in by_rank[r]) for r in ranks]
+    times = np.bincount(inverse, weights=app.durations)
+    volumes = np.bincount(inverse, weights=app.length.astype(np.float64))
+    order, firsts, _counts = group_bounds(inverse)
+    spans = (
+        np.maximum.reduceat(app.end[order], firsts)
+        - np.minimum.reduceat(app.start[order], firsts)
     )
-    times = np.array([sum(s.duration for s in by_rank[r]) for r in ranks])
-    volumes = np.array([float(sum(s.length for s in by_rank[r])) for r in ranks])
     slowest = int(np.argmax(spans))
     med_span = float(np.median(spans))
     med_time = float(np.median(times))
@@ -256,55 +344,52 @@ def _rank_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
     return Fact(
         "dxt_rank_skew",
         {
-            "slowest_rank": ranks[slowest],
+            "slowest_rank": int(ranks[slowest]),
             "span_skew": float(spans[slowest] / med_span),
             "time_skew": float(times[slowest] / med_time),
             "bytes_ratio": float(volumes[slowest] / med_vol),
-            "nprocs": len(ranks),
+            "nprocs": int(ranks.size),
         },
     )
 
 
-def _concurrency_fact(app_segments: list[DxtSegment]) -> Fact | None:
+def _concurrency_fact(app: SegmentTable) -> Fact | None:
     """Mean/peak operations in flight while any I/O is outstanding.
 
     With N ranks doing independent I/O the mean sits near N; a mean near
     1.0 across many active ranks means the accesses are serialized — the
-    lock-convoy signature no counter records.
+    lock-convoy signature no counter records.  One sorted event-delta
+    prefix sum over (start, +1) / (end, -1) events.
     """
-    active_ranks = len({s.rank for s in app_segments})
+    active_ranks = int(np.unique(app.rank).size)
     if active_ranks < 4:
         return None
-    events: list[tuple[float, int]] = []
-    for seg in app_segments:
-        events.append((seg.start_time, 1))
-        events.append((seg.end_time, -1))
-    events.sort()
-    inflight = 0
-    busy_time = 0.0
-    weighted = 0.0
-    peak = 0
-    prev_t = events[0][0]
-    for t, delta in events:
-        if inflight > 0:
-            busy_time += t - prev_t
-            weighted += inflight * (t - prev_t)
-        prev_t = t
-        inflight += delta
-        peak = max(peak, inflight)
+    n = len(app)
+    times = np.concatenate([app.start, app.end])
+    deltas = np.concatenate([np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64)])
+    # Ends sort before starts at equal timestamps, like the (t, delta)
+    # tuple sort of the scalar sweep.
+    order = np.lexsort((deltas, times))
+    t = times[order]
+    inflight = np.cumsum(deltas[order])
+    dt = np.diff(t)
+    during = inflight[:-1]
+    active = during > 0
+    busy_time = float(dt[active].sum())
     if busy_time <= 0:
         return None
+    weighted = float((during[active] * dt[active]).sum())
     return Fact(
         "dxt_concurrency",
         {
             "mean_inflight": float(weighted / busy_time),
-            "peak_inflight": int(peak),
+            "peak_inflight": int(inflight.max(initial=0)),
             "active_ranks": active_ranks,
         },
     )
 
 
-def _idle_fact(app_segments: list[DxtSegment]) -> Fact | None:
+def _idle_fact(raw: SegmentTable) -> Fact | None:
     """Idle-gap structure of the I/O timeline.
 
     Global gaps (no operation in flight anywhere) catch interference-style
@@ -313,48 +398,54 @@ def _idle_fact(app_segments: list[DxtSegment]) -> Fact | None:
     producer/consumer hand-off stall from a deliberate all-ranks compute
     phase (where nobody is busy, so the waiting does not count).
     """
-    busy = _merged_intervals([(s.start_time, s.end_time) for s in app_segments])
-    if not busy:
+    if not len(raw):
         return None
-    t0, t1 = busy[0][0], busy[-1][1]
+    busy_start, busy_end = _merged_intervals(raw.start, raw.end)
+    t0 = float(busy_start[0])
+    t1 = float(busy_end[-1])
     span = t1 - t0
     if span <= 0:
         return None
-    gaps = [
-        (busy[i][1], busy[i + 1][0])
-        for i in range(len(busy) - 1)
-        if busy[i + 1][0] - busy[i][1] > 0.02 * span
-    ]
-    idle = sum(hi - lo for lo, hi in gaps)
+    gap_lo = busy_end[:-1]
+    gap_hi = busy_start[1:]
+    significant = (gap_hi - gap_lo) > 0.02 * span
+    gap_sizes = (gap_hi - gap_lo)[significant]
+    idle = float(gap_sizes.sum())
 
-    by_rank: dict[int, list[tuple[float, float]]] = {}
-    for seg in app_segments:
-        by_rank.setdefault(seg.rank, []).append((seg.start_time, seg.end_time))
+    ranks, inverse = _rank_groups(raw)
+    order, firsts, counts = group_bounds(inverse)
+    bounds = np.concatenate([firsts, [inverse.size]])
+    starts_sorted = raw.start[order]
+    ends_sorted = raw.end[order]
     stalled = 0
-    for spans in by_rank.values():
-        rank_busy = _merged_intervals(spans)
+    for g in range(ranks.size):
+        lo, hi = bounds[g], bounds[g + 1]
+        rank_start, rank_end = _merged_intervals(starts_sorted[lo:hi], ends_sorted[lo:hi])
         # Leading wait plus internal gaps; trailing idle (an early finisher)
         # is not a stall.
-        rank_gaps = [(t0, rank_busy[0][0])]
-        rank_gaps += [
-            (rank_busy[i][1], rank_busy[i + 1][0]) for i in range(len(rank_busy) - 1)
-        ]
-        covered_wait = sum(_overlap(busy, lo, hi) for lo, hi in rank_gaps)
-        if covered_wait >= 0.25 * span:
+        wait_lo = np.concatenate([[t0], rank_end[:-1]])
+        wait_hi = np.concatenate([[rank_start[0]], rank_start[1:]])
+        covered = float(
+            (
+                _busy_coverage(busy_start, busy_end, wait_hi)
+                - _busy_coverage(busy_start, busy_end, wait_lo)
+            ).sum()
+        )
+        if covered >= 0.25 * span:
             stalled += 1
     return Fact(
         "dxt_idle",
         {
             "span_s": float(span),
             "idle_fraction": float(idle / span),
-            "n_gaps": len(gaps),
-            "longest_gap_s": float(max((hi - lo for lo, hi in gaps), default=0.0)),
+            "n_gaps": int(np.count_nonzero(significant)),
+            "longest_gap_s": float(gap_sizes.max(initial=0.0)),
             "stalled_ranks": stalled,
         },
     )
 
 
-def _file_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
+def _file_skew_fact(app: SegmentTable) -> Fact | None:
     """Per-file effective throughput skew among comparably-accessed files.
 
     Files are bucketed by mean request size (throughput legitimately
@@ -363,40 +454,49 @@ def _file_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
     points at the server(s) behind it — a slow or overloaded OST that byte
     counters, being perfectly balanced, never show.
     """
-    per_file: dict[str, tuple[float, float, int]] = {}
-    for seg in app_segments:
-        nbytes, busy, count = per_file.get(seg.path, (0.0, 0.0, 0))
-        per_file[seg.path] = (nbytes + seg.length, busy + seg.duration, count + 1)
-    buckets: dict[int, list[tuple[str, float, float]]] = {}
-    for path, (nbytes, busy, count) in per_file.items():
-        if count < 8 or nbytes < 1024 * 1024 or busy <= 0:
-            continue
-        bucket = int(np.log2(max(1.0, nbytes / count)))
-        buckets.setdefault(bucket, []).append((path, nbytes / busy / (1024 * 1024), nbytes))
-    if not buckets:
+    if not len(app):
         return None
-    group = max(buckets.values(), key=lambda files: sum(f[2] for f in files))
-    if len(group) < 4:
+    n_paths = len(app.paths)
+    counts = np.bincount(app.path_code, minlength=n_paths)
+    nbytes = np.bincount(app.path_code, weights=app.length.astype(np.float64), minlength=n_paths)
+    busy = np.bincount(app.path_code, weights=app.durations, minlength=n_paths)
+    eligible = np.flatnonzero((counts >= 8) & (nbytes >= 1024 * 1024) & (busy > 0))
+    if eligible.size == 0:
         return None
-    rates = np.array([mbps for _, mbps, _ in group])
+    buckets = np.log2(np.maximum(1.0, nbytes[eligible] / counts[eligible])).astype(np.int64)
+    unique_buckets, bucket_of = np.unique(buckets, return_inverse=True)
+    bucket_of = bucket_of.ravel()
+    totals = np.bincount(bucket_of, weights=nbytes[eligible])
+    # Ties on total bytes keep the bucket whose first eligible path was
+    # touched earliest — the scalar sweep's dict-insertion-order max().
+    tied = np.flatnonzero(totals == totals.max())
+    first_seen = np.full(unique_buckets.size, bucket_of.size, dtype=np.int64)
+    np.minimum.at(first_seen, bucket_of, np.arange(bucket_of.size))
+    best = int(tied[np.argmin(first_seen[tied])])
+    # Path codes follow first-touch order, so the group keeps the same
+    # ordering (and argmin tie-breaking) as the per-file dict sweep.
+    group = eligible[bucket_of == best]
+    if group.size < 4:
+        return None
+    rates = nbytes[group] / busy[group] / (1024 * 1024)
     median = float(np.median(rates))
-    slow_idx = int(np.argmin(rates))
-    slow_path, slow_mbps, _ = group[slow_idx]
+    slow = int(np.argmin(rates))
+    slow_mbps = float(rates[slow])
     if slow_mbps <= 0:
         return None
     return Fact(
         "dxt_file_skew",
         {
-            "n_files": len(group),
-            "slow_path": slow_path,
-            "slow_mbps": float(slow_mbps),
+            "n_files": int(group.size),
+            "slow_path": app.paths[int(group[slow])],
+            "slow_mbps": slow_mbps,
             "median_mbps": median,
             "ratio": float(median / slow_mbps),
         },
     )
 
 
-def dxt_temporal_facts(segments: list[DxtSegment], n_bins: int = 20) -> list[Fact]:
+def dxt_temporal_facts(segments, n_bins: int = 20) -> list[Fact]:
     """Every temporal fact the DXT channel supports, as LLM-ready facts.
 
     Combines the timeline/burst summary with per-rank time skew,
@@ -405,17 +505,18 @@ def dxt_temporal_facts(segments: list[DxtSegment], n_bins: int = 20) -> list[Fac
     (stragglers, lock convoys, interference stalls, slow-OST hotspots)
     that aggregate counters are blind to.
     """
-    if not segments:
+    table = as_table(segments)
+    if not len(table):
         return []
-    app = app_level_segments(segments)
-    facts = dxt_timeline_facts(segments, n_bins=n_bins)
+    app = app_level_segments(table)
+    facts = dxt_timeline_facts(table, n_bins=n_bins)
     for fact in (
         _rank_skew_fact(app),
         _concurrency_fact(app),
         # Idle analysis sees the raw stream: a collective-buffering
         # aggregator between its application-level calls is busy moving
         # its group's data (lowered POSIX segments), not stalled.
-        _idle_fact(segments),
+        _idle_fact(table),
         _file_skew_fact(app),
     ):
         if fact is not None:
@@ -428,9 +529,9 @@ def cached_temporal_facts(log) -> list[Fact]:
 
     Several consumers extract the same facts from the same log — the
     ``temporal`` pipeline stage (once per diagnosing tool) and each of
-    Drishti's DXT triggers — and the segment sweeps are O(n log n), so
-    the result is computed once and parked on the log (segments are
-    immutable after collection, like ``dxt_digest_cache``).
+    Drishti's DXT triggers — and the segment sweeps still sort the event
+    arrays, so the result is computed once and parked on the log (segments
+    are immutable after collection, like ``dxt_digest_cache``).
     """
     if not log.dxt_segments:
         return []

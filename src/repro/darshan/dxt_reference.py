@@ -1,0 +1,249 @@
+"""Scalar reference implementations of the DXT temporal kernels.
+
+These are the PR 3 per-object sweeps over ``list[DxtSegment]``, kept as
+the *executable specification* of the vectorized kernels in
+:mod:`repro.darshan.dxt`: the golden-equivalence tests assert the
+columnar implementations reproduce these outputs on both pinned scenario
+fixtures and randomized segment tables, and
+``benchmarks/bench_dxt_scaling.py`` uses them as the baseline the
+:math:`\\geq 10\\times` speedup target is measured against.
+
+The only deliberate divergence from the PR 3 code is the timeline phase
+signature: op-kind *presence* (any segments) replaces op-kind *byte
+volume*, fixing the misclassification (and the NaN exposure of the
+list-comprehension masks) when one op kind has segments but zero bytes.
+Everywhere else the arithmetic is kept operation-for-operation identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.darshan.segtable import DxtSegment
+from repro.llm.facts import Fact
+
+__all__ = [
+    "scalar_app_level_segments",
+    "scalar_timeline_facts",
+    "scalar_temporal_facts",
+]
+
+
+def scalar_app_level_segments(segments: list[DxtSegment]) -> list[DxtSegment]:
+    """Per-object sweep dropping POSIX segments lowered from MPI-IO."""
+    mpiio_paths = {s.path for s in segments if s.module == "X_MPIIO"}
+    return [s for s in segments if s.module != "X_POSIX" or s.path not in mpiio_paths]
+
+
+def scalar_timeline_facts(
+    segments: list[DxtSegment],
+    n_bins: int = 20,
+    burst_threshold: float = 3.0,
+) -> list[Fact]:
+    """Timeline analysis over a segment list (binning aside, per-object)."""
+    if not segments:
+        return []
+    t0 = min(s.start_time for s in segments)
+    t1 = max(s.end_time for s in segments)
+    span = max(t1 - t0, 1e-9)
+    starts = np.array([s.start_time for s in segments])
+    lengths = np.array([s.length for s in segments], dtype=np.float64)
+    bins = np.minimum(((starts - t0) / span * n_bins).astype(int), n_bins - 1)
+    traffic = np.bincount(bins, weights=lengths, minlength=n_bins)
+    mean_traffic = traffic.mean()
+    bursts = (
+        np.nonzero(traffic > burst_threshold * mean_traffic)[0] if mean_traffic > 0 else []
+    )
+
+    read_starts = [s.start_time for s in segments if s.operation == "read"]
+    write_starts = [s.start_time for s in segments if s.operation == "write"]
+    read_mid = float(np.mean(read_starts)) if read_starts else t0
+    write_mid = float(np.mean(write_starts)) if write_starts else t0
+    phase = "read-then-write" if read_mid < write_mid else "write-then-read"
+    if not (read_starts and write_starts):
+        phase = "read-only" if read_starts else "write-only"
+
+    return [
+        Fact(
+            "dxt_timeline",
+            {
+                "n_segments": len(segments),
+                "span_s": float(span),
+                "n_bursts": int(len(bursts)),
+                "peak_to_mean": float(traffic.max() / mean_traffic) if mean_traffic else 0.0,
+                "phase": phase,
+            },
+        )
+    ]
+
+
+def _merged_intervals(spans: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge (start, end) intervals into disjoint busy windows."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _overlap(intervals: list[tuple[float, float]], lo: float, hi: float) -> float:
+    """Total length of ``intervals`` falling inside ``[lo, hi]``."""
+    return sum(max(0.0, min(hi, end) - max(lo, start)) for start, end in intervals)
+
+
+def _rank_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    by_rank: dict[int, list[DxtSegment]] = {}
+    for seg in app_segments:
+        by_rank.setdefault(seg.rank, []).append(seg)
+    if len(by_rank) < 4:
+        return None
+    ranks = sorted(by_rank)
+    spans = np.array(
+        [max(s.end_time for s in by_rank[r]) - min(s.start_time for s in by_rank[r]) for r in ranks]
+    )
+    times = np.array([sum(s.duration for s in by_rank[r]) for r in ranks])
+    volumes = np.array([float(sum(s.length for s in by_rank[r])) for r in ranks])
+    slowest = int(np.argmax(spans))
+    med_span = float(np.median(spans))
+    med_time = float(np.median(times))
+    med_vol = float(np.median(volumes))
+    if med_span <= 0 or med_time <= 0 or med_vol <= 0:
+        return None
+    return Fact(
+        "dxt_rank_skew",
+        {
+            "slowest_rank": ranks[slowest],
+            "span_skew": float(spans[slowest] / med_span),
+            "time_skew": float(times[slowest] / med_time),
+            "bytes_ratio": float(volumes[slowest] / med_vol),
+            "nprocs": len(ranks),
+        },
+    )
+
+
+def _concurrency_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    active_ranks = len({s.rank for s in app_segments})
+    if active_ranks < 4:
+        return None
+    events: list[tuple[float, int]] = []
+    for seg in app_segments:
+        events.append((seg.start_time, 1))
+        events.append((seg.end_time, -1))
+    events.sort()
+    inflight = 0
+    busy_time = 0.0
+    weighted = 0.0
+    peak = 0
+    prev_t = events[0][0]
+    for t, delta in events:
+        if inflight > 0:
+            busy_time += t - prev_t
+            weighted += inflight * (t - prev_t)
+        prev_t = t
+        inflight += delta
+        peak = max(peak, inflight)
+    if busy_time <= 0:
+        return None
+    return Fact(
+        "dxt_concurrency",
+        {
+            "mean_inflight": float(weighted / busy_time),
+            "peak_inflight": int(peak),
+            "active_ranks": active_ranks,
+        },
+    )
+
+
+def _idle_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    busy = _merged_intervals([(s.start_time, s.end_time) for s in app_segments])
+    if not busy:
+        return None
+    t0, t1 = busy[0][0], busy[-1][1]
+    span = t1 - t0
+    if span <= 0:
+        return None
+    gaps = [
+        (busy[i][1], busy[i + 1][0])
+        for i in range(len(busy) - 1)
+        if busy[i + 1][0] - busy[i][1] > 0.02 * span
+    ]
+    idle = sum(hi - lo for lo, hi in gaps)
+
+    by_rank: dict[int, list[tuple[float, float]]] = {}
+    for seg in app_segments:
+        by_rank.setdefault(seg.rank, []).append((seg.start_time, seg.end_time))
+    stalled = 0
+    for spans in by_rank.values():
+        rank_busy = _merged_intervals(spans)
+        rank_gaps = [(t0, rank_busy[0][0])]
+        rank_gaps += [
+            (rank_busy[i][1], rank_busy[i + 1][0]) for i in range(len(rank_busy) - 1)
+        ]
+        covered_wait = sum(_overlap(busy, lo, hi) for lo, hi in rank_gaps)
+        if covered_wait >= 0.25 * span:
+            stalled += 1
+    return Fact(
+        "dxt_idle",
+        {
+            "span_s": float(span),
+            "idle_fraction": float(idle / span),
+            "n_gaps": len(gaps),
+            "longest_gap_s": float(max((hi - lo for lo, hi in gaps), default=0.0)),
+            "stalled_ranks": stalled,
+        },
+    )
+
+
+def _file_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
+    per_file: dict[str, tuple[float, float, int]] = {}
+    for seg in app_segments:
+        nbytes, busy, count = per_file.get(seg.path, (0.0, 0.0, 0))
+        per_file[seg.path] = (nbytes + seg.length, busy + seg.duration, count + 1)
+    buckets: dict[int, list[tuple[str, float, float]]] = {}
+    for path, (nbytes, busy, count) in per_file.items():
+        if count < 8 or nbytes < 1024 * 1024 or busy <= 0:
+            continue
+        bucket = int(np.log2(max(1.0, nbytes / count)))
+        buckets.setdefault(bucket, []).append((path, nbytes / busy / (1024 * 1024), nbytes))
+    if not buckets:
+        return None
+    group = max(buckets.values(), key=lambda files: sum(f[2] for f in files))
+    if len(group) < 4:
+        return None
+    rates = np.array([mbps for _, mbps, _ in group])
+    median = float(np.median(rates))
+    slow_idx = int(np.argmin(rates))
+    slow_path, slow_mbps, _ = group[slow_idx]
+    if slow_mbps <= 0:
+        return None
+    return Fact(
+        "dxt_file_skew",
+        {
+            "n_files": len(group),
+            "slow_path": slow_path,
+            "slow_mbps": float(slow_mbps),
+            "median_mbps": median,
+            "ratio": float(median / slow_mbps),
+        },
+    )
+
+
+def scalar_temporal_facts(segments: list[DxtSegment], n_bins: int = 20) -> list[Fact]:
+    """The full PR 3 per-object extraction pipeline over a segment list."""
+    segments = list(segments)
+    if not segments:
+        return []
+    app = scalar_app_level_segments(segments)
+    facts = scalar_timeline_facts(segments, n_bins=n_bins)
+    for fact in (
+        _rank_skew_fact(app),
+        _concurrency_fact(app),
+        _idle_fact(segments),
+        _file_skew_fact(app),
+    ):
+        if fact is not None:
+            facts.append(fact)
+    return facts

@@ -44,16 +44,21 @@ class DarshanLog:
     """A parsed (or synthesized) Darshan log.
 
     ``dxt_segments`` is the optional temporal evidence channel: per-operation
-    DXT segments (:class:`repro.darshan.dxt.DxtSegment`) captured alongside
-    the counters when the trace came from the simulated runtime.  Logs parsed
-    from ``darshan-parser`` text carry ``None`` here — exactly like a real
-    deployment where DXT was not enabled — and every consumer treats the
-    channel as best-effort extra evidence, never a requirement.
+    DXT segments captured alongside the counters when the trace came from
+    the simulated runtime.  It holds a columnar
+    :class:`repro.darshan.segtable.SegmentTable` (which is also a lazy
+    ``Sequence`` of :class:`~repro.darshan.segtable.DxtSegment` objects, so
+    per-segment consumers keep working).  Logs parsed from
+    ``darshan-parser`` text carry ``None`` here — exactly like a real
+    deployment where DXT was not enabled — unless the text embedded a DXT
+    section (``render_darshan_text(..., include_dxt=True)``); every
+    consumer treats the channel as best-effort extra evidence, never a
+    requirement.
     """
 
     header: JobHeader
     records: list = field(default_factory=list)  # list[DarshanRecord]
-    dxt_segments: list | None = None  # list[DxtSegment] | None
+    dxt_segments: object | None = None  # SegmentTable | list[DxtSegment] | None
     # Memoized derivations of dxt_segments (segments are never mutated
     # after collection): the content digest maintained by
     # repro.core.service.trace_digest, and the temporal fact list

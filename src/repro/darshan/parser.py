@@ -3,6 +3,9 @@
 Round-trips the output of :func:`repro.darshan.writer.render_darshan_text`
 and tolerates the benign variations real darshan-parser output exhibits
 (extra comment lines, blank lines, unknown modules are kept verbatim).
+When the text embeds a DXT section (``render_darshan_text(...,
+include_dxt=True)``), the segment table is restored onto
+``DarshanLog.dxt_segments`` instead of being dropped to ``None``.
 """
 
 from __future__ import annotations
@@ -28,9 +31,15 @@ def parse_darshan_text(text: str) -> DarshanLog:
     header_fields: dict[str, str] = {}
     mounts: list[tuple[str, str]] = []
     records: dict[tuple[str, str], DarshanRecord] = {}
+    dxt_text: str | None = None
 
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
         line = raw.rstrip("\n")
+        if line.startswith("# DXT trace"):
+            # Everything from the marker on is the embedded DXT section.
+            dxt_text = "\n".join(lines[lineno - 1 :])
+            break
         if not line.strip():
             continue
         if line.startswith("#"):
@@ -69,6 +78,13 @@ def parse_darshan_text(text: str) -> DarshanLog:
     if missing:
         raise DarshanParseError(f"missing header fields: {missing}")
 
+    dxt_segments = None
+    if dxt_text is not None:
+        from repro.darshan.dxt import parse_dxt_text
+
+        table = parse_dxt_text(dxt_text)
+        dxt_segments = table if len(table) else None
+
     header = JobHeader(
         exe=header_fields["exe"],
         uid=int(header_fields["uid"]),
@@ -80,4 +96,6 @@ def parse_darshan_text(text: str) -> DarshanLog:
         log_version=header_fields.get("darshan log version", "3.41"),
         mounts=mounts,
     )
-    return DarshanLog(header=header, records=list(records.values()))
+    return DarshanLog(
+        header=header, records=list(records.values()), dxt_segments=dxt_segments
+    )

@@ -21,8 +21,16 @@ _MODULE_TITLES = {
 }
 
 
-def render_darshan_text(log: DarshanLog) -> str:
-    """Render ``log`` exactly once; output is stable for identical logs."""
+def render_darshan_text(log: DarshanLog, include_dxt: bool = False) -> str:
+    """Render ``log`` exactly once; output is stable for identical logs.
+
+    ``include_dxt=True`` appends the DXT segment table in
+    ``darshan-dxt-parser`` format (when the log carries one), so the export
+    preserves the temporal evidence channel and
+    :func:`~repro.darshan.parser.parse_darshan_text` restores it.  The
+    default matches real deployments (and the paper's plain-LLM inputs):
+    counter text only, DXT dropped.
+    """
     h = log.header
     lines: list[str] = []
     lines.append(f"# darshan log version: {h.log_version}")
@@ -66,5 +74,10 @@ def render_darshan_text(log: DarshanLog) -> str:
                     f"{module}\t{rec.rank}\t{rid}\t{name}\t{value:.6f}"
                     f"\t{rec.path}\t{rec.mount_point}\t{rec.fs_type}"
                 )
+        lines.append("")
+    if include_dxt and log.dxt_segments:
+        from repro.darshan.dxt import render_dxt_text
+
+        lines.extend(render_dxt_text(log.dxt_segments).splitlines())
         lines.append("")
     return "\n".join(lines) + "\n"

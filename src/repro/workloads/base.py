@@ -79,8 +79,9 @@ def run_workload(workload: Workload, seed: int = 0) -> tuple[DarshanLog, JobResu
 
     The runtime always carries both evidence channels: the Darshan counter
     instrumentation and a :class:`~repro.darshan.dxt.DxtCollector`, whose
-    segments are attached to the returned log (``log.dxt_segments``) so
-    downstream consumers can reason about the time domain.
+    columnar segment table is attached to the returned log
+    (``log.dxt_segments``, a :class:`~repro.darshan.segtable.SegmentTable`)
+    so downstream consumers can reason about the time domain.
     """
     from repro.darshan.dxt import DxtCollector
 

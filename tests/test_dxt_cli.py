@@ -156,6 +156,19 @@ class TestCli:
         assert (out_dir / "labels.tsv").exists()
         assert len(list(out_dir.glob("*.darshan.txt"))) == 40
 
+    def test_export_dxt_flag_preserves_the_channel(self, tmp_path, capsys):
+        from repro.darshan.parser import parse_darshan_text
+
+        plain_dir, dxt_dir = tmp_path / "plain", tmp_path / "dxt"
+        assert main(["tracebench", "export", str(plain_dir)]) == 0
+        assert main(["tracebench", "export", str(dxt_dir), "--dxt"]) == 0
+        name = "sb01-small-writes.darshan.txt"
+        plain = parse_darshan_text((plain_dir / name).read_text(encoding="utf-8"))
+        restored = parse_darshan_text((dxt_dir / name).read_text(encoding="utf-8"))
+        assert plain.dxt_segments is None  # default export unchanged
+        assert restored.has_dxt
+        assert len(restored.dxt_segments) > 0
+
     def test_evaluate_subset(self, capsys):
         assert main(["evaluate", "--traces", "sb01-small-writes,ra01-amrex"]) == 0
         out = capsys.readouterr().out
