@@ -37,7 +37,8 @@ import numpy as np
 
 from repro.darshan.dxt import DxtCollector, dxt_temporal_facts
 from repro.darshan.dxt_reference import scalar_temporal_facts
-from repro.darshan.segtable import group_bounds
+from repro.darshan.segtable import NO_OST, group_bounds
+from repro.sim.filesystem import LustreFileSystem
 from repro.sim.ops import API, IOOp, OpKind
 
 TIERS = {
@@ -45,6 +46,11 @@ TIERS = {
     "full": (10_000, 100_000, 1_000_000),
 }
 TARGET_SPEEDUP_1M = 10.0
+
+# PR 4 extraction times (double event lexsort, before the PR 5 shared
+# event sort), kept so BENCH_dxt_scaling.json records the before/after
+# of the ROADMAP-flagged optimization alongside the live numbers.
+PR4_DOUBLE_LEXSORT_EXTRACT_S = {10_000: 0.008739, 100_000: 0.071868, 1_000_000: 0.815921}
 
 _API_OF = {"X_POSIX": API.POSIX, "X_MPIIO": API.MPIIO}
 
@@ -132,16 +138,23 @@ def _facts_match(vec_facts, ref_facts) -> bool:
 def run_size(n: int, seed: int = 0, repeats: int = 3) -> dict:
     ops = synthesize_ops(n, seed=seed)
 
+    # Ingest stamps every segment with its serving OST, as run_workload
+    # does: the attribution lookup is part of the measured collector cost.
+    fs = LustreFileSystem(num_osts=16, default_stripe_width=4, seed=seed)
     collector = DxtCollector(max_segments=n)
     t0 = time.perf_counter()
     on_op = collector.on_op
     for op, t_start, t_end in ops:
-        on_op(op, t_start, t_end, None)
+        on_op(op, t_start, t_end, fs)
     table = collector.segments  # includes the chunk concatenation
     ingest_s = time.perf_counter() - t0
     del ops
 
     vectorized_s, vec_facts = _best_of(lambda: dxt_temporal_facts(table), repeats)
+    # The per-OST channel's own cost: extraction over the same timeline
+    # without the ost column isolates the new server-attribution kernels.
+    bare = table.without_ost()
+    no_ost_s, _ = _best_of(lambda: dxt_temporal_facts(bare), repeats)
     segments = list(table)  # materialization not charged to the scalar path
     scalar_repeats = 1 if n >= 1_000_000 else repeats
     scalar_s, ref_facts = _best_of(lambda: scalar_temporal_facts(segments), scalar_repeats)
@@ -149,6 +162,7 @@ def run_size(n: int, seed: int = 0, repeats: int = 3) -> dict:
     if not _facts_match(vec_facts, ref_facts):
         raise SystemExit(f"vectorized facts diverge from the scalar reference at n={n}")
 
+    n_osts = int(np.unique(table.ost[table.ost != NO_OST]).size)
     return {
         "n_segments": n,
         "ingest_s": round(ingest_s, 6),
@@ -157,6 +171,9 @@ def run_size(n: int, seed: int = 0, repeats: int = 3) -> dict:
         "scalar_extract_s": round(scalar_s, 6),
         "speedup": round(scalar_s / vectorized_s, 2),
         "extract_throughput_seg_per_s": round(n / vectorized_s, 1),
+        "n_attributed_osts": n_osts,
+        "extract_no_ost_s": round(no_ost_s, 6),
+        "ost_kernel_overhead_s": round(max(0.0, vectorized_s - no_ost_s), 6),
     }
 
 
@@ -210,6 +227,22 @@ def main(argv=None) -> int:
         "tier": args.tier if not args.sizes else "custom",
         "seed": args.seed,
         "target_speedup_at_1m": TARGET_SPEEDUP_1M,
+        # Before/after of the shared event sort (one stable argsort feeds
+        # both the concurrency and idle kernels; PR 4 lexsorted twice).
+        # "after" is the no-ost extraction — the same fact set PR 4
+        # computed — so the comparison isolates the sort change; the full
+        # extraction including the per-OST kernels is in the result rows.
+        "event_sort": {
+            "shared": True,
+            "before_extract_s": {
+                str(n): s
+                for n, s in PR4_DOUBLE_LEXSORT_EXTRACT_S.items()
+                if any(r["n_segments"] == n for r in results)
+            },
+            "after_extract_s": {
+                str(r["n_segments"]): r["extract_no_ost_s"] for r in results
+            },
+        },
         "results": results,
     }
     with open(args.out, "w", encoding="utf-8") as fh:

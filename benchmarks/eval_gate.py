@@ -1,0 +1,102 @@
+"""CI evaluation gate: exact grounding of the counter-invisible tiers.
+
+Two jobs in one script, matching the ``evaluation-gate`` CI job:
+
+1. **Exact-grounding sweep** — every scenario whose ground truth lives
+   beyond the counters (the PR 3 temporal tier path13-17 + path04, and
+   the PR 5 server-attribution tier path18-21) must ground *exactly*:
+   the expert rules over counter facts + DXT temporal facts recover
+   ``detected == labels``, no more, no less.  Any drift — a lost fact, a
+   threshold regression, an over-firing rule — fails the job.
+2. **Table IV artifact** — renders the full Table IV plus the
+   per-difficulty split over the hard + control tiers and writes them to
+   ``--table-out``, uploaded per SHA so every commit's evaluation surface
+   is one click away.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/eval_gate.py --table-out TABLE4_hard.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.summaries import app_context_facts, extract_fragments
+from repro.darshan.dxt import dxt_temporal_facts
+from repro.evaluation.harness import evaluate_scenarios
+from repro.evaluation.tables import render_table4, render_table4_difficulty
+from repro.llm.reasoning import infer_findings
+from repro.workloads.scenarios import build_scenario
+
+# The counter-invisible sweep: temporal tier (PR 3) + attribution tier (PR 5).
+SWEEP = (
+    "path04-straggler-rank",
+    "path13-straggler-compute",
+    "path14-lock-convoy",
+    "path15-bursty-interference",
+    "path16-slow-ost-hotspot",
+    "path17-producer-consumer",
+    "path18-hot-ost",
+    "path19-mds-vs-oss",
+    "path20-rebalanced-stripe",
+    "path21-multi-ost-degradation",
+)
+
+
+def detected_issues(trace) -> set[str]:
+    """Issue keys the expert rules recover from both evidence channels."""
+    facts = app_context_facts(trace.log)
+    for fragment in extract_fragments(trace.log):
+        facts.extend(fragment.facts)
+    facts.extend(dxt_temporal_facts(trace.log.dxt_segments or []))
+    return {f.issue_key for f in infer_findings(facts)}
+
+
+def run_sweep(seed: int = 0) -> list[str]:
+    """Exact-grounding check; returns human-readable failure lines."""
+    failures = []
+    for name in SWEEP:
+        trace = build_scenario(name, seed=seed)
+        detected = detected_issues(trace)
+        labels = set(trace.labels)
+        if detected != labels:
+            missing = sorted(labels - detected)
+            extra = sorted(detected - labels)
+            failures.append(f"{name}: missing={missing} extra={extra}")
+            print(f"FAIL {name}: missing={missing} extra={extra}", file=sys.stderr)
+        else:
+            print(f"ok   {name}: {sorted(labels)}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--table-out", default="TABLE4_hard.txt")
+    parser.add_argument(
+        "--selectors",
+        nargs="*",
+        default=["hard", "control"],
+        help="scenario selectors for the rendered Table IV artifact",
+    )
+    args = parser.parse_args(argv)
+
+    failures = run_sweep(seed=args.seed)
+
+    result = evaluate_scenarios(args.selectors, seed=args.seed)
+    rendered = render_table4(result) + "\n\n" + render_table4_difficulty(result)
+    with open(args.table_out, "w", encoding="utf-8") as fh:
+        fh.write(rendered + "\n")
+    print(f"wrote {args.table_out}")
+
+    if failures:
+        print(f"{len(failures)} scenario(s) lost exact grounding", file=sys.stderr)
+        return 1
+    print(f"all {len(SWEEP)} counter-invisible scenarios ground exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

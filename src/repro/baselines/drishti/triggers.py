@@ -56,6 +56,9 @@ THRESHOLDS = {
     "dxt_stall_gaps": 6,
     "dxt_stall_idle_fraction": 0.25,
     "dxt_stalled_ranks": 2,
+    "dxt_ost_latency_ratio": 3.0,
+    "dxt_ost_time_skew": 2.5,
+    "dxt_ost_min_osts": 4,
 }
 
 
@@ -765,12 +768,28 @@ def _serialized(facts: dict[str, dict]) -> bool:
     )
 
 
+def _ost_slow(facts: dict[str, dict]) -> bool:
+    """The slow-server condition: an attributed OST lagging its peers.
+
+    The deepest attribution of the DXT triggers — when it holds, the
+    straggler trigger stays quiet (the "slow rank" is slow because the
+    server behind its data is)."""
+    latency = facts.get("dxt_ost_latency")
+    return (
+        latency is not None
+        and latency["n_osts"] >= THRESHOLDS["dxt_ost_min_osts"]
+        and latency["ratio"] >= THRESHOLDS["dxt_ost_latency_ratio"]
+    )
+
+
 @_trigger("DXT_TIME_STRAGGLER")
 def t_dxt_straggler(log: DarshanLog) -> list[TriggerResult]:
     facts = _temporal_facts(log)
     skew = facts.get("dxt_rank_skew")
     if skew is None:
         return []
+    if _ost_slow(facts):
+        return []  # a degraded server owns this timeline, not a rank
     stretched = max(skew["span_skew"], skew["time_skew"])
     if _time_skewed(facts) and skew["bytes_ratio"] <= THRESHOLDS["dxt_bytes_balanced"]:
         return [
@@ -839,8 +858,59 @@ def t_dxt_stalls(log: DarshanLog) -> list[TriggerResult]:
     return []
 
 
+# -- DXT per-OST server-attribution triggers (36-37) --------------------------
+# Real Lustre DXT records the OST list per segment; these two triggers
+# consume the interned ost column's reductions and localize degradation
+# to named servers.  Like the other DXT triggers, they are no-ops on
+# counter-only logs — and on attributed logs whose servers are healthy.
+
+
+@_trigger("DXT_OST_SLOW_SERVER")
+def t_dxt_ost_slow_server(log: DarshanLog) -> list[TriggerResult]:
+    facts = _temporal_facts(log)
+    latency = facts.get("dxt_ost_latency")
+    if latency is None or not _ost_slow(facts):
+        return []
+    ids = ", ".join(str(o) for o in latency["slow_osts"])
+    return [
+        TriggerResult(
+            "DXT_OST_SLOW_SERVER",
+            "HIGH",
+            f"DXT server attribution shows server load imbalance from degraded "
+            f"OST(s) {ids}: they sustain {latency['slow_mbps']:.1f} MiB/s against "
+            f"a median OST rate of {latency['median_mbps']:.1f} MiB/s "
+            f"({latency['ratio']:.1f}x slower than their peers).",
+            "Check the degraded OST(s) and restripe affected files away from them.",
+        )
+    ]
+
+
+@_trigger("DXT_OST_HOTSPOT")
+def t_dxt_ost_hotspot(log: DarshanLog) -> list[TriggerResult]:
+    facts = _temporal_facts(log)
+    skew = facts.get("dxt_ost_skew")
+    if skew is None:
+        return []
+    if (
+        skew["n_osts"] >= THRESHOLDS["dxt_ost_min_osts"]
+        and skew["skew"] >= THRESHOLDS["dxt_ost_time_skew"]
+    ):
+        return [
+            TriggerResult(
+                "DXT_OST_HOTSPOT",
+                "WARN",
+                f"DXT server attribution shows OST {skew['hot_ost']} absorbing "
+                f"{100 * skew['time_share']:.0f}% of server service time against "
+                f"{100 * skew['bytes_share']:.0f}% of the bytes (server load "
+                f"imbalance: {skew['skew']:.1f}x its byte share).",
+                "Investigate the hot OST and rebalance striping off it.",
+            )
+        ]
+    return []
+
+
 def run_triggers(log: DarshanLog) -> list[TriggerResult]:
-    """Run all 35 triggers over ``log``."""
+    """Run all 37 triggers over ``log``."""
     results: list[TriggerResult] = []
     for fn in TRIGGERS.values():
         results.extend(fn(log))

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.darshan.segtable import (
+    NO_OST,
     READ_CODE,
     DxtSegment,
     SegmentTable,
@@ -51,7 +52,7 @@ __all__ = [
 _MODULE_TAG = {API.POSIX: "X_POSIX", API.MPIIO: "X_MPIIO", API.STDIO: "X_STDIO"}
 _DATA_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
 
-DXT_TEXT_HEADER = "# DXT trace (module, rank, wt/rd, segment, offset, length, start, end)"
+DXT_TEXT_HEADER = "# DXT trace (module, rank, wt/rd, segment, offset, length, start, end, ost)"
 
 
 class DxtCollector:
@@ -76,7 +77,13 @@ class DxtCollector:
         self.dropped = 0
 
     def on_op(self, op: IOOp, t_start: float, t_end: float, fs: LustreFileSystem | None) -> None:
-        """Record data operations; metadata ops are not DXT segments."""
+        """Record data operations; metadata ops are not DXT segments.
+
+        When the filesystem serving the path is known, the segment is
+        stamped with its serving OST id (the server-attribution column,
+        like real Lustre DXT's per-segment OST list); otherwise the
+        segment stays unattributed, as in parsed text traces.
+        """
         if op.kind not in _DATA_KINDS:
             return
         if len(self._builder) >= self.max_segments:
@@ -91,6 +98,7 @@ class DxtCollector:
             op.size,
             t_start,
             t_end,
+            fs.serving_ost(op.path, op.offset) if fs is not None else None,
         )
 
     @property
@@ -139,12 +147,14 @@ def render_dxt_text(segments) -> str:
             table.length.tolist(),
             table.start.tolist(),
             table.end.tolist(),
+            table.ost.tolist(),
             table.path_code.tolist(),
         )
-        for i, (m, rank, o, offset, length, start, end, p) in enumerate(rows):
+        for i, (m, rank, o, offset, length, start, end, ost, p) in enumerate(rows):
+            ost_token = "-" if ost == NO_OST else str(ost)
             lines.append(
                 f"{modules[m]:8s} {rank:5d} {operations[o]:5s} {indices[i]:7d} "
-                f"{offset:12d} {length:10d} {start:10.4f} {end:10.4f}"
+                f"{offset:12d} {length:10d} {start:10.4f} {end:10.4f} {ost_token:>4s}"
                 f"  {paths[p]}"
             )
     return "\n".join(lines) + "\n"
@@ -155,20 +165,33 @@ def parse_dxt_text(text: str) -> SegmentTable:
 
     The inverse of the text rendering, so exported traces keep the
     temporal channel.  Start/end times are quantized to the rendering's
-    1e-4 s resolution; integer fields round-trip exactly.  Comment and
-    blank lines are skipped, matching the counter-text parser's tolerance.
+    1e-4 s resolution; integer fields round-trip exactly, including the
+    server-attribution ``ost`` column (``-`` marks an unattributed
+    segment).  Nine-field lines — the pre-ost export format — still parse,
+    degrading to an unattributed table.  Comment and blank lines are
+    skipped, matching the counter-text parser's tolerance.
     """
+    def _is_ost_token(token: str) -> bool:
+        return token == "-" or token.isdigit()
+
     builder = SegmentTableBuilder()
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.split(None, 8)
-        if len(parts) != 9:
+        parts = line.split(None, 9)
+        if len(parts) == 9 or (len(parts) == 10 and not _is_ost_token(parts[8])):
+            # A legacy (pre-ost) export line: either exactly 9 fields, or
+            # more because its path contains whitespace — re-split with
+            # the path last and mark the segment unattributed.
+            legacy = line.split(None, 8)
+            parts = legacy[:8] + ["-"] + legacy[8:]
+        if len(parts) != 10:
             raise ValueError(
-                f"DXT line {lineno}: expected 9 whitespace-separated fields, got {len(parts)}"
+                f"DXT line {lineno}: expected 9 or 10 whitespace-separated fields, "
+                f"got {len(parts)}"
             )
-        module, rank, operation, _index, offset, length, start, end, path = parts
+        module, rank, operation, _index, offset, length, start, end, ost, path = parts
         if operation not in ("read", "write"):
             raise ValueError(
                 f"DXT line {lineno}: unknown operation {operation!r} (expected read/write)"
@@ -182,6 +205,7 @@ def parse_dxt_text(text: str) -> SegmentTable:
             int(length),
             float(start),
             float(end),
+            None if ost == "-" else int(ost),
         )
     return builder.build()
 
@@ -260,6 +284,18 @@ def dxt_timeline_facts(
 # ---------------------------------------------------------------------------
 
 
+def _app_level_mask(table: SegmentTable) -> np.ndarray:
+    """Row mask selecting segments at the interface the application called."""
+    module_codes = {name: code for code, name in enumerate(table.modules)}
+    posix = module_codes.get("X_POSIX")
+    mpiio = module_codes.get("X_MPIIO")
+    if posix is None or mpiio is None:
+        return np.ones(len(table), dtype=bool)
+    mpiio_paths = np.unique(table.path_code[table.module_code == mpiio])
+    lowered = (table.module_code == posix) & np.isin(table.path_code, mpiio_paths)
+    return ~lowered
+
+
 def app_level_segments(segments) -> SegmentTable:
     """Segments at the interface the application called.
 
@@ -271,14 +307,68 @@ def app_level_segments(segments) -> SegmentTable:
     them, the same way counter-level rank analysis prefers MPIIO records.
     """
     table = as_table(segments)
-    module_codes = {name: code for code, name in enumerate(table.modules)}
-    posix = module_codes.get("X_POSIX")
-    mpiio = module_codes.get("X_MPIIO")
-    if posix is None or mpiio is None:
+    mask = _app_level_mask(table)
+    if mask.all():
         return table
-    mpiio_paths = np.unique(table.path_code[table.module_code == mpiio])
-    lowered = (table.module_code == posix) & np.isin(table.path_code, mpiio_paths)
-    return table.take(~lowered)
+    return table.take(mask)
+
+
+class _SortedEvents:
+    """One time-sorted (start, +1) / (end, -1) event array for a table.
+
+    The concurrency and idle kernels both need the table's events in time
+    order; sharing one sort removes the double lexsort the PR 4 ROADMAP
+    flagged.  The stable argsort over ``[starts..., ends...]`` places
+    starts before ends at equal timestamps, so the running ``cumsum`` of
+    ``deltas`` is a true non-negative in-flight count and busy windows
+    never split at touching boundaries.  Quantities that depend on the
+    *other* tie order (the scalar reference's peak-in-flight counts ends
+    first) are recovered at distinct-time run boundaries, where the order
+    of equal-time events cannot matter.
+    """
+
+    __slots__ = ("t", "deltas", "row")
+
+    def __init__(self, table: SegmentTable) -> None:
+        n = len(table)
+        times = np.concatenate([table.start, table.end])
+        order = np.argsort(times, kind="stable")
+        self.t = times[order]
+        self.deltas = np.where(order < n, 1, -1).astype(np.int64)
+        self.row = np.where(order < n, order, order - n)
+
+    def subset(self, row_mask: np.ndarray) -> "_SortedEvents":
+        """Events of a row subset, still sorted (a filtered sorted array
+        stays sorted, with the same within-tie ordering)."""
+        keep = row_mask[self.row]
+        sub = _SortedEvents.__new__(_SortedEvents)
+        sub.t = self.t[keep]
+        sub.deltas = self.deltas[keep]
+        sub.row = self.row[keep]
+        return sub
+
+    def run_ends(self) -> np.ndarray:
+        """Mask of the last event at each distinct timestamp."""
+        mask = np.empty(self.t.size, dtype=bool)
+        if mask.size:
+            mask[:-1] = self.t[1:] > self.t[:-1]
+            mask[-1] = True
+        return mask
+
+    def busy_windows(self) -> tuple[np.ndarray, np.ndarray]:
+        """Disjoint merged busy intervals, from the shared event sort.
+
+        Equivalent to the classic interval-merge sweep: a window opens at
+        a start event seen while nothing is in flight and closes when the
+        in-flight count returns to zero.  Touching intervals never reach
+        zero in between (starts sort first at ties), so they fuse exactly
+        like the merge sweep fuses them.
+        """
+        inflight = np.cumsum(self.deltas)
+        opened = np.concatenate([[0], inflight[:-1]]) == 0
+        opens = (self.deltas > 0) & opened
+        closes = inflight == 0
+        return self.t[opens], self.t[closes]
 
 
 def _merged_intervals(start: np.ndarray, end: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -353,25 +443,19 @@ def _rank_skew_fact(app: SegmentTable) -> Fact | None:
     )
 
 
-def _concurrency_fact(app: SegmentTable) -> Fact | None:
+def _concurrency_fact(app: SegmentTable, events: _SortedEvents) -> Fact | None:
     """Mean/peak operations in flight while any I/O is outstanding.
 
     With N ranks doing independent I/O the mean sits near N; a mean near
     1.0 across many active ranks means the accesses are serialized — the
-    lock-convoy signature no counter records.  One sorted event-delta
-    prefix sum over (start, +1) / (end, -1) events.
+    lock-convoy signature no counter records.  One event-delta prefix sum
+    over the shared sorted event array.
     """
     active_ranks = int(np.unique(app.rank).size)
     if active_ranks < 4:
         return None
-    n = len(app)
-    times = np.concatenate([app.start, app.end])
-    deltas = np.concatenate([np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64)])
-    # Ends sort before starts at equal timestamps, like the (t, delta)
-    # tuple sort of the scalar sweep.
-    order = np.lexsort((deltas, times))
-    t = times[order]
-    inflight = np.cumsum(deltas[order])
+    t = events.t
+    inflight = np.cumsum(events.deltas)
     dt = np.diff(t)
     during = inflight[:-1]
     active = during > 0
@@ -379,28 +463,34 @@ def _concurrency_fact(app: SegmentTable) -> Fact | None:
     if busy_time <= 0:
         return None
     weighted = float((during[active] * dt[active]).sum())
+    # The scalar sweep sorts ends before starts at ties, so its peak is
+    # the count settled between distinct timestamps — read the prefix sum
+    # at run boundaries, where equal-time ordering cannot matter.
+    peak = inflight[events.run_ends()].max(initial=0)
     return Fact(
         "dxt_concurrency",
         {
             "mean_inflight": float(weighted / busy_time),
-            "peak_inflight": int(inflight.max(initial=0)),
+            "peak_inflight": int(peak),
             "active_ranks": active_ranks,
         },
     )
 
 
-def _idle_fact(raw: SegmentTable) -> Fact | None:
+def _idle_fact(raw: SegmentTable, events: _SortedEvents) -> Fact | None:
     """Idle-gap structure of the I/O timeline.
 
     Global gaps (no operation in flight anywhere) catch interference-style
     stalls.  ``stalled_ranks`` counts ranks that spend >= 25% of the span
     waiting *while other ranks kept doing I/O* — which distinguishes a
     producer/consumer hand-off stall from a deliberate all-ranks compute
-    phase (where nobody is busy, so the waiting does not count).
+    phase (where nobody is busy, so the waiting does not count).  The
+    global busy windows come from the event sort shared with the
+    concurrency kernel.
     """
     if not len(raw):
         return None
-    busy_start, busy_end = _merged_intervals(raw.start, raw.end)
+    busy_start, busy_end = events.busy_windows()
     t0 = float(busy_start[0])
     t1 = float(busy_end[-1])
     span = t1 - t0
@@ -496,31 +586,126 @@ def _file_skew_fact(app: SegmentTable) -> Fact | None:
     )
 
 
+# Per-OST eligibility: an OST participates in server attribution once it
+# served at least this many requests / bytes of the dominant size bucket,
+# and the facts only emit with at least 4 eligible OSTs (a "median" over
+# fewer servers is not a population to stand out from).
+_OST_MIN_OPS = 4
+_OST_MIN_BYTES = 1024 * 1024
+# Slow servers cluster at the bottom of the rate range: every OST within
+# 25% of the slowest one's rate is part of the degraded set.
+_OST_SLOW_BAND = 1.25
+
+
+def _ost_facts(app: SegmentTable) -> list[Fact]:
+    """Per-OST server attribution: service-time skew and slow-server rates.
+
+    Uses the ``ost`` column stamped by the collector; segments without
+    attribution (parsed text traces, paths off the mount) are ignored, so
+    counter-only logs degrade to no server facts at all.  Rates compare
+    only within the dominant request-size bucket — like the file-skew
+    kernel — because a log stream's 4 KiB requests legitimately sustain
+    less bandwidth per server than 1 MiB bulk transfers.
+
+    Two facts: ``dxt_ost_skew`` (the busiest server's share of service
+    time versus its share of bytes — a degraded server absorbs time
+    without absorbing traffic) and ``dxt_ost_latency`` (the slow-server
+    set: every OST whose effective rate sits within 25% of the slowest
+    one's, against the median OST's rate).
+    """
+    attributed = app.take(app.ost != NO_OST)
+    if not len(attributed):
+        return []
+    lengths = attributed.length.astype(np.float64)
+    buckets = np.log2(np.maximum(1.0, lengths)).astype(np.int64)
+    unique_buckets, bucket_of = np.unique(buckets, return_inverse=True)
+    bucket_of = bucket_of.ravel()
+    totals = np.bincount(bucket_of, weights=lengths)
+    # Ties on total bytes keep the bucket touched earliest, matching the
+    # scalar sweep's dict-insertion-order max().
+    tied = np.flatnonzero(totals == totals.max())
+    first_seen = np.full(unique_buckets.size, bucket_of.size, dtype=np.int64)
+    np.minimum.at(first_seen, bucket_of, np.arange(bucket_of.size))
+    best = int(tied[np.argmin(first_seen[tied])])
+    sel = attributed.take(bucket_of == best)
+
+    osts, inverse = np.unique(sel.ost, return_inverse=True)
+    inverse = inverse.ravel()
+    counts = np.bincount(inverse)
+    nbytes = np.bincount(inverse, weights=sel.length.astype(np.float64))
+    busy = np.bincount(inverse, weights=sel.durations)
+    eligible = np.flatnonzero(
+        (counts >= _OST_MIN_OPS) & (nbytes >= _OST_MIN_BYTES) & (busy > 0)
+    )
+    if eligible.size < 4:
+        return []
+    e_osts = osts[eligible]
+    e_bytes = nbytes[eligible]
+    e_busy = busy[eligible]
+
+    time_share = e_busy / float(e_busy.sum())
+    bytes_share = e_bytes / float(e_bytes.sum())
+    hot = int(np.argmax(time_share))
+    rates = e_bytes / e_busy / (1024 * 1024)
+    median = float(np.median(rates))
+    slow_mbps = float(rates.min())
+    slow = np.flatnonzero(rates <= _OST_SLOW_BAND * slow_mbps)
+    return [
+        Fact(
+            "dxt_ost_skew",
+            {
+                "n_osts": int(eligible.size),
+                "hot_ost": int(e_osts[hot]),
+                "time_share": float(time_share[hot]),
+                "bytes_share": float(bytes_share[hot]),
+                "skew": float(time_share[hot] / bytes_share[hot]),
+            },
+        ),
+        Fact(
+            "dxt_ost_latency",
+            {
+                "n_osts": int(eligible.size),
+                "slow_osts": [int(o) for o in e_osts[slow]],
+                "slow_mbps": slow_mbps,
+                "median_mbps": median,
+                "ratio": float(median / slow_mbps),
+            },
+        ),
+    ]
+
+
 def dxt_temporal_facts(segments, n_bins: int = 20) -> list[Fact]:
     """Every temporal fact the DXT channel supports, as LLM-ready facts.
 
     Combines the timeline/burst summary with per-rank time skew,
-    concurrency (serialization), idle-gap structure, and per-file
-    throughput skew — the evidence grounding time-domain pathologies
-    (stragglers, lock convoys, interference stalls, slow-OST hotspots)
-    that aggregate counters are blind to.
+    concurrency (serialization), idle-gap structure, per-file throughput
+    skew, and per-OST server attribution — the evidence grounding
+    time-domain pathologies (stragglers, lock convoys, interference
+    stalls, slow-OST hotspots, degraded servers) that aggregate counters
+    are blind to.
     """
     table = as_table(segments)
     if not len(table):
         return []
-    app = app_level_segments(table)
+    app_mask = _app_level_mask(table)
+    app = table if app_mask.all() else table.take(app_mask)
+    # One event sort serves both time-domain kernels; the concurrency
+    # kernel reads the app-level subset of it (still sorted).
+    events = _SortedEvents(table)
+    app_events = events if app is table else events.subset(app_mask)
     facts = dxt_timeline_facts(table, n_bins=n_bins)
     for fact in (
         _rank_skew_fact(app),
-        _concurrency_fact(app),
+        _concurrency_fact(app, app_events),
         # Idle analysis sees the raw stream: a collective-buffering
         # aggregator between its application-level calls is busy moving
         # its group's data (lowered POSIX segments), not stalled.
-        _idle_fact(table),
+        _idle_fact(table, events),
         _file_skew_fact(app),
     ):
         if fact is not None:
             facts.append(fact)
+    facts.extend(_ost_facts(app))
     return facts
 
 

@@ -231,8 +231,73 @@ def _file_skew_fact(app_segments: list[DxtSegment]) -> Fact | None:
     )
 
 
+def _ost_facts(app_segments: list[DxtSegment]) -> list[Fact]:
+    """Per-object reference of the per-OST server-attribution kernels.
+
+    Mirrors :func:`repro.darshan.dxt._ost_facts` operation for operation:
+    drop unattributed segments, keep the dominant request-size bucket
+    (first-touched bucket wins byte ties), reduce per OST, and report the
+    hot server's time-vs-byte share plus the slow-server rate set.
+    """
+    attributed = [s for s in app_segments if s.ost is not None]
+    if not attributed:
+        return []
+    bucket_totals: dict[int, float] = {}
+    for seg in attributed:
+        bucket = int(np.log2(max(1.0, float(seg.length))))
+        bucket_totals[bucket] = bucket_totals.get(bucket, 0.0) + seg.length
+    best = max(bucket_totals, key=bucket_totals.get)  # insertion-order ties
+
+    per_ost: dict[int, tuple[float, float, int]] = {}
+    for seg in attributed:
+        if int(np.log2(max(1.0, float(seg.length)))) != best:
+            continue
+        nbytes, busy, count = per_ost.get(seg.ost, (0.0, 0.0, 0))
+        per_ost[seg.ost] = (nbytes + seg.length, busy + seg.duration, count + 1)
+    eligible = sorted(
+        ost
+        for ost, (nbytes, busy, count) in per_ost.items()
+        if count >= 4 and nbytes >= 1024 * 1024 and busy > 0
+    )
+    if len(eligible) < 4:
+        return []
+    e_bytes = np.array([per_ost[ost][0] for ost in eligible])
+    e_busy = np.array([per_ost[ost][1] for ost in eligible])
+
+    time_share = e_busy / float(e_busy.sum())
+    bytes_share = e_bytes / float(e_bytes.sum())
+    hot = int(np.argmax(time_share))
+    rates = e_bytes / e_busy / (1024 * 1024)
+    median = float(np.median(rates))
+    slow_mbps = float(rates.min())
+    slow = [ost for ost, rate in zip(eligible, rates) if rate <= 1.25 * slow_mbps]
+    return [
+        Fact(
+            "dxt_ost_skew",
+            {
+                "n_osts": len(eligible),
+                "hot_ost": eligible[hot],
+                "time_share": float(time_share[hot]),
+                "bytes_share": float(bytes_share[hot]),
+                "skew": float(time_share[hot] / bytes_share[hot]),
+            },
+        ),
+        Fact(
+            "dxt_ost_latency",
+            {
+                "n_osts": len(eligible),
+                "slow_osts": slow,
+                "slow_mbps": slow_mbps,
+                "median_mbps": median,
+                "ratio": float(median / slow_mbps),
+            },
+        ),
+    ]
+
+
 def scalar_temporal_facts(segments: list[DxtSegment], n_bins: int = 20) -> list[Fact]:
-    """The full PR 3 per-object extraction pipeline over a segment list."""
+    """The full PR 3 per-object extraction pipeline over a segment list,
+    extended with the per-OST reference sweeps."""
     segments = list(segments)
     if not segments:
         return []
@@ -246,4 +311,5 @@ def scalar_temporal_facts(segments: list[DxtSegment], n_bins: int = 20) -> list[
     ):
         if fact is not None:
             facts.append(fact)
+    facts.extend(_ost_facts(app))
     return facts

@@ -35,6 +35,7 @@ __all__ = [
     "SegmentTableBuilder",
     "as_table",
     "OPERATIONS",
+    "NO_OST",
 ]
 
 # The operation dictionary is closed (DXT segments are data ops only), so
@@ -43,12 +44,21 @@ OPERATIONS: tuple[str, ...] = ("read", "write")
 READ_CODE = 0
 WRITE_CODE = 1
 
+# The ``ost`` column's "unattributed" code: segments from parsed text
+# traces or from paths outside the simulated mount carry no server id,
+# exactly like real DXT segments captured on a non-Lustre filesystem.
+NO_OST = -1
+
 _CHUNK = 65536
 
 
 @dataclass(frozen=True, slots=True)
 class DxtSegment:
-    """One traced I/O operation (a DXT_POSIX / DXT_MPIIO segment)."""
+    """One traced I/O operation (a DXT_POSIX / DXT_MPIIO segment).
+
+    ``ost`` is the serving-OST attribution (real Lustre DXT records the
+    OST list per segment); ``None`` when the trace carries no server info.
+    """
 
     module: str  # 'X_POSIX' | 'X_MPIIO' | 'X_STDIO'
     rank: int
@@ -58,6 +68,7 @@ class DxtSegment:
     length: int
     start_time: float
     end_time: float
+    ost: int | None = None
 
     @property
     def duration(self) -> float:
@@ -80,9 +91,10 @@ class SegmentTable(Sequence):
     Columns (all 1-D, equal length): ``module_code`` (uint8 into
     ``modules``), ``rank`` (int64), ``path_code`` (int32 into ``paths``),
     ``op_code`` (uint8 into :data:`OPERATIONS`), ``offset`` / ``length``
-    (int64), ``start`` / ``end`` (float64).  Dictionary codes are assigned
-    in first-appearance order, so grouped reductions over codes see files
-    and modules in the same order the old per-object sweeps did.
+    (int64), ``start`` / ``end`` (float64), ``ost`` (int32 OST id, with
+    :data:`NO_OST` marking unattributed segments).  Dictionary codes are
+    assigned in first-appearance order, so grouped reductions over codes
+    see files and modules in the same order the old per-object sweeps did.
     """
 
     __slots__ = (
@@ -96,6 +108,7 @@ class SegmentTable(Sequence):
         "length",
         "start",
         "end",
+        "ost",
     )
 
     operations = OPERATIONS
@@ -113,6 +126,7 @@ class SegmentTable(Sequence):
         length: np.ndarray,
         start: np.ndarray,
         end: np.ndarray,
+        ost: np.ndarray,
     ) -> None:
         self.modules = modules
         self.paths = paths
@@ -124,6 +138,7 @@ class SegmentTable(Sequence):
         self.length = length
         self.start = start
         self.end = end
+        self.ost = ost
 
     # -- construction -------------------------------------------------------
 
@@ -140,6 +155,7 @@ class SegmentTable(Sequence):
             length=np.empty(0, dtype=np.int64),
             start=np.empty(0, dtype=np.float64),
             end=np.empty(0, dtype=np.float64),
+            ost=np.empty(0, dtype=np.int32),
         )
 
     @classmethod
@@ -156,6 +172,7 @@ class SegmentTable(Sequence):
                 seg.length,
                 seg.start_time,
                 seg.end_time,
+                seg.ost,
             )
         return builder.build()
 
@@ -172,6 +189,7 @@ class SegmentTable(Sequence):
             i += len(self)
         if not 0 <= i < len(self):
             raise IndexError(index)
+        ost = int(self.ost[i])
         return DxtSegment(
             module=self.modules[int(self.module_code[i])],
             rank=int(self.rank[i]),
@@ -181,6 +199,7 @@ class SegmentTable(Sequence):
             length=int(self.length[i]),
             start_time=float(self.start[i]),
             end_time=float(self.end[i]),
+            ost=None if ost == NO_OST else ost,
         )
 
     def __iter__(self):
@@ -195,8 +214,9 @@ class SegmentTable(Sequence):
             self.length.tolist(),
             self.start.tolist(),
             self.end.tolist(),
+            self.ost.tolist(),
         )
-        for m, rank, p, o, offset, length, start, end in rows:
+        for m, rank, p, o, offset, length, start, end, ost in rows:
             yield DxtSegment(
                 module=modules[m],
                 rank=rank,
@@ -206,6 +226,7 @@ class SegmentTable(Sequence):
                 length=length,
                 start_time=start,
                 end_time=end,
+                ost=None if ost == NO_OST else ost,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -233,6 +254,29 @@ class SegmentTable(Sequence):
             length=self.length[selector],
             start=self.start[selector],
             end=self.end[selector],
+            ost=self.ost[selector],
+        )
+
+    def without_ost(self) -> "SegmentTable":
+        """The same timeline with server attribution removed.
+
+        Models a pre-attribution trace (legacy exports, non-Lustre
+        deployments): every row keeps its timing but carries
+        :data:`NO_OST`.  Tests and benchmarks use it to isolate what the
+        ost column alone contributes.
+        """
+        return SegmentTable(
+            modules=self.modules,
+            paths=self.paths,
+            module_code=self.module_code,
+            path_code=self.path_code,
+            op_code=self.op_code,
+            rank=self.rank,
+            offset=self.offset,
+            length=self.length,
+            start=self.start,
+            end=self.end,
+            ost=np.full(len(self), NO_OST, dtype=np.int32),
         )
 
     def digest(self) -> str:
@@ -247,6 +291,7 @@ class SegmentTable(Sequence):
             self.length,
             self.start,
             self.end,
+            self.ost,
         ):
             h.update(np.ascontiguousarray(column).tobytes())
         h.update(_dictionary_bytes(self.modules, self.paths, OPERATIONS))
@@ -264,8 +309,28 @@ class SegmentTableBuilder:
 
     __slots__ = ("_chunk", "_full", "_cur", "_fill", "_modules", "_paths", "_count")
 
-    _COLUMNS = ("module_code", "rank", "path_code", "op_code", "offset", "length", "start", "end")
-    _DTYPES = (np.uint8, np.int64, np.int32, np.uint8, np.int64, np.int64, np.float64, np.float64)
+    _COLUMNS = (
+        "module_code",
+        "rank",
+        "path_code",
+        "op_code",
+        "offset",
+        "length",
+        "start",
+        "end",
+        "ost",
+    )
+    _DTYPES = (
+        np.uint8,
+        np.int64,
+        np.int32,
+        np.uint8,
+        np.int64,
+        np.int64,
+        np.float64,
+        np.float64,
+        np.int32,
+    )
 
     def __init__(self, chunk: int = _CHUNK) -> None:
         if chunk <= 0:
@@ -294,6 +359,7 @@ class SegmentTableBuilder:
         length: int,
         start: float,
         end: float,
+        ost: int | None = None,
     ) -> None:
         modules = self._modules
         mcode = modules.get(module)
@@ -313,6 +379,7 @@ class SegmentTableBuilder:
         cur[5][i] = length
         cur[6][i] = start
         cur[7][i] = end
+        cur[8][i] = NO_OST if ost is None else ost
         self._fill = i + 1
         self._count += 1
         if self._fill == self._chunk:

@@ -410,6 +410,45 @@ _register(
     },
 )
 
+_register(
+    "dxt_ost_skew",
+    lambda d: (
+        f"Extended tracing attributes {_pct(d['time_share'])}% of server service time "
+        f"to OST {d['hot_ost']} against {_pct(d['bytes_share'])}% of the bytes "
+        f"({d['skew']:.1f}x its byte share) across {d['n_osts']} active OSTs."
+    ),
+    r"Extended tracing attributes (?P<ts>[0-9.]+)% of server service time to "
+    r"OST (?P<ost>\d+) against (?P<bs>[0-9.]+)% of the bytes \((?P<skew>[0-9.]+)x "
+    r"its byte share\) across (?P<n>\d+) active OSTs",
+    lambda m: {
+        "time_share": float(m["ts"]) / 100.0,
+        "hot_ost": int(m["ost"]),
+        "bytes_share": float(m["bs"]) / 100.0,
+        "skew": float(m["skew"]),
+        "n_osts": int(m["n"]),
+    },
+)
+
+_register(
+    "dxt_ost_latency",
+    lambda d: (
+        f"Extended tracing shows OST(s) {', '.join(str(o) for o in d['slow_osts'])} "
+        f"sustaining {d['slow_mbps']:.1f} MiB/s against a median OST rate of "
+        f"{d['median_mbps']:.1f} MiB/s over {d['n_osts']} active OSTs "
+        f"({d['ratio']:.1f}x slower than their peers)."
+    ),
+    r"Extended tracing shows OST\(s\) (?P<ids>\d+(?:, \d+)*) sustaining "
+    r"(?P<slow>[0-9.]+) MiB/s against a median OST rate of (?P<median>[0-9.]+) "
+    r"MiB/s over (?P<n>\d+) active OSTs \((?P<ratio>[0-9.]+)x slower than their peers\)",
+    lambda m: {
+        "slow_osts": [int(o) for o in m["ids"].split(", ")],
+        "slow_mbps": float(m["slow"]),
+        "median_mbps": float(m["median"]),
+        "n_osts": int(m["n"]),
+        "ratio": float(m["ratio"]),
+    },
+)
+
 FACT_KINDS: tuple[str, ...] = tuple(_SPEC)
 
 

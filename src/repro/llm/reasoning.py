@@ -27,8 +27,14 @@ Temporal thresholds (DXT evidence channel, see docs/evidence.md):
 
 * rank straggler: slowest rank's I/O window or busy time >= 3x the median
   while moving <= 1.5x the median bytes (time skew without byte skew);
-* slow server: one file of >= 4 comparably-accessed files sustaining
-  <= 1/3 of the median throughput (explains away a rank straggler);
+* slow server (file-level): one file of >= 4 comparably-accessed files
+  sustaining <= 1/3 of the median throughput (explains away a rank
+  straggler);
+* slow server (OST-level): attributed OST(s) sustaining <= 1/3 of the
+  median OST's rate across >= 4 active OSTs (the deepest attribution:
+  explains away both a file-level skew and a rank straggler);
+* hot server: one OST absorbing >= 2.5x as large a share of service time
+  as of bytes across >= 4 active OSTs;
 * lock contention: mean in-flight ops <= 1.3 across >= 4 active ranks,
   with per-rank time balanced (a convoy, not a straggler's tail);
 * I/O stalls: >= 6 repeated global pauses covering >= 25% of the span, or
@@ -62,6 +68,8 @@ THRESHOLDS = {
     "dxt_time_skew": 3.0,
     "dxt_bytes_balanced": 1.5,
     "dxt_file_skew_ratio": 3.0,
+    "dxt_ost_latency_ratio": 3.0,
+    "dxt_ost_time_skew": 2.5,
     "dxt_serialized_inflight": 1.3,
     "dxt_stall_gaps": 6,
     "dxt_stall_idle_fraction": 0.25,
@@ -374,8 +382,9 @@ def infer_findings(facts: list[Fact]) -> list[Finding]:
             )
 
     # -- temporal (DXT) evidence --------------------------------------------
-    # Ordering matters: a slow server explains away an apparent rank
-    # straggler (the rank is slow because its file's OST is), and a lock
+    # Ordering matters: an attributed slow OST explains away a file-level
+    # skew and an apparent rank straggler (the rank is slow because its
+    # server is), a slow file explains away a rank straggler, and a lock
     # convoy explains away apparent stalls (ranks idle because they queue on
     # the lock) — the expert attributes each symptom to its deepest cause.
     skew = next(iter(kinds.get("dxt_rank_skew", [])), None)
@@ -383,6 +392,69 @@ def infer_findings(facts: list[Fact]) -> list[Finding]:
         skew.get("time_skew", 1.0) >= THRESHOLDS["dxt_time_skew"]
         or skew.get("span_skew", 1.0) >= THRESHOLDS["dxt_time_skew"]
     )
+
+    ost_latency_fired = False
+    for f in kinds.get("dxt_ost_latency", []):
+        if (
+            f.get("ratio", 1.0) >= THRESHOLDS["dxt_ost_latency_ratio"]
+            and f.get("n_osts", 0) >= 4
+        ):
+            ost_latency_fired = True
+            ids = ", ".join(str(o) for o in f.get("slow_osts", []))
+            add(
+                Finding(
+                    issue_key="server_imbalance",
+                    evidence=(
+                        f"Per-OST attribution shows OST(s) {ids} sustaining only "
+                        f"{f.get('slow_mbps', 0):.1f} MiB/s while the median of "
+                        f"{f.get('n_osts')} active OSTs reaches "
+                        f"{f.get('median_mbps', 0):.1f} MiB/s "
+                        f"({f.get('ratio', 0):.1f}x slower)."
+                    ),
+                    assessment=(
+                        "Traffic is spread evenly across the storage servers, yet "
+                        "the named OST(s) serve their share several times slower "
+                        "than their peers — degraded or overloaded servers, "
+                        "localized to the exact OST ids, which neither byte "
+                        "counters nor file-level rates can attribute."
+                    ),
+                    recommendation=(
+                        f"Check the health and external load of OST(s) {ids} "
+                        f"(server-side stats, `lctl get_param obdfilter.*.stats`) "
+                        f"and restripe the affected files away from them "
+                        f"(`lfs setstripe -o`) until the servers recover."
+                    ),
+                )
+            )
+
+    for f in kinds.get("dxt_ost_skew", []):
+        if (
+            f.get("skew", 1.0) >= THRESHOLDS["dxt_ost_time_skew"]
+            and f.get("n_osts", 0) >= 4
+        ):
+            add(
+                Finding(
+                    issue_key="server_imbalance",
+                    evidence=(
+                        f"Per-OST attribution shows OST {f.get('hot_ost')} absorbing "
+                        f"{100 * f.get('time_share', 0):.0f}% of all server service "
+                        f"time while receiving {100 * f.get('bytes_share', 0):.0f}% "
+                        f"of the bytes ({f.get('skew', 0):.1f}x its byte share, "
+                        f"across {f.get('n_osts')} active OSTs)."
+                    ),
+                    assessment=(
+                        "One server soaks up service time far beyond its traffic "
+                        "share: every request it touches waits on it, so the whole "
+                        "job runs at that OST's pace while the byte distribution "
+                        "looks perfectly balanced."
+                    ),
+                    recommendation=(
+                        f"Investigate OST {f.get('hot_ost')} for degradation or "
+                        f"competing load, and restripe hot files off it until its "
+                        f"service time returns to parity."
+                    ),
+                )
+            )
 
     file_skew_fired = False
     for f in kinds.get("dxt_file_skew", []):
@@ -444,7 +516,7 @@ def infer_findings(facts: list[Fact]) -> list[Finding]:
                 )
             )
 
-    if time_skewed and not file_skew_fired:
+    if time_skewed and not file_skew_fired and not ost_latency_fired:
         if skew.get("bytes_ratio", 99.0) <= THRESHOLDS["dxt_bytes_balanced"]:
             add(
                 Finding(

@@ -130,6 +130,22 @@ class LustreFileSystem:
             raise ValueError("stripe offset must name a valid OST")
         self._overrides[path] = (int(stripe_size), int(stripe_width), stripe_offset)
 
+    def serving_ost(self, path: str, offset: int) -> int | None:
+        """OST id attributed to a transfer starting at ``offset`` of ``path``.
+
+        The attribution rule of the DXT ``ost`` column: the OST storing the
+        stripe that holds the transfer's first byte.  A multi-stripe
+        transfer touches further OSTs too (``bytes_per_ost`` has the full
+        map), but segment attribution keeps the O(1) leading-OST
+        convention; workloads that need exact attribution issue
+        stripe-aligned, stripe-sized requests.  ``None`` for paths outside
+        the mount point — the column's "unattributed" value, matching
+        parsed text traces that never carried server info.
+        """
+        if not self.contains(path):
+            return None
+        return self.layout_for(path).ost_for_offset(offset)
+
     def ost_slowdown(self, ost_ids) -> float:
         """Service-time multiplier for a transfer touching ``ost_ids``.
 

@@ -1,4 +1,4 @@
-"""The extended pathology tier: 17 scenarios beyond the paper's TraceBench.
+"""The extended pathology tier: 21 scenarios beyond the paper's TraceBench.
 
 TraceBench's 40 traces cover the issue taxonomy but only a slice of how
 those issues arise in production.  Each workload here models one pathology
@@ -13,6 +13,16 @@ and operation counters stay balanced and clean, and the ground truth —
 compute-bound stragglers, lock convoys, interference stalls, slow-OST
 hotspots, producer/consumer hand-off stalls — is only recoverable from
 the DXT temporal evidence channel (see docs/evidence.md).
+
+The server-attribution tier (path18-path21) goes one level deeper: its
+ground truth is only recoverable from the DXT ``ost`` column (which
+server each segment waited on).  All four run the same aligned
+stripe-wide access shape, so byte counters, per-rank reductions, and
+even the file-level temporal kernels see nothing — what differs is
+*which OST* the time went to: a single degraded server (path18), an MDS
+problem next to healthy data servers (path19), a restriped control on
+the same degraded cluster (path20), and a multi-server degradation that
+masquerades as rank imbalance without attribution (path21).
 
 Every workload registers a :class:`~repro.workloads.scenarios.Scenario`
 tagged ``pathology`` (plus a theme tag), so the harness, batch runner,
@@ -436,6 +446,127 @@ def path17_producer_consumer() -> Workload:
     )
 
 
+def path18_hot_ost() -> Workload:
+    """One degraded OST behind a stripe-wide shared file.  Every rank's
+    requests cycle over all 8 OSTs, so bytes, ranks, and per-file rates
+    all stay balanced — only the per-OST attribution shows the time
+    concentrating on OST 3."""
+    path = "/scratch/path18/blocks.dat"
+    return Workload(
+        name="path18-hot-ost",
+        exe="/home/user/pathology/hot_ost",
+        nprocs=8,
+        jobid=918,
+        num_osts=8,
+        default_stripe_width=8,
+        # Aligned stripe-sized requests on a pinned layout: each request
+        # touches exactly one OST, so segment attribution is exact.
+        stripe_overrides={path: (1 * MiB, 8, 0)},
+        slow_osts={3: 4.0},
+        phases=(
+            data_phase(
+                path,
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                api="mpiio",
+                layout="shared",
+            ),
+        ),
+    )
+
+
+def path19_mds_vs_oss() -> Workload:
+    """MDS-vs-OSS contrast: a metadata-server flood *and* one degraded
+    data server in the same job.  The metadata half grounds through
+    counters (F_META_TIME), the OSS half only through the ost column —
+    the channel split that tells an admin which subsystem to chase."""
+    path = "/scratch/path19/frames.dat"
+    return Workload(
+        name="path19-mds-vs-oss",
+        exe="/home/user/pathology/mds_vs_oss",
+        nprocs=8,
+        jobid=919,
+        num_osts=8,
+        default_stripe_width=8,
+        stripe_overrides={path: (1 * MiB, 8, 0)},
+        slow_osts={5: 4.0},
+        phases=(
+            metadata_churn_phase(
+                "/scratch/path19/staging",
+                files_per_rank=120,
+                cycles=2,
+            ),
+            data_phase(
+                path,
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                api="mpiio",
+                layout="shared",
+            ),
+        ),
+    )
+
+
+def path20_rebalanced_stripe() -> Workload:
+    """The control of the attribution tier: the same cluster still has a
+    degraded OST 3, but the file was restriped around it (the path18
+    recommendation, applied) — the per-OST channel must stay quiet."""
+    path = "/scratch/path20/blocks.dat"
+    return Workload(
+        name="path20-rebalanced-stripe",
+        exe="/home/user/pathology/rebalanced_stripe",
+        nprocs=8,
+        jobid=920,
+        num_osts=8,
+        default_stripe_width=8,
+        # Width 7 starting at OST 4 → OSTs (4,5,6,7,0,1,2): the degraded
+        # OST 3 serves no stripe of this file.
+        stripe_overrides={path: (1 * MiB, 7, 4)},
+        slow_osts={3: 4.0},
+        phases=(
+            data_phase(
+                path,
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                api="mpiio",
+                layout="shared",
+            ),
+        ),
+    )
+
+
+def path21_multi_ost_degradation() -> Workload:
+    """Two degraded OSTs under a strided shared write.  The strided
+    mapping pins rank r to OST r, so without attribution the timeline
+    reads as two straggler ranks — the misdiagnosis the ost column
+    exists to prevent (the ranks are slow because their servers are)."""
+    path = "/scratch/path21/cells.dat"
+    return Workload(
+        name="path21-multi-ost-degradation",
+        exe="/home/user/pathology/multi_ost_degradation",
+        nprocs=8,
+        jobid=921,
+        num_osts=8,
+        default_stripe_width=8,
+        stripe_overrides={path: (1 * MiB, 8, 0)},
+        slow_osts={2: 4.0, 5: 4.0},
+        phases=(
+            data_phase(
+                path,
+                "write",
+                xfer=1 * MiB,
+                count_per_rank=24,
+                api="mpiio",
+                layout="shared",
+                pattern="strided",
+            ),
+        ),
+    )
+
+
 PATHOLOGY_BUILDERS = {
     "path01-random-small-reads": path01_random_small_reads,
     "path02-false-sharing": path02_false_sharing,
@@ -454,6 +585,10 @@ PATHOLOGY_BUILDERS = {
     "path15-bursty-interference": path15_bursty_interference,
     "path16-slow-ost-hotspot": path16_slow_ost_hotspot,
     "path17-producer-consumer": path17_producer_consumer,
+    "path18-hot-ost": path18_hot_ost,
+    "path19-mds-vs-oss": path19_mds_vs_oss,
+    "path20-rebalanced-stripe": path20_rebalanced_stripe,
+    "path21-multi-ost-degradation": path21_multi_ost_degradation,
 }
 
 
@@ -564,4 +699,30 @@ _scenario(
     "strict produce/hand-off/consume rounds where each half of the job idles "
     "while the other works",
     "io_stall", "shared_file_access", "no_collective_read", "no_collective_write",
+)
+# -- the server-attribution tier (per-OST ground truth) --------------------
+_scenario(
+    "path18-hot-ost", "hard", "hotspot",
+    "stripe-wide shared write with one degraded OST absorbing the service "
+    "time behind perfectly balanced traffic",
+    "server_imbalance", "shared_file_access", "no_collective_write",
+)
+_scenario(
+    "path19-mds-vs-oss", "hard", "hotspot",
+    "a metadata-server flood next to one degraded data server — each "
+    "subsystem grounded through its own evidence channel",
+    "high_metadata_load", "server_imbalance", "shared_file_access",
+    "no_collective_write",
+)
+_scenario(
+    "path20-rebalanced-stripe", "control", "hotspot",
+    "the same degraded cluster with the file restriped around the bad OST "
+    "— the attribution channel must stay quiet",
+    "shared_file_access", "no_collective_write",
+)
+_scenario(
+    "path21-multi-ost-degradation", "hard", "hotspot",
+    "two degraded OSTs under a strided shared write that masquerade as two "
+    "straggler ranks without server attribution",
+    "server_imbalance", "shared_file_access", "no_collective_write",
 )

@@ -19,8 +19,8 @@ def _ion_text(tool, trace):
 
 
 class TestDrishti:
-    def test_thirty_five_triggers_registered(self):
-        assert len(TRIGGERS) == 35
+    def test_thirty_seven_triggers_registered(self):
+        assert len(TRIGGERS) == 37
 
     def test_small_write_trigger_fires(self, bench):
         text = _drishti_text(bench.get("sb01-small-writes"))

@@ -107,6 +107,8 @@ def _example_fact(kind: str) -> Fact:
         "dxt_concurrency": {"mean_inflight": 1.06, "peak_inflight": 2, "active_ranks": 8},
         "dxt_idle": {"n_gaps": 9, "idle_fraction": 0.42, "span_s": 8.125, "longest_gap_s": 0.5, "stalled_ranks": 4},
         "dxt_file_skew": {"slow_path": "/scratch/out.00003", "slow_mbps": 120.5, "median_mbps": 485.0, "n_files": 8, "ratio": 4.0},
+        "dxt_ost_skew": {"time_share": 0.354, "hot_ost": 3, "bytes_share": 0.125, "skew": 2.8, "n_osts": 8},
+        "dxt_ost_latency": {"slow_osts": [2, 5], "slow_mbps": 61.7, "median_mbps": 246.9, "n_osts": 8, "ratio": 4.0},
     }
     return Fact(kind=kind, data=samples[kind])
 

@@ -65,12 +65,18 @@ TEMPORAL_ONLY_LABELS = {
     "path15-bursty-interference": {"io_stall"},
     "path16-slow-ost-hotspot": {"server_imbalance"},
     "path17-producer-consumer": {"io_stall"},
+    # The server-attribution tier (PR 5): these labels additionally need
+    # the per-OST ost column, not just file-level temporal facts — see
+    # tests/test_ost_channel.py for the channel-ablation proof.
+    "path18-hot-ost": {"server_imbalance"},
+    "path19-mds-vs-oss": {"server_imbalance"},
+    "path21-multi-ost-degradation": {"server_imbalance"},
 }
 
 
 @pytest.fixture(scope="session")
 def pathology_traces():
-    """All 17 pathology traces, built once."""
+    """All 21 pathology traces, built once."""
     return {name: build_scenario(name, seed=0) for name in PATHOLOGY_NAMES}
 
 
@@ -141,9 +147,9 @@ class TestScenarioRegistry:
             Scenario("x", "pathology", _tiny_workload, frozenset({"bogus_issue"}))
 
     def test_suite_size(self):
-        assert len(available_scenarios()) >= 57
+        assert len(available_scenarios()) >= 61
         assert len(available_scenarios("tracebench")) == 40
-        assert len(PATHOLOGY_NAMES) == 17
+        assert len(PATHOLOGY_NAMES) == 21
 
     def test_selector_tokens(self):
         tags = available_tags()
@@ -154,14 +160,17 @@ class TestScenarioRegistry:
         by_name = select_scenarios(["sb01-small-writes"])
         assert [s.name for s in by_name] == ["sb01-small-writes"]
         by_tag = select_scenarios(["pathology"])
-        assert len(by_tag) == 17
+        assert len(by_tag) == 21
         controls = select_scenarios(["control"])
-        assert [s.name for s in controls] == ["path12-clean-baseline"]
+        assert [s.name for s in controls] == [
+            "path12-clean-baseline",
+            "path20-rebalanced-stripe",
+        ]
         # Duplicates collapse, first-match order is preserved.
         mixed = select_scenarios(["path03-metadata-storm", "pathology"])
         names = [s.name for s in mixed]
         assert names[0] == "path03-metadata-storm"
-        assert len(names) == len(set(names)) == 17
+        assert len(names) == len(set(names)) == 21
 
     def test_unknown_selectors_collected_into_one_error(self):
         with pytest.raises(ScenarioNotFoundError) as exc:

@@ -227,7 +227,9 @@ class TestDxtTriggers:
             "path13-straggler-compute": "DXT_TIME_STRAGGLER",
             "path14-lock-convoy": "DXT_SERIALIZED_IO",
             "path15-bursty-interference": "DXT_IO_STALLS",
-            "path16-slow-ost-hotspot": "DXT_TIME_STRAGGLER",
+            # Since PR 5 the ost column localizes path16's degradation to
+            # its servers, which suppresses the (shallower) straggler read.
+            "path16-slow-ost-hotspot": "DXT_OST_SLOW_SERVER",
             "path17-producer-consumer": "DXT_IO_STALLS",
         }
         for name, code in expected.items():
@@ -235,7 +237,13 @@ class TestDxtTriggers:
             assert code in fired, name
 
     def test_triggers_quiet_on_tracebench(self, bench):
-        new = {"DXT_TIME_STRAGGLER", "DXT_SERIALIZED_IO", "DXT_IO_STALLS"}
+        new = {
+            "DXT_TIME_STRAGGLER",
+            "DXT_SERIALIZED_IO",
+            "DXT_IO_STALLS",
+            "DXT_OST_SLOW_SERVER",
+            "DXT_OST_HOTSPOT",
+        }
         for trace in bench:
             fired = {r.code for r in run_triggers(trace.log)}
             assert not (fired & new), trace.trace_id
@@ -245,7 +253,13 @@ class TestDxtTriggers:
             render_darshan_text(temporal_traces["path14-lock-convoy"].log)
         )
         fired = {r.code for r in run_triggers(log)}
-        assert not fired & {"DXT_TIME_STRAGGLER", "DXT_SERIALIZED_IO", "DXT_IO_STALLS"}
+        assert not fired & {
+            "DXT_TIME_STRAGGLER",
+            "DXT_SERIALIZED_IO",
+            "DXT_IO_STALLS",
+            "DXT_OST_SLOW_SERVER",
+            "DXT_OST_HOTSPOT",
+        }
 
 
 class TestDifficultySplit:
