@@ -1,4 +1,29 @@
-"""Setup shim: enables legacy editable installs where `wheel` is absent."""
-from setuptools import setup
+"""Packaging metadata.
 
-setup()
+Kept in setup.py (not pyproject ``[project]``) so legacy editable
+installs work where ``wheel``/PEP-660 frontends are absent.  The
+``py.typed`` marker ships in package data so downstream type checkers
+see the inline annotations (PEP 561).
+"""
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'^__version__ = "([^"]+)"', _INIT.read_text(), re.M).group(1)
+
+setup(
+    name="repro-ioagent",
+    version=_VERSION,
+    description=(
+        "Reproduction of IOAgent: Democratizing Trustworthy HPC I/O "
+        "Performance Diagnosis Capability via LLMs (IPDPS 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+    zip_safe=False,
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -61,7 +61,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy top-level exports: keep `import repro` light.
     if name in ("IOAgent", "IOAgentConfig"):
         from repro.core.agent import IOAgent, IOAgentConfig

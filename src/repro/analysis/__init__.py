@@ -1,0 +1,35 @@
+"""Static analysis for the diagnosis knowledge base.
+
+Run with ``python -m repro.analysis``.  Register additional checks with
+:func:`repro.analysis.registry.register_check` — see ``docs/analysis.md``.
+"""
+
+from repro.analysis.context import CheckContext, ScenarioInfo
+from repro.analysis.diagnostics import Diagnostic, error, has_errors, warning
+from repro.analysis.registry import (
+    Check,
+    CheckNotFoundError,
+    available_checks,
+    get_check,
+    iter_checks,
+    register_check,
+    run_checks,
+    unregister_check,
+)
+
+__all__ = [
+    "Check",
+    "CheckContext",
+    "CheckNotFoundError",
+    "Diagnostic",
+    "ScenarioInfo",
+    "available_checks",
+    "error",
+    "get_check",
+    "has_errors",
+    "iter_checks",
+    "register_check",
+    "run_checks",
+    "unregister_check",
+    "warning",
+]

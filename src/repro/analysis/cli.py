@@ -1,0 +1,124 @@
+"""``python -m repro.analysis`` — run the knowledge-base analyzer.
+
+Two legs: the domain invariant/lint checks (fast, dependency-free) and
+the mypy typing ratchet (skipped cleanly where mypy is absent unless
+``--require-mypy``).  Exit status is non-zero iff any error diagnostic
+was produced or the typing gate failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import CheckNotFoundError, iter_checks, run_checks
+from repro.analysis.typing_gate import run_typing_gate
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analyzer for the diagnosis knowledge base.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root to analyze (default: this checkout)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_checks",
+        help="list registered checks and exit",
+    )
+    parser.add_argument(
+        "--checks",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="run only these checks (default: all)",
+    )
+    parser.add_argument(
+        "--no-mypy",
+        action="store_true",
+        help="skip the typing gate (domain checks only)",
+    )
+    parser.add_argument(
+        "--only-typing",
+        action="store_true",
+        help="run only the typing gate",
+    )
+    parser.add_argument(
+        "--require-mypy",
+        action="store_true",
+        help="fail (instead of skipping) when mypy is not installed",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="print only diagnostics, no summary",
+    )
+    return parser
+
+
+def _print_diagnostics(results: dict[str, list[Diagnostic]]) -> tuple[int, int]:
+    errors = warnings = 0
+    for diags in results.values():
+        for diag in diags:
+            print(diag.format())
+            if diag.severity == "error":
+                errors += 1
+            else:
+                warnings += 1
+    return errors, warnings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checks:
+        for check in iter_checks():
+            tags = f" [{', '.join(check.tags)}]" if check.tags else ""
+            print(f"{check.name}{tags}: {check.description}")
+        return 0
+
+    started = time.perf_counter()
+    failed = False
+    checks_run = 0
+
+    if not args.only_typing:
+        from repro.analysis.context import CheckContext
+
+        ctx = CheckContext.from_repo(args.root)
+        try:
+            results = run_checks(ctx, args.checks)
+        except CheckNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        checks_run = len(results)
+        errors, warnings = _print_diagnostics(results)
+        failed = failed or errors > 0
+        if not args.quiet:
+            elapsed = time.perf_counter() - started
+            print(
+                f"analysis: {checks_run} checks, {errors} error(s), "
+                f"{warnings} warning(s) in {elapsed:.2f}s"
+            )
+
+    if not args.no_mypy:
+        root = args.root if args.root is not None else Path(__file__).resolve().parents[3]
+        gate = run_typing_gate(Path(root), require=args.require_mypy)
+        for message in gate.messages:
+            print(message)
+        failed = failed or not gate.ok
+        if not args.quiet:
+            print(gate.summary())
+
+    return 1 if failed else 0

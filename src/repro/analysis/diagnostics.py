@@ -1,0 +1,54 @@
+"""Diagnostics: the analyzer's one output type.
+
+Every checker returns a list of :class:`Diagnostic`; the CLI renders them
+in the familiar ``file:line: severity: [check] message`` shape so editors
+and CI annotations pick them up, and exits non-zero iff any diagnostic is
+an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Diagnostic", "error", "warning", "has_errors"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding of one check.
+
+    ``file``/``line`` locate the offending declaration when the check can
+    point at source (AST lint rules always can; registry invariants point
+    at the module that owns the registry).
+    """
+
+    check: str
+    message: str
+    file: str | None = None
+    line: int | None = None
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}; expected {SEVERITIES}")
+
+    def format(self) -> str:
+        location = self.file or "<registry>"
+        if self.line is not None:
+            location = f"{location}:{self.line}"
+        return f"{location}: {self.severity}: [{self.check}] {self.message}"
+
+
+def error(check: str, message: str, *, file: str | None = None, line: int | None = None) -> Diagnostic:
+    return Diagnostic(check=check, message=message, file=file, line=line, severity="error")
+
+
+def warning(check: str, message: str, *, file: str | None = None, line: int | None = None) -> Diagnostic:
+    return Diagnostic(check=check, message=message, file=file, line=line, severity="warning")
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == "error" for d in diagnostics)

@@ -1,0 +1,189 @@
+"""The check registry: `register_check` mirrors `repro.core.registry`.
+
+A *check* is a named, pure function from a :class:`~repro.analysis.context.
+CheckContext` to a list of :class:`~repro.analysis.diagnostics.Diagnostic`.
+Built-in checks live in :mod:`repro.analysis.invariants` (registry/domain
+invariants) and :mod:`repro.analysis.lint` (AST convention rules) and load
+lazily, exactly like tools and scenarios do, so a future evidence channel
+ships its own checks with one ``register_check`` call and CI runs them for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, overload
+
+from repro.analysis.diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import CheckContext
+
+__all__ = [
+    "Check",
+    "CheckFn",
+    "CheckNotFoundError",
+    "register_check",
+    "unregister_check",
+    "get_check",
+    "available_checks",
+    "iter_checks",
+    "run_checks",
+]
+
+CheckFn = Callable[["CheckContext"], "list[Diagnostic]"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One registered static check."""
+
+    name: str
+    fn: CheckFn
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    def run(self, ctx: "CheckContext") -> list[Diagnostic]:
+        return list(self.fn(ctx))
+
+
+class CheckNotFoundError(KeyError):
+    """Raised for a check name nobody registered."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(name)
+        self.check_name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        options = ", ".join(self.available) or "<none>"
+        return f"unknown check {self.check_name!r}; available checks: {options}"
+
+
+_REGISTRY: dict[str, Check] = {}
+
+# Built-in checks resolve lazily so importing the registry stays cheap and
+# cycle-free (invariants imports the registries it inspects).
+_BUILTIN_MODULES = ("repro.analysis.invariants", "repro.analysis.lint")
+_builtins_loaded = False
+_builtins_loading = False  # reentrancy guard: builtins register during import
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded, _builtins_loading
+    if _builtins_loaded or _builtins_loading:
+        return
+    import importlib
+
+    _builtins_loading = True
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+        # Set only once every builtin imported cleanly, so a failed import
+        # surfaces again instead of leaving the registry silently partial.
+        _builtins_loaded = True
+    finally:
+        _builtins_loading = False
+
+
+@overload
+def register_check(
+    name: str,
+    fn: CheckFn,
+    *,
+    description: str = ...,
+    tags: Iterable[str] = ...,
+    replace: bool = ...,
+) -> CheckFn: ...
+
+
+@overload
+def register_check(
+    name: str,
+    fn: None = ...,
+    *,
+    description: str = ...,
+    tags: Iterable[str] = ...,
+    replace: bool = ...,
+) -> Callable[[CheckFn], CheckFn]: ...
+
+
+def register_check(
+    name: str,
+    fn: CheckFn | None = None,
+    *,
+    description: str = "",
+    tags: Iterable[str] = (),
+    replace: bool = False,
+) -> Callable[[CheckFn], CheckFn] | CheckFn:
+    """Register a check function under ``name``; usable as a decorator.
+
+    Registering an existing name raises unless ``replace=True`` — a check
+    silently shadowed is an invariant silently un-enforced.
+    """
+
+    def _register(fn: CheckFn) -> CheckFn:
+        _ensure_builtins()
+        if not replace and name in _REGISTRY:
+            raise ValueError(f"check {name!r} is already registered (pass replace=True)")
+        _REGISTRY[name] = Check(name=name, fn=fn, description=description, tags=tuple(tags))
+        return fn
+
+    if fn is not None:
+        return _register(fn)
+    return _register
+
+
+def unregister_check(name: str) -> None:
+    """Remove a registration (no-op if absent); used by tests and plugins."""
+    _REGISTRY.pop(name, None)
+
+
+def available_checks(tag: str | None = None) -> tuple[str, ...]:
+    """Registered check names in registration order."""
+    return tuple(c.name for c in iter_checks(tag))
+
+
+def iter_checks(tag: str | None = None) -> tuple[Check, ...]:
+    """Registered :class:`Check` objects, optionally filtered by tag."""
+    _ensure_builtins()
+    checks = tuple(_REGISTRY.values())
+    if tag is None:
+        return checks
+    return tuple(c for c in checks if tag in c.tags or tag == c.name)
+
+
+def get_check(name: str) -> Check:
+    """Look up one check by exact name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CheckNotFoundError(name, available_checks()) from None
+
+
+def run_checks(
+    ctx: "CheckContext",
+    names: Iterable[str] | None = None,
+) -> dict[str, list[Diagnostic]]:
+    """Run the named checks (default: all) and collect their diagnostics.
+
+    A check that *raises* is itself a finding: the exception is reported
+    as an error diagnostic for that check instead of aborting the run, so
+    one broken checker cannot mask the others' results.
+    """
+    _ensure_builtins()
+    selected = [get_check(n) for n in names] if names is not None else list(iter_checks())
+    results: dict[str, list[Diagnostic]] = {}
+    for check in selected:
+        try:
+            results[check.name] = check.run(ctx)
+        except Exception as exc:  # noqa: BLE001 - a crashing check is a finding
+            results[check.name] = [
+                Diagnostic(
+                    check=check.name,
+                    message=f"check crashed: {type(exc).__name__}: {exc}",
+                    severity="error",
+                )
+            ]
+    return results

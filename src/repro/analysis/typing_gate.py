@@ -1,0 +1,199 @@
+"""Leg 2 of the analyzer: the strict-typing ratchet gate.
+
+Runs ``mypy`` over ``src/repro`` with the configuration in
+``pyproject.toml``, buckets errors per top-level ``repro.*`` module, and
+compares the counts against the checked-in budgets in
+``mypy-ratchet.json``.  The gate fails when
+
+* any module exceeds its budget (a typing regression), or
+* the checked-in budget file is *looser* than the one at ``HEAD`` (the
+  ratchet only ever tightens), or
+* mypy itself cannot run and ``require=True`` (the CI leg).
+
+Locally, a container without mypy gets a clean SKIP — the analyzer's
+domain legs stay usable everywhere; CI installs mypy from
+requirements-dev.txt and passes ``--require-mypy``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TypingGateResult", "bucket_errors", "check_ratchet_monotonic", "run_typing_gate"]
+
+RATCHET_FILE = "mypy-ratchet.json"
+
+# "src/repro/core/service.py:12: error: ..." -> module bucket "core"
+_ERROR_LINE = re.compile(
+    r"^(?P<path>[^:\n]+\.py):(?P<line>\d+)(?::\d+)?: error: (?P<msg>.*)$"
+)
+
+
+@dataclass
+class TypingGateResult:
+    """Outcome of one typing-gate run."""
+
+    ok: bool
+    skipped: bool = False
+    messages: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        if self.skipped:
+            return "typing gate: SKIPPED (mypy not installed; CI installs it)"
+        return "typing gate: OK" if self.ok else "typing gate: FAILED"
+
+
+def module_bucket(path: str) -> str:
+    """Bucket a reported file path under its top-level ``repro`` package."""
+    parts = Path(path).as_posix().split("/")
+    if "repro" in parts:
+        idx = parts.index("repro")
+        rest = parts[idx + 1:]
+        if len(rest) > 1:
+            return rest[0]
+        if rest:
+            return Path(rest[0]).stem  # top-level module file, e.g. cli.py
+    return "<other>"
+
+
+def bucket_errors(mypy_output: str) -> dict[str, int]:
+    """Per-module error counts from raw mypy stdout."""
+    counts: dict[str, int] = {}
+    for line in mypy_output.splitlines():
+        match = _ERROR_LINE.match(line.strip())
+        if match:
+            bucket = module_bucket(match.group("path"))
+            counts[bucket] = counts.get(bucket, 0) + 1
+    return counts
+
+
+def load_ratchet(root: Path) -> dict[str, int]:
+    path = root / RATCHET_FILE
+    data = json.loads(path.read_text(encoding="utf-8"))
+    budgets = data.get("budgets", data)
+    return {str(k): int(v) for k, v in budgets.items()}
+
+
+def check_ratchet_monotonic(root: Path) -> list[str]:
+    """The checked-in ratchet may only tighten relative to ``HEAD``.
+
+    Returns a list of violation messages (empty = monotonic).  Outside a
+    git checkout, or for a freshly added file, there is nothing to compare
+    against and the gate passes vacuously.
+
+    Locally the working tree is compared against ``HEAD``; in CI the
+    working tree *is* HEAD, so when they match the comparison falls back
+    to the parent commit (for a PR merge commit, the base branch).
+    """
+    current_text = (root / RATCHET_FILE).read_text(encoding="utf-8") if (
+        root / RATCHET_FILE
+    ).is_file() else ""
+    previous = None
+    for ref in ("HEAD", "HEAD~1"):
+        try:
+            proc = subprocess.run(
+                ["git", "show", f"{ref}:{RATCHET_FILE}"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=30,
+                check=False,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return []
+        if proc.returncode != 0:
+            break  # new file, shallow clone, or not a git checkout
+        if ref == "HEAD" and proc.stdout == current_text:
+            continue  # working tree == HEAD: compare against the parent
+        try:
+            previous = json.loads(proc.stdout)
+        except ValueError:
+            return []
+        break
+    if not isinstance(previous, dict):
+        return []
+    previous = previous.get("budgets", previous)
+    current = load_ratchet(root) if (root / RATCHET_FILE).is_file() else {}
+    violations: list[str] = []
+    for module, old_budget in previous.items():
+        new_budget = current.get(module)
+        if new_budget is None:
+            # Dropping a module entry entirely is fine only at zero: the
+            # module either reached strictness or no longer exists.
+            if int(old_budget) != 0:
+                violations.append(
+                    f"ratchet: module {module!r} (budget {old_budget}) removed "
+                    f"without first reaching 0"
+                )
+        elif int(new_budget) > int(old_budget):
+            violations.append(
+                f"ratchet: module {module!r} loosened {old_budget} -> {new_budget}; "
+                f"the ratchet only tightens"
+            )
+    return violations
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy(root: Path) -> tuple[int, str]:
+    """Run mypy over src/repro; returns (returncode, stdout)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", "src/repro"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        check=False,
+    )
+    return proc.returncode, proc.stdout + ("\n" + proc.stderr if proc.stderr else "")
+
+
+def evaluate_budgets(counts: dict[str, int], budgets: dict[str, int]) -> list[str]:
+    """Compare observed per-module error counts against the ratchet budgets."""
+    failures: list[str] = []
+    for module, count in sorted(counts.items()):
+        budget = budgets.get(module, 0)
+        if count > budget:
+            failures.append(
+                f"typing: module repro/{module} has {count} mypy errors "
+                f"(budget {budget}) — fix them or they stay forever"
+            )
+    return failures
+
+
+def run_typing_gate(root: Path, *, require: bool = False) -> TypingGateResult:
+    """Run the full typing gate: ratchet monotonicity + mypy vs budgets."""
+    messages = check_ratchet_monotonic(root)
+    if not (root / RATCHET_FILE).is_file():
+        messages.append(f"typing: {RATCHET_FILE} is missing from the repo root")
+        return TypingGateResult(ok=False, messages=messages)
+    if not mypy_available():
+        if require:
+            messages.append(
+                "typing: mypy is required (--require-mypy) but not installed; "
+                "install requirements-dev.txt"
+            )
+            return TypingGateResult(ok=False, messages=messages)
+        return TypingGateResult(ok=not messages, skipped=True, messages=messages)
+    try:
+        returncode, output = run_mypy(root)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        messages.append(f"typing: mypy failed to run: {exc}")
+        return TypingGateResult(ok=False, messages=messages)
+    if returncode not in (0, 1):  # 2 = usage/config error, not type errors
+        messages.append(f"typing: mypy exited with status {returncode}:\n{output.strip()}")
+        return TypingGateResult(ok=False, messages=messages)
+    counts = bucket_errors(output)
+    messages.extend(evaluate_budgets(counts, load_ratchet(root)))
+    return TypingGateResult(ok=not messages, messages=messages)

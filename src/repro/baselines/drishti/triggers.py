@@ -25,7 +25,14 @@ from typing import Callable
 from repro.darshan.counters import SMALL_SIZE_SUFFIXES
 from repro.darshan.log import DarshanLog
 
-__all__ = ["TriggerResult", "TRIGGERS", "run_triggers", "THRESHOLDS"]
+__all__ = [
+    "TriggerResult",
+    "TRIGGERS",
+    "TRIGGER_ISSUES",
+    "UNTRIGGERED_ISSUES",
+    "run_triggers",
+    "THRESHOLDS",
+]
 
 # Simulation-scale factor applied to Drishti's absolute time thresholds.
 TIME_SCALE = 15.0
@@ -75,8 +82,58 @@ class TriggerResult:
 TriggerFn = Callable[[DarshanLog], list[TriggerResult]]
 TRIGGERS: dict[str, TriggerFn] = {}
 
+# Which Table II issue keys each trigger evidences when it fires — the
+# baseline's half of the knowledge base.  Purely-informational triggers
+# map to the empty tuple.  The static analyzer checks this map covers
+# exactly the registered triggers, that every key is a canonical
+# repro.core.issues key, and that the computed coverage gap equals the
+# declared UNTRIGGERED_ISSUES below.
+TRIGGER_ISSUES: dict[str, tuple[str, ...]] = {
+    "POSIX_SMALL_READS": ("small_read",),
+    "POSIX_SMALL_WRITES": ("small_write",),
+    "POSIX_SMALL_READ_VOLUME": ("small_read",),
+    "POSIX_SMALL_WRITE_VOLUME": ("small_write",),
+    "POSIX_STRIPE_MISALIGNMENT": ("misaligned_read", "misaligned_write"),
+    "POSIX_MEM_NOT_ALIGNED": (),  # memory alignment has no Table II label
+    "POSIX_RANDOM_READS": ("random_read",),
+    "POSIX_RANDOM_WRITES": ("random_write",),
+    "POSIX_SEQ_READ_INSIGHT": (),
+    "POSIX_SEQ_WRITE_INSIGHT": (),
+    "POSIX_HIGH_METADATA_TIME": ("high_metadata_load",),
+    "POSIX_MANY_OPENS": ("high_metadata_load",),
+    "POSIX_MANY_STATS": ("high_metadata_load",),
+    "POSIX_FSYNC_FREQUENT": ("high_metadata_load",),
+    "POSIX_SHARED_FILE": ("shared_file_access",),
+    "POSIX_RANK_IMBALANCE": ("rank_imbalance",),
+    "POSIX_TIME_IMBALANCE": ("rank_imbalance",),
+    "POSIX_RW_SWITCHES": (),
+    "POSIX_REDUNDANT_READS": ("repetitive_read",),
+    "MPIIO_NO_COLLECTIVE_READS": ("no_collective_read",),
+    "MPIIO_NO_COLLECTIVE_WRITES": ("no_collective_write",),
+    "MPIIO_COLLECTIVE_INSIGHT": (),
+    "MPIIO_SMALL_COLLECTIVES": ("small_read", "small_write"),
+    "MPIIO_BLOCKING_READS": (),
+    "MPIIO_BLOCKING_WRITES": (),
+    "STDIO_HIGH_USAGE": ("low_level_read", "low_level_write"),
+    "STDIO_FLUSHES": (),
+    "LUSTRE_STRIPE_WIDTH_ONE": ("server_imbalance",),
+    "LUSTRE_STRIPE_SIZE_MISMATCH": (),
+    "LUSTRE_OST_USAGE": ("server_imbalance",),
+    "LUSTRE_MOUNT_INFO": (),
+    "JOB_SUMMARY": (),
+    "DXT_TIME_STRAGGLER": ("rank_imbalance",),
+    "DXT_SERIALIZED_IO": ("lock_contention",),
+    "DXT_IO_STALLS": ("io_stall",),
+    "DXT_OST_SLOW_SERVER": ("server_imbalance",),
+    "DXT_OST_HOTSPOT": ("server_imbalance",),
+}
 
-def _trigger(code: str):
+# Issue families Drishti deliberately has no trigger for — one of the
+# paper's critiques, reproduced on purpose (see the module docstring).
+UNTRIGGERED_ISSUES: tuple[str, ...] = ("no_mpi",)
+
+
+def _trigger(code: str) -> Callable[[TriggerFn], TriggerFn]:
     def deco(fn: TriggerFn) -> TriggerFn:
         TRIGGERS[code] = fn
         return fn
@@ -84,7 +141,7 @@ def _trigger(code: str):
     return deco
 
 
-def _posix(log: DarshanLog):
+def _posix(log: DarshanLog) -> list:
     return log.records_for("POSIX")
 
 

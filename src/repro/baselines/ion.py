@@ -25,7 +25,7 @@ class IONTool:
 
     name = "ion"
 
-    def __init__(self, client: LLMClient | None = None, model: str = "gpt-4o", seed: int = 0):
+    def __init__(self, client: LLMClient | None = None, model: str = "gpt-4o", seed: int = 0) -> None:
         self.client = client or LLMClient(seed=seed)
         self.model = model
 

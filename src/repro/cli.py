@@ -24,6 +24,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.darshan.log import DarshanLog
+    from repro.tracebench.dataset import TraceBench
 
 __all__ = ["main", "build_parser"]
 
@@ -123,7 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_log(path: str):
+def _load_log(path: str) -> DarshanLog:
     from repro.darshan.parser import parse_darshan_text
 
     with open(path, "r", encoding="utf-8") as fh:
@@ -231,7 +236,7 @@ def _cmd_evaluate(args) -> int:
     tracebench_ids = {s.trace_id for s in TRACE_SPECS}
     _suite_cache = []
 
-    def suite():
+    def suite() -> TraceBench:
         if not _suite_cache:
             _suite_cache.append(build_tracebench(args.seed))
         return _suite_cache[0]

@@ -45,7 +45,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy imports keep `import repro.core` cheap and avoid import cycles
     # with subpackages that only need the issue taxonomy.
     if name in ("IOAgent", "IOAgentConfig"):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, replace
 from threading import Lock
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.pipeline import PipelineContext, PipelineObserver
 from repro.core.registry import DiagnosticTool, get_tool
@@ -79,7 +79,7 @@ class StageMetrics:
         self.cost_usd += usage.cost_usd
 
 
-def _observable_runner(tool: DiagnosticTool):
+def _observable_runner(tool: DiagnosticTool) -> "Callable | None":
     """The tool's observer-aware ``run`` method, or None.
 
     ``run`` is not part of the DiagnosticTool protocol, so a tool may
@@ -201,8 +201,8 @@ class DiagnosisService:
     def clear_cache(self) -> None:
         with self._cache_lock:
             self._cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     def usage(self) -> Usage:
         """Cumulative LLM spend of the underlying tool."""
@@ -224,7 +224,7 @@ class DiagnosisService:
         usage_before = self.usage()
         hits_before = self.cache_hits
 
-        def one(trace: "LabeledTrace"):
+        def one(trace: "LabeledTrace") -> tuple:
             report = self.diagnose(trace.log, trace_id=trace.trace_id, observers=(metrics,))
             stats = match_stats(report.text, trace.labels)
             return trace.trace_id, report, stats, getattr(trace, "difficulty", "medium")

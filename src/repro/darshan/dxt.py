@@ -401,7 +401,7 @@ def _busy_coverage(busy_start: np.ndarray, busy_end: np.ndarray, t) -> np.ndarra
     return prefix[idx] - overshoot
 
 
-def _rank_groups(table: SegmentTable):
+def _rank_groups(table: SegmentTable) -> tuple[np.ndarray, np.ndarray]:
     """(sorted unique ranks, per-segment group index)."""
     ranks, inverse = np.unique(table.rank, return_inverse=True)
     return ranks, inverse.ravel()

@@ -24,7 +24,7 @@ columns directly; everything else can keep treating the table as the old
 from __future__ import annotations
 
 import hashlib
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -181,7 +181,7 @@ class SegmentTable(Sequence):
     def __len__(self) -> int:
         return int(self.rank.size)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> "DxtSegment | SegmentTable":
         if isinstance(index, slice):
             return self.take(np.arange(len(self))[index])
         i = int(index)
@@ -202,7 +202,7 @@ class SegmentTable(Sequence):
             ost=None if ost == NO_OST else ost,
         )
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[DxtSegment]":
         # Materialize the columns once; much faster than per-index __getitem__.
         modules, paths = self.modules, self.paths
         rows = zip(

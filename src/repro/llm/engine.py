@@ -28,7 +28,7 @@ Handler = Callable[[str, ModelProfile, np.random.Generator], str]
 _TASKS: dict[str, Handler] = {}
 
 
-def register_task(name: str):
+def register_task(name: str) -> Callable[[Handler], Handler]:
     """Decorator registering a task handler under ``name``."""
 
     def deco(fn: Handler) -> Handler:

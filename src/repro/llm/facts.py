@@ -18,7 +18,15 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["Fact", "render_fact", "extract_facts", "FACT_KINDS"]
+__all__ = [
+    "Fact",
+    "render_fact",
+    "extract_facts",
+    "example_fact",
+    "FACT_KINDS",
+    "FACT_EXAMPLES",
+    "CONTEXT_ONLY_KINDS",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,7 +36,7 @@ class Fact:
     kind: str
     data: dict = field(default_factory=dict)
 
-    def get(self, name: str, default=None):
+    def get(self, name: str, default: object = None) -> object:
         return self.data.get(name, default)
 
 
@@ -37,16 +45,23 @@ def _pct(x: float) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Templates and extractors.  Each entry: kind -> (render_fn, regex, parse_fn).
-# Numbers are rendered in fixed formats (plain integers, one-decimal
-# percentages, three-decimal seconds) so the regexes are exact inverses.
+# Templates and extractors.  Each entry: kind -> (render_fn, regex, parse_fn,
+# example payload).  Numbers are rendered in fixed formats (plain integers,
+# one-decimal percentages, three-decimal seconds) so the regexes are exact
+# inverses.  The example payload is part of the grammar contract: it must
+# survive a render -> extract round-trip unchanged, which the static
+# analyzer (`python -m repro.analysis`) verifies for every kind without
+# running a simulation.
 # ---------------------------------------------------------------------------
 
-_SPEC: dict[str, tuple[Callable[[dict], str], re.Pattern, Callable[[re.Match], dict]]] = {}
+RenderFn = Callable[[dict], str]
+ParseFn = Callable[["re.Match[str]"], dict]
+
+_SPEC: dict[str, tuple[RenderFn, "re.Pattern[str]", ParseFn, dict]] = {}
 
 
-def _register(kind: str, render: Callable[[dict], str], pattern: str, parse: Callable[[re.Match], dict]) -> None:
-    _SPEC[kind] = (render, re.compile(pattern), parse)
+def _register(kind: str, render: RenderFn, pattern: str, parse: ParseFn, *, example: dict) -> None:
+    _SPEC[kind] = (render, re.compile(pattern), parse, example)
 
 
 _register(
@@ -62,6 +77,7 @@ _register(
         "nprocs": int(m["nprocs"]),
         "total_bytes": int(m["total"]),
     },
+    example={"runtime_s": 12.5, "nprocs": 16, "total_bytes": 1048576},
 )
 
 _register(
@@ -79,6 +95,7 @@ _register(
         "mpiio_bytes": int(m["mb"]),
         "posix_bytes": int(m["pb"]),
     },
+    example={"mpiio_used": True, "nprocs": 16, "mpiio_bytes": 1048576, "posix_bytes": 2048},
 )
 
 _register(
@@ -98,6 +115,13 @@ _register(
         "n_requests": int(m["n"]),
         "small_fraction": float(m["small"]) / 100.0,
     },
+    example={
+        "module": "POSIX",
+        "direction": "read",
+        "p50_bytes": 4096,
+        "n_requests": 1200,
+        "small_fraction": 0.75,
+    },
 )
 
 _register(
@@ -113,6 +137,7 @@ _register(
         "bytes_read": int(m["br"]),
         "bytes_written": int(m["bw"]),
     },
+    example={"module": "POSIX", "bytes_read": 1048576, "bytes_written": 2097152},
 )
 
 _register(
@@ -129,6 +154,7 @@ _register(
         "writes": int(m["w"]),
         "n_files": int(m["f"]),
     },
+    example={"module": "POSIX", "reads": 1200, "writes": 300, "n_files": 4},
 )
 
 _register(
@@ -146,6 +172,7 @@ _register(
         "coll_reads": int(m["cr"]),
         "coll_writes": int(m["cw"]),
     },
+    example={"indep_reads": 64, "indep_writes": 32, "coll_reads": 0, "coll_writes": 16},
 )
 
 _register(
@@ -164,6 +191,13 @@ _register(
         "meta_ops": int(m["ops"]),
         "data_time_s": float(m["dt"]),
         "meta_fraction": float(m["frac"]) / 100.0,
+    },
+    example={
+        "module": "POSIX",
+        "meta_time_s": 1.25,
+        "meta_ops": 4000,
+        "data_time_s": 0.75,
+        "meta_fraction": 0.625,
     },
 )
 
@@ -186,6 +220,13 @@ _register(
         "alignment": int(m["align"]),
         "common_size": int(m["common"]),
     },
+    example={
+        "module": "POSIX",
+        "direction": "write",
+        "unaligned_fraction": 0.75,
+        "alignment": 1048576,
+        "common_size": 5000,
+    },
 )
 
 _register(
@@ -201,6 +242,12 @@ _register(
         "direction": m["direction"],
         "seq_fraction": float(m["seq"]) / 100.0,
         "consec_fraction": float(m["consec"]) / 100.0,
+    },
+    example={
+        "module": "POSIX",
+        "direction": "read",
+        "seq_fraction": 0.25,
+        "consec_fraction": 0.125,
     },
 )
 
@@ -218,6 +265,12 @@ _register(
         "shared_bytes": int(m["sb"]),
         "total_bytes": int(m["tb"]),
         "example_path": m["path"],
+    },
+    example={
+        "n_shared_files": 2,
+        "shared_bytes": 33554432,
+        "total_bytes": 67108864,
+        "example_path": "/scratch/app/shared.dat",
     },
 )
 
@@ -237,6 +290,7 @@ _register(
         "norm_variance": float(m["nv"]),
         "nprocs": int(m["np"]),
     },
+    example={"module": "MPIIO", "gini": 0.625, "norm_variance": 2.5, "nprocs": 16},
 )
 
 _register(
@@ -252,6 +306,12 @@ _register(
         "ratio": float(m["ratio"]),
         "bytes_read": int(m["br"]),
         "extent": int(m["ext"]),
+    },
+    example={
+        "path": "/scratch/app/mesh.dat",
+        "ratio": 4.5,
+        "bytes_read": 4194304,
+        "extent": 1048576,
     },
 )
 
@@ -269,6 +329,12 @@ _register(
         "stdio_bytes": int(m["sb"]),
         "total_bytes": int(m["tb"]),
     },
+    example={
+        "direction": "written",
+        "share": 0.5,
+        "stdio_bytes": 1048576,
+        "total_bytes": 2097152,
+    },
 )
 
 _register(
@@ -285,6 +351,7 @@ _register(
         "stripe_width": int(m["w"]),
         "stripe_size": int(m["s"]),
     },
+    example={"n_files": 3, "mount": "/scratch", "stripe_width": 1, "stripe_size": 1048576},
 )
 
 _register(
@@ -304,6 +371,13 @@ _register(
         "top_share": float(m["top"]) / 100.0,
         "total_bytes": int(m["tb"]),
     },
+    example={
+        "eff_osts": 2.0,
+        "num_osts": 16,
+        "utilization": 0.125,
+        "top_share": 0.5,
+        "total_bytes": 67108864,
+    },
 )
 
 _register(
@@ -311,6 +385,7 @@ _register(
     lambda d: f"The application's files reside on the {d['fs_type']} file system mounted at {d['mount']}.",
     r"files reside on the (?P<fs>\w+) file system mounted at (?P<mount>\S+)\.",
     lambda m: {"fs_type": m["fs"], "mount": m["mount"]},
+    example={"fs_type": "lustre", "mount": "/scratch"},
 )
 
 _register(
@@ -330,6 +405,13 @@ _register(
         "phase": m["phase"],
         "n_bursts": int(m["bursts"]),
         "peak_to_mean": float(m["peak"]),
+    },
+    example={
+        "n_segments": 4096,
+        "span_s": 2.5,
+        "phase": "burst-gap",
+        "n_bursts": 3,
+        "peak_to_mean": 4.5,
     },
 )
 
@@ -352,6 +434,13 @@ _register(
         "bytes_ratio": float(m["bytes"]),
         "nprocs": int(m["np"]),
     },
+    example={
+        "slowest_rank": 3,
+        "span_skew": 3.5,
+        "time_skew": 4.5,
+        "bytes_ratio": 1.25,
+        "nprocs": 16,
+    },
 )
 
 _register(
@@ -368,6 +457,7 @@ _register(
         "peak_inflight": int(m["peak"]),
         "active_ranks": int(m["ranks"]),
     },
+    example={"mean_inflight": 1.25, "peak_inflight": 2, "active_ranks": 8},
 )
 
 _register(
@@ -389,6 +479,13 @@ _register(
         "longest_gap_s": float(m["longest"]),
         "stalled_ranks": int(m["stalled"]),
     },
+    example={
+        "n_gaps": 7,
+        "idle_fraction": 0.375,
+        "span_s": 2.5,
+        "longest_gap_s": 0.125,
+        "stalled_ranks": 2,
+    },
 )
 
 _register(
@@ -408,6 +505,13 @@ _register(
         "n_files": int(m["n"]),
         "ratio": float(m["ratio"]),
     },
+    example={
+        "slow_path": "/scratch/app/block07.dat",
+        "slow_mbps": 12.5,
+        "median_mbps": 50.0,
+        "n_files": 8,
+        "ratio": 4.0,
+    },
 )
 
 _register(
@@ -426,6 +530,13 @@ _register(
         "bytes_share": float(m["bs"]) / 100.0,
         "skew": float(m["skew"]),
         "n_osts": int(m["n"]),
+    },
+    example={
+        "time_share": 0.5,
+        "hot_ost": 3,
+        "bytes_share": 0.125,
+        "skew": 4.0,
+        "n_osts": 8,
     },
 )
 
@@ -447,18 +558,45 @@ _register(
         "n_osts": int(m["n"]),
         "ratio": float(m["ratio"]),
     },
+    example={
+        "slow_osts": [3, 7],
+        "slow_mbps": 12.5,
+        "median_mbps": 50.0,
+        "n_osts": 8,
+        "ratio": 4.0,
+    },
 )
 
 FACT_KINDS: tuple[str, ...] = tuple(_SPEC)
+
+FACT_EXAMPLES: dict[str, dict] = {kind: spec[3] for kind, spec in _SPEC.items()}
+
+# Kinds that set the scene for the LLM (and for the judge's relevance
+# scoring) but deliberately ground no expert rule: they carry context, not
+# evidence.  The static analyzer enforces that this set plus the kinds
+# consumed by :mod:`repro.llm.reasoning` exactly partitions ``FACT_KINDS``,
+# so a new kind must either gain a rule or be declared here on purpose.
+CONTEXT_ONLY_KINDS: frozenset[str] = frozenset(
+    {"counts", "volume", "mount", "stripe", "dxt_timeline"}
+)
 
 
 def render_fact(fact: Fact) -> str:
     """Render a fact to its canonical NL sentence."""
     try:
-        render, _, _ = _SPEC[fact.kind]
+        render, _, _, _ = _SPEC[fact.kind]
     except KeyError:
         raise ValueError(f"unknown fact kind {fact.kind!r}") from None
     return render(fact.data)
+
+
+def example_fact(kind: str) -> Fact:
+    """The grammar's canonical example fact for ``kind``."""
+    try:
+        example = _SPEC[kind][3]
+    except KeyError:
+        raise ValueError(f"unknown fact kind {kind!r}") from None
+    return Fact(kind=kind, data=dict(example))
 
 
 def extract_facts(text: str) -> list[Fact]:
@@ -468,7 +606,7 @@ def extract_facts(text: str) -> list[Fact]:
     deterministic given the text.
     """
     hits: list[tuple[int, Fact]] = []
-    for kind, (_, pattern, parse) in _SPEC.items():
+    for kind, (_, pattern, parse, _) in _SPEC.items():
         for m in pattern.finditer(text):
             hits.append((m.start(), Fact(kind=kind, data=parse(m))))
     hits.sort(key=lambda pair: pair[0])

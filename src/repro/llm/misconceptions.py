@@ -41,7 +41,7 @@ class Misconception:
     contradicts: tuple[str, ...]
 
 
-def _has(kind: str):
+def _has(kind: str) -> Callable[[dict], bool]:
     return lambda kinds: bool(kinds.get(kind))
 
 

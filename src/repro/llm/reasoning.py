@@ -47,7 +47,85 @@ from repro.llm.facts import Fact
 from repro.llm.findings import Finding
 from repro.util.units import format_bytes
 
-__all__ = ["infer_findings", "THRESHOLDS"]
+__all__ = [
+    "infer_findings",
+    "THRESHOLDS",
+    "RULE_ISSUES",
+    "SUPPORT_KINDS",
+    "TEMPORAL_RULES",
+    "SUPPRESSIONS",
+    "DEEPEST_CAUSE_ORDER",
+]
+
+# ---------------------------------------------------------------------------
+# The knowledge base's declarative skeleton.  The static analyzer
+# (`python -m repro.analysis`) checks these declarations against the issue
+# taxonomy, the fact grammar, and each other, so drift between the code
+# below and the knowledge it encodes is caught without running a trace.
+# ---------------------------------------------------------------------------
+
+# Which issue keys each rule family can emit, keyed by the fact kind that
+# triggers it.  Every key must exist in repro.core.issues.ISSUE_KEYS and
+# every consumed kind in repro.llm.facts.FACT_KINDS.
+RULE_ISSUES: dict[str, tuple[str, ...]] = {
+    "size_hist": ("small_read", "small_write"),
+    "alignment": ("misaligned_read", "misaligned_write"),
+    "order": ("random_read", "random_write"),
+    "shared": ("shared_file_access",),
+    "meta": ("high_metadata_load",),
+    "server_usage": ("server_imbalance",),
+    "rank_balance": ("rank_imbalance",),
+    "mpi_presence": ("no_mpi",),
+    "mpi_ops": ("no_collective_read", "no_collective_write"),
+    "stdio_share": ("low_level_read", "low_level_write"),
+    "repetition": ("repetitive_read",),
+    "dxt_ost_latency": ("server_imbalance",),
+    "dxt_ost_skew": ("server_imbalance",),
+    "dxt_file_skew": ("server_imbalance",),
+    "dxt_rank_skew": ("rank_imbalance",),
+    "dxt_concurrency": ("lock_contention",),
+    "dxt_idle": ("io_stall",),
+}
+
+# Kinds the rules read only for supporting values (nprocs), never to emit
+# a finding of their own.  Together, RULE_ISSUES keys + SUPPORT_KINDS +
+# repro.llm.facts.CONTEXT_ONLY_KINDS must exactly partition FACT_KINDS.
+SUPPORT_KINDS: tuple[str, ...] = ("app_context",)
+
+# The temporal rules, named by their triggering fact kind.
+TEMPORAL_RULES: tuple[str, ...] = (
+    "dxt_ost_latency",
+    "dxt_ost_skew",
+    "dxt_file_skew",
+    "dxt_rank_skew",
+    "dxt_concurrency",
+    "dxt_idle",
+)
+
+# The deepest-cause suppression relation: (winner, loser) means "when the
+# winner rule fires, the loser's symptom is explained away and it must stay
+# quiet".  The guards in infer_findings below (and the mutual-exclusion
+# logic of the DXT Drishti triggers) implement exactly these edges; the
+# analyzer verifies the relation is a DAG and that DEEPEST_CAUSE_ORDER is
+# a total topological order over TEMPORAL_RULES consistent with it.
+SUPPRESSIONS: tuple[tuple[str, str], ...] = (
+    ("dxt_ost_latency", "dxt_rank_skew"),  # slow server, not a slow rank
+    ("dxt_file_skew", "dxt_rank_skew"),  # slow file's server, not the rank
+    ("dxt_rank_skew", "dxt_concurrency"),  # a straggler's tail reads as serial
+    ("dxt_rank_skew", "dxt_idle"),  # the straggler owns the gaps
+    ("dxt_concurrency", "dxt_idle"),  # convoy waiting accounts for the idle
+)
+
+# One linearization of the DAG, deepest cause first — the order in which
+# an expert attributes a temporal symptom.
+DEEPEST_CAUSE_ORDER: tuple[str, ...] = (
+    "dxt_ost_latency",
+    "dxt_ost_skew",
+    "dxt_file_skew",
+    "dxt_rank_skew",
+    "dxt_concurrency",
+    "dxt_idle",
+)
 
 THRESHOLDS = {
     "small_fraction": 0.6,

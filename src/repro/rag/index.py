@@ -36,7 +36,7 @@ class SearchHit:
 class VectorIndex:
     """Embeds chunks once; answers cosine top-k queries."""
 
-    def __init__(self, docs: list[KnowledgeDoc], embedder: HashedTfIdfEmbedder | None = None):
+    def __init__(self, docs: list[KnowledgeDoc], embedder: HashedTfIdfEmbedder | None = None) -> None:
         self.docs = {doc.doc_id: doc for doc in docs}
         self.chunks: list[Chunk] = []
         for doc in docs:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -43,7 +44,7 @@ class TraceBench:
     def __len__(self) -> int:
         return len(self.traces)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[LabeledTrace]":
         return iter(self.traces)
 
     def by_source(self, source: str) -> list[LabeledTrace]:
