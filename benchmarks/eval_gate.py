@@ -1,6 +1,6 @@
 """CI evaluation gate: exact grounding of the counter-invisible tiers.
 
-Two jobs in one script, matching the ``evaluation-gate`` CI job:
+Three jobs in one script, matching the ``evaluation-gate`` CI job:
 
 1. **Exact-grounding sweep** — every scenario whose ground truth lives
    beyond the counters (the PR 3 temporal tier path13-17 + path04, and
@@ -8,7 +8,13 @@ Two jobs in one script, matching the ``evaluation-gate`` CI job:
    the expert rules over counter facts + DXT temporal facts recover
    ``detected == labels``, no more, no less.  Any drift — a lost fact, a
    threshold regression, an over-firing rule — fails the job.
-2. **Table IV artifact** — renders the full Table IV plus the
+2. **Series-inflection sweep** — every registered series scenario must
+   ground exactly in the longitudinal channel: the detected inflection
+   run equals the declared one (``None`` for controls), and
+   ``trend_regression`` plus the issues the rules detect at the
+   inflection beyond the base runs equals the series' declared root
+   causes.
+3. **Table IV artifact** — renders the full Table IV plus the
    per-difficulty split over the hard + control tiers and writes them to
    ``--table-out``, uploaded per SHA so every commit's evaluation surface
    is one click away.
@@ -28,7 +34,8 @@ from repro.darshan.dxt import dxt_temporal_facts
 from repro.evaluation.harness import evaluate_scenarios
 from repro.evaluation.tables import render_table4, render_table4_difficulty
 from repro.llm.reasoning import infer_findings
-from repro.workloads.scenarios import build_scenario
+from repro.regression import build_baseline, find_inflection, profile_trace
+from repro.workloads.scenarios import build_scenario, build_series, iter_series_scenarios
 
 # The counter-invisible sweep: temporal tier (PR 3) + attribution tier (PR 5).
 SWEEP = (
@@ -71,6 +78,51 @@ def run_sweep(seed: int = 0) -> list[str]:
     return failures
 
 
+def run_series_sweep(seed: int = 0) -> list[str]:
+    """Series-inflection grounding check; returns failure lines.
+
+    A series passes when (a) the drift engine's first threshold crossing
+    lands exactly on the declared inflection run (and a control never
+    crosses), and (b) ``trend_regression`` plus whatever issues the
+    expert rules detect at the inflection run *beyond* the base runs
+    equals the series' declared root causes.
+    """
+    failures = []
+    for series in iter_series_scenarios():
+        traces = build_series(series, seed=seed)
+        profiles = [profile_trace(t.log, t.trace_id) for t in traces]
+        baseline = build_baseline(profiles[: series.baseline_runs])
+        inflection = find_inflection(profiles, baseline)
+        detected_run = None if inflection is None else inflection.run_index
+        if detected_run != series.inflection_run:
+            failures.append(
+                f"{series.name}: inflection {detected_run} != declared {series.inflection_run}"
+            )
+            print(f"FAIL {failures[-1]}", file=sys.stderr)
+            continue
+        if inflection is None:
+            if series.root_causes:
+                failures.append(f"{series.name}: steady series but declared root causes")
+                print(f"FAIL {failures[-1]}", file=sys.stderr)
+            else:
+                print(f"ok   {series.name}: steady (no inflection)")
+            continue
+        injected = {"trend_regression"} | (
+            detected_issues(traces[inflection.run_index]) - detected_issues(traces[0])
+        )
+        labels = set(series.root_causes)
+        if injected != labels:
+            missing = sorted(labels - injected)
+            extra = sorted(injected - labels)
+            failures.append(f"{series.name}: missing={missing} extra={extra}")
+            print(f"FAIL {failures[-1]}", file=sys.stderr)
+        else:
+            print(
+                f"ok   {series.name}: inflection at run {detected_run}, {sorted(labels)}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
@@ -84,6 +136,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failures = run_sweep(seed=args.seed)
+    failures += run_series_sweep(seed=args.seed)
 
     result = evaluate_scenarios(args.selectors, seed=args.seed)
     rendered = render_table4(result) + "\n\n" + render_table4_difficulty(result)
@@ -94,7 +147,11 @@ def main(argv=None) -> int:
     if failures:
         print(f"{len(failures)} scenario(s) lost exact grounding", file=sys.stderr)
         return 1
-    print(f"all {len(SWEEP)} counter-invisible scenarios ground exactly")
+    n_series = len(iter_series_scenarios())
+    print(
+        f"all {len(SWEEP)} counter-invisible scenarios and "
+        f"{n_series} series scenarios ground exactly"
+    )
     return 0
 
 

@@ -134,7 +134,7 @@ class CheckContext:
         from repro.core.registry import available_tools
         from repro.llm import facts as llm_facts
         from repro.llm import reasoning as llm_reasoning
-        from repro.workloads.scenarios import iter_scenarios
+        from repro.workloads.scenarios import iter_scenarios, iter_series_scenarios
 
         if root is None:
             # src/repro/analysis/context.py -> repo root three levels up.
@@ -146,9 +146,12 @@ class CheckContext:
         producer_files = (
             repro_root / "core" / "summaries.py",
             repro_root / "darshan" / "dxt.py",
+            repro_root / "regression" / "drift.py",
         )
         consumer_files = (repro_root / "llm" / "reasoning.py",)
 
+        # Series scenarios ground the longitudinal issue family; to the
+        # checks they are just more scenarios with root causes.
         scenarios = tuple(
             ScenarioInfo(
                 name=s.name,
@@ -156,11 +159,13 @@ class CheckContext:
                 difficulty=s.difficulty,
                 source=s.source,
             )
-            for s in iter_scenarios()
+            for s in (*iter_scenarios(), *iter_series_scenarios())
         )
 
         # Keep in sync with the reserved set in repro.cli.build_parser.
-        reserved = frozenset({"diagnose", "chat", "tracebench", "evaluate", "list-scenarios"})
+        reserved = frozenset(
+            {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series"}
+        )
 
         return cls(
             fact_kinds=tuple(llm_facts.FACT_KINDS),

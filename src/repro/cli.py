@@ -12,6 +12,8 @@ Commands:
 * ``tracebench table3`` — print the Table III composition;
 * ``evaluate [--traces id,...] [--scenarios name-or-tag,...]`` — run the
   Table IV harness over registry-selected scenarios and print it;
+* ``series <run1> <run2> ...`` (or ``series --scenario NAME``) — monitor a
+  run series for longitudinal regression against its early-run baseline;
 * ``chat <trace.darshan.txt>`` — diagnose, then answer questions from stdin.
 
 A tool registered via :func:`repro.core.registry.register_tool` before
@@ -64,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     # name `diagnose` (with `ioagent` as alias) and its design switches.
     # Names that would collide with the fixed subcommands are skipped (the
     # tool stays reachable through the API) rather than crashing argparse.
-    reserved = {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios"}
+    reserved = {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series"}
     for tool_name in available_tools():
         if tool_name in reserved:
             continue
@@ -106,6 +108,39 @@ def build_parser() -> argparse.ArgumentParser:
     ls = sub.add_parser("list-scenarios", help="list the registered workload scenarios")
     ls.add_argument("--tag", default=None, help="only scenarios matching this tag/selector")
     ls.set_defaults(func=_cmd_list_scenarios)
+
+    se = sub.add_parser(
+        "series",
+        help="monitor a run series for longitudinal regression "
+        "(drift against an early-run baseline)",
+    )
+    se.add_argument(
+        "traces",
+        nargs="*",
+        help="darshan-parser text files, one per run, in run order",
+    )
+    se.add_argument(
+        "--scenario",
+        default=None,
+        help="build a registered series scenario instead of reading trace files",
+    )
+    se.add_argument("--seed", type=int, default=0)
+    se.add_argument(
+        "--baseline-runs",
+        type=int,
+        default=3,
+        help="how many leading runs freeze the baseline",
+    )
+    se.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="drift score that declares a regression (default: 1.0)",
+    )
+    se.add_argument("--inner", default="ioagent", help="single-trace tool to wrap")
+    se.add_argument("--model", default="gpt-4o")
+    se.add_argument("--max-workers", type=int, default=None)
+    se.set_defaults(func=_cmd_series)
 
     ev = sub.add_parser("evaluate", help="run the Table IV evaluation harness")
     ev.add_argument("--traces", default="", help="comma-separated trace ids (default: all 40)")
@@ -167,6 +202,67 @@ def _cmd_chat(args) -> int:
             break
         print(session.ask(question))
         print()
+    return 0
+
+
+def _cmd_series(args) -> int:
+    from repro.core.registry import get_tool
+    from repro.regression.drift import DRIFT_THRESHOLD
+    from repro.workloads.scenarios import (
+        ScenarioNotFoundError,
+        available_series_scenarios,
+        build_series,
+        get_series_scenario,
+    )
+
+    threshold = DRIFT_THRESHOLD if args.threshold is None else args.threshold
+    baseline_runs = args.baseline_runs
+    if args.scenario is not None:
+        try:
+            scenario = get_series_scenario(args.scenario)
+        except ScenarioNotFoundError:
+            print(f"error: unknown series scenario {args.scenario!r}", file=sys.stderr)
+            print(
+                "available series scenarios: "
+                + (", ".join(available_series_scenarios()) or "<none>"),
+                file=sys.stderr,
+            )
+            return 2
+        traces = build_series(scenario, seed=args.seed)
+        logs = [t.log for t in traces]
+        trace_ids = [t.trace_id for t in traces]
+        series_id = scenario.name
+        baseline_runs = scenario.baseline_runs
+    elif len(args.traces) >= 2:
+        logs = [_load_log(path) for path in args.traces]
+        trace_ids = list(args.traces)
+        series_id = "series"
+    else:
+        print(
+            "error: pass two or more trace files in run order, or --scenario NAME",
+            file=sys.stderr,
+        )
+        return 2
+    if len(logs) <= baseline_runs:
+        print(
+            f"error: a series needs more runs ({len(logs)}) than the "
+            f"baseline window ({baseline_runs})",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs: dict = {"seed": args.seed, "model": args.model}
+    if args.max_workers is not None:
+        kwargs["max_workers"] = args.max_workers
+    tool = get_tool(
+        "series",
+        inner=args.inner,
+        baseline_runs=baseline_runs,
+        threshold=threshold,
+        **kwargs,
+    )
+    result = tool.diagnose_series(logs, series_id=series_id, trace_ids=trace_ids)
+    print(result.render())
     return 0
 
 

@@ -186,6 +186,28 @@ ISSUES: tuple[Issue, ...] = (
         ),
         aliases=("i/o stall", "io stall", "stalls while", "interference from other"),
     ),
+    # -- longitudinal issue (beyond any single trace) -----------------------
+    # This pathology lives across a *series* of runs: each individual trace
+    # may look internally consistent, and only the drift of its profile
+    # against the series baseline shows the regression (see
+    # docs/regression.md and repro.regression).
+    Issue(
+        key="trend_regression",
+        label="Longitudinal Performance Regression",
+        description=(
+            "The application's I/O behavior has drifted from the baseline "
+            "established by its earlier runs: a monitored run series shows a "
+            "deterministic inflection point after which the I/O profile "
+            "departs from its historical shape."
+        ),
+        aliases=(
+            "trend regression",
+            "performance regression",
+            "started degrading",
+            "drift from baseline",
+            "regressed at run",
+        ),
+    ),
 )
 
 ISSUE_KEYS: tuple[str, ...] = tuple(issue.key for issue in ISSUES)

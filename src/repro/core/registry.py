@@ -70,7 +70,12 @@ _REGISTRY: dict[str, ToolFactory] = {}
 
 # Built-in tools are resolved lazily so importing the registry stays cheap
 # and free of cycles (agent → pipeline → core, baselines → llm).
-_BUILTIN_MODULES = ("repro.core.agent", "repro.baselines.drishti.tool", "repro.baselines.ion")
+_BUILTIN_MODULES = (
+    "repro.core.agent",
+    "repro.baselines.drishti.tool",
+    "repro.baselines.ion",
+    "repro.regression.series",
+)
 _builtins_loaded = False
 
 

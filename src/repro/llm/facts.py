@@ -567,6 +567,36 @@ _register(
     },
 )
 
+_register(
+    "trend_regression",
+    lambda d: (
+        f"Longitudinal monitoring of {d['n_runs']} runs shows the I/O profile "
+        f"departing from its {d['baseline_runs']}-run baseline at run "
+        f"{d['run_index']}: drift score {d['drift']:.3f} against a threshold of "
+        f"{d['threshold']:.3f}, dominated by the {d['top_feature']} feature."
+    ),
+    r"Longitudinal monitoring of (?P<n>\d+) runs shows the I/O profile "
+    r"departing from its (?P<k>\d+)-run baseline at run (?P<r>\d+): drift "
+    r"score (?P<drift>[0-9.]+) against a threshold of (?P<thr>[0-9.]+), "
+    r"dominated by the (?P<feat>[a-z0-9_.]+) feature",
+    lambda m: {
+        "n_runs": int(m["n"]),
+        "baseline_runs": int(m["k"]),
+        "run_index": int(m["r"]),
+        "drift": float(m["drift"]),
+        "threshold": float(m["thr"]),
+        "top_feature": m["feat"],
+    },
+    example={
+        "n_runs": 8,
+        "baseline_runs": 3,
+        "run_index": 5,
+        "drift": 4.5,
+        "threshold": 1.0,
+        "top_feature": "dxt.idle_fraction",
+    },
+)
+
 FACT_KINDS: tuple[str, ...] = tuple(_SPEC)
 
 FACT_EXAMPLES: dict[str, dict] = {kind: spec[3] for kind, spec in _SPEC.items()}

@@ -85,6 +85,7 @@ RULE_ISSUES: dict[str, tuple[str, ...]] = {
     "dxt_rank_skew": ("rank_imbalance",),
     "dxt_concurrency": ("lock_contention",),
     "dxt_idle": ("io_stall",),
+    "trend_regression": ("trend_regression",),
 }
 
 # Kinds the rules read only for supporting values (nprocs), never to emit
@@ -152,6 +153,7 @@ THRESHOLDS = {
     "dxt_stall_gaps": 6,
     "dxt_stall_idle_fraction": 0.25,
     "dxt_stalled_ranks": 2,
+    "trend_drift": 1.0,
 }
 
 
@@ -653,6 +655,41 @@ def infer_findings(facts: list[Fact]) -> list[Finding]:
                         "double-buffered I/O), stage through a burst buffer to "
                         "decouple from shared-system congestion, and pipeline "
                         "producer/consumer phases instead of strict hand-offs."
+                    ),
+                )
+            )
+
+    # -- longitudinal (series) evidence -------------------------------------
+    # The trend_regression fact is asserted by the series channel
+    # (repro.regression) against an immutable baseline; the rule's job is
+    # only to translate the already-deterministic drift verdict into a
+    # finding with the run index and the dominating feature named.
+    for f in kinds.get("trend_regression", []):
+        if f.get("drift", 0.0) >= f.get("threshold", THRESHOLDS["trend_drift"]):
+            add(
+                Finding(
+                    issue_key="trend_regression",
+                    evidence=(
+                        f"Across {f.get('n_runs')} monitored runs, the I/O profile "
+                        f"departs from its {f.get('baseline_runs')}-run baseline at "
+                        f"run {f.get('run_index')} with a drift score of "
+                        f"{f.get('drift', 0):.2f} (threshold "
+                        f"{f.get('threshold', 0):.2f}), led by the "
+                        f"{f.get('top_feature')} feature."
+                    ),
+                    assessment=(
+                        "The application itself changed behavior — or its "
+                        "environment did — at a specific, auditable run: every "
+                        "earlier run matches the baseline profile and every "
+                        "conclusion is reproducible from the stored profiles, "
+                        "with no statistical model in the loop."
+                    ),
+                    recommendation=(
+                        f"Diagnose the inflection run (run {f.get('run_index')}) "
+                        f"in isolation, diff its configuration and environment "
+                        f"against a baseline run, and start from the "
+                        f"{f.get('top_feature')} feature the drift decomposition "
+                        f"names."
                     ),
                 )
             )

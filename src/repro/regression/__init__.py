@@ -1,0 +1,42 @@
+"""Fleet-level regression evidence: the longitudinal channel.
+
+Where the counter channel asks "what did this run do" and the temporal
+channel asks "when did it do it", this package asks "when did the *series*
+stop looking like itself": deterministic per-run profiles
+(:mod:`repro.regression.profile`), an immutable early-run baseline
+(:mod:`repro.regression.baseline`), diff-based drift scores with named
+per-feature contributions and a first-crossing inflection finder
+(:mod:`repro.regression.drift`), and a ``DiagnosticTool`` that folds the
+verdict back into the standard diagnosis flow
+(:mod:`repro.regression.series`).  See ``docs/regression.md``.
+"""
+
+from repro.regression.baseline import Baseline, build_baseline
+from repro.regression.drift import (
+    DRIFT_THRESHOLD,
+    DriftScore,
+    InflectionPoint,
+    drift_score,
+    find_inflection,
+    score_series,
+    trend_regression_fact,
+)
+from repro.regression.profile import FEATURE_NAMES, TraceProfile, profile_trace
+from repro.regression.series import SeriesDiagnosticTool, SeriesReport
+
+__all__ = [
+    "FEATURE_NAMES",
+    "TraceProfile",
+    "profile_trace",
+    "Baseline",
+    "build_baseline",
+    "DriftScore",
+    "InflectionPoint",
+    "DRIFT_THRESHOLD",
+    "drift_score",
+    "score_series",
+    "find_inflection",
+    "trend_regression_fact",
+    "SeriesDiagnosticTool",
+    "SeriesReport",
+]

@@ -1,0 +1,90 @@
+"""The immutable per-series baseline.
+
+Following the deterministic drift-engine design (an immutable baseline
+derived from early runs, no statistical modeling): a :class:`Baseline` is
+computed once from the first K profiles of a run series and never
+updated.  Per feature it keeps only two numbers —
+
+* ``center`` — the median of the K baseline observations (deterministic
+  for even K too: the mean of the two middle values), and
+* ``scale`` — the maximum absolute deviation from that center among the
+  baseline runs, i.e. the *observed* healthy spread, not a fitted one.
+
+Serialization is canonical JSON (sorted keys, fixed separators, shortest
+float repr), so the same series produces byte-identical baseline files in
+every process — cross-process reuse is a file copy, and auditing a drift
+verdict never requires re-running the early jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.regression.profile import FEATURE_NAMES, TraceProfile, canonical_json
+
+__all__ = ["Baseline", "build_baseline"]
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Immutable per-feature center/scale derived from the first K runs."""
+
+    n_runs: int
+    center: Mapping[str, float]
+    scale: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ValueError("a baseline needs at least one run")
+        for name, mapping in (("center", self.center), ("scale", self.scale)):
+            if set(mapping) != set(FEATURE_NAMES):
+                raise ValueError(f"baseline {name} must cover FEATURE_NAMES exactly")
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (byte-stable across processes)."""
+        return canonical_json(
+            {
+                "n_runs": self.n_runs,
+                "center": {k: float(v) for k, v in self.center.items()},
+                "scale": {k: float(v) for k, v in self.scale.items()},
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        data = json.loads(text)
+        return cls(
+            n_runs=int(data["n_runs"]),
+            center=dict(data["center"]),
+            scale=dict(data["scale"]),
+        )
+
+    @property
+    def digest(self) -> str:
+        """Stable content hash of the serialized baseline."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def build_baseline(profiles: Sequence[TraceProfile]) -> Baseline:
+    """Compute the immutable baseline from the first K profiles of a series."""
+    if not profiles:
+        raise ValueError("cannot build a baseline from zero profiles")
+    center: dict[str, float] = {}
+    scale: dict[str, float] = {}
+    for name in FEATURE_NAMES:
+        values = [p.get(name) for p in profiles]
+        mid = _median(values)
+        center[name] = mid
+        scale[name] = max(abs(v - mid) for v in values)
+    return Baseline(n_runs=len(profiles), center=center, scale=scale)

@@ -1,0 +1,149 @@
+"""Diff-based drift scoring and first-deviation inflection finding.
+
+The score is deterministic arithmetic over one profile and one baseline —
+no learning, no cross-series normalization, no randomness.  Per feature:
+
+    contribution(f) = |x_f - center_f| / tolerance_f
+    tolerance_f     = max(TOLERANCE * scale_f,
+                          REL_FLOOR * |center_f|,
+                          ABS_FLOOR)
+
+i.e. a feature drifts when it moves several times farther from the
+baseline center than the baseline runs ever did, *and* by more than a
+small relative/absolute floor (which absorbs zero-variance baselines).
+The total score is the **maximum** contribution, not a blended norm, so
+every verdict is explainable by pointing at one named feature — the same
+philosophy as the fact grammar: no number without a sentence behind it.
+
+The inflection point is the earliest run whose score crosses the declared
+threshold (first deviation, not best split): production operators ask
+"when did this start", and the first crossing is the auditable answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.llm.facts import Fact
+from repro.regression.baseline import Baseline
+from repro.regression.profile import FEATURE_NAMES, TraceProfile
+
+__all__ = [
+    "DriftScore",
+    "InflectionPoint",
+    "drift_score",
+    "score_series",
+    "find_inflection",
+    "trend_regression_fact",
+    "DRIFT_THRESHOLD",
+    "TOLERANCE",
+    "REL_FLOOR",
+    "ABS_FLOOR",
+]
+
+# A feature must move this many times beyond the baseline's own observed
+# spread before it counts at all...
+TOLERANCE = 4.0
+# ...and by at least 5% of the baseline magnitude / 0.05 absolute units,
+# so a zero-variance baseline cannot make noise look like drift.
+REL_FLOOR = 0.05
+ABS_FLOOR = 0.05
+
+# Default verdict threshold on the total (max-contribution) score: 1.0
+# means "some feature crossed its tolerance band", which is already a
+# multiple of anything the baseline runs did.
+DRIFT_THRESHOLD = 1.0
+
+
+@dataclass(frozen=True)
+class DriftScore:
+    """One run's drift verdict, decomposed into named contributions."""
+
+    trace_id: str
+    total: float
+    contributions: Mapping[str, float]
+    top_feature: str
+
+    def top(self, n: int = 3) -> list[tuple[str, float]]:
+        """The ``n`` largest contributions (ties broken by feature name)."""
+        ranked = sorted(self.contributions.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+
+@dataclass(frozen=True)
+class InflectionPoint:
+    """The earliest run whose drift crossed the threshold."""
+
+    run_index: int
+    score: DriftScore
+    threshold: float
+
+
+def _tolerance(center: float, scale: float) -> float:
+    return max(TOLERANCE * scale, REL_FLOOR * abs(center), ABS_FLOOR)
+
+
+def drift_score(profile: TraceProfile, baseline: Baseline) -> DriftScore:
+    """Deterministic diff of one profile against the immutable baseline."""
+    contributions: dict[str, float] = {}
+    for name in FEATURE_NAMES:
+        center = float(baseline.center[name])
+        deviation = abs(profile.get(name) - center)
+        contributions[name] = deviation / _tolerance(center, float(baseline.scale[name]))
+    # Max, with lexicographic tie-breaking: the verdict names one feature.
+    top_feature = min(
+        (name for name in FEATURE_NAMES if contributions[name] == max(contributions.values())),
+    )
+    return DriftScore(
+        trace_id=profile.trace_id,
+        total=contributions[top_feature],
+        contributions=contributions,
+        top_feature=top_feature,
+    )
+
+
+def score_series(profiles: Sequence[TraceProfile], baseline: Baseline) -> list[DriftScore]:
+    """Drift score for every run of a series, in run order."""
+    return [drift_score(p, baseline) for p in profiles]
+
+
+def find_inflection(
+    profiles: Sequence[TraceProfile],
+    baseline: Baseline,
+    threshold: float = DRIFT_THRESHOLD,
+) -> InflectionPoint | None:
+    """The earliest run whose drift score reaches ``threshold``, if any.
+
+    Scans the whole series (baseline runs included — by construction they
+    sit inside the tolerance band, so a hit there is itself a finding).
+    """
+    for index, profile in enumerate(profiles):
+        score = drift_score(profile, baseline)
+        if score.total >= threshold:
+            return InflectionPoint(run_index=index, score=score, threshold=threshold)
+    return None
+
+
+def trend_regression_fact(
+    inflection: InflectionPoint,
+    n_runs: int,
+    baseline_runs: int,
+) -> Fact:
+    """The ``trend_regression`` fact asserting a series-level regression.
+
+    Like every fact kind, it round-trips through the NL grammar
+    (:mod:`repro.llm.facts`), so the describe → diagnose flow treats the
+    longitudinal evidence exactly like counter or temporal evidence.
+    """
+    return Fact(
+        "trend_regression",
+        {
+            "n_runs": int(n_runs),
+            "baseline_runs": int(baseline_runs),
+            "run_index": int(inflection.run_index),
+            "drift": float(inflection.score.total),
+            "threshold": float(inflection.threshold),
+            "top_feature": inflection.score.top_feature,
+        },
+    )

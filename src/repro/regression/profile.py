@@ -1,0 +1,175 @@
+"""Deterministic per-trace summary vectors for longitudinal monitoring.
+
+A :class:`TraceProfile` reduces one trace's evidence — counter facts from
+:mod:`repro.core.summaries` plus temporal/OST facts from the columnar DXT
+kernels — to a *fixed* named feature vector.  Fixed means every profile
+carries exactly :data:`FEATURE_NAMES`, with absent evidence pinned to
+``0.0``, so two profiles are always comparable feature-by-feature and a
+baseline never has to reconcile schemas.
+
+Everything here is deterministic given the log: no randomness, no
+wall-clock, no cross-run state.  ``digest`` is a stable content hash over
+the canonical JSON rendering, so "same trace → same profile" is checkable
+byte-for-byte across processes (the same reproducibility stance as the
+service cache's trace digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.core.summaries import app_context_facts, extract_fragments
+from repro.darshan.dxt import cached_temporal_facts
+from repro.darshan.log import DarshanLog
+from repro.llm.facts import Fact
+
+__all__ = ["TraceProfile", "FEATURE_NAMES", "profile_trace", "canonical_json"]
+
+
+def _by_kind(facts: list[Fact]) -> dict[str, list[Fact]]:
+    out: dict[str, list[Fact]] = {}
+    for fact in facts:
+        out.setdefault(fact.kind, []).append(fact)
+    return out
+
+
+def _float(fact: Fact | None, name: str) -> float:
+    if fact is None:
+        return 0.0
+    value = fact.get(name, 0.0)
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return 0.0
+
+
+def _agg(
+    kinds: dict[str, list[Fact]], kind: str, name: str, reduce: Callable[[list[float]], float]
+) -> float:
+    values = [_float(f, name) for f in kinds.get(kind, [])]
+    return reduce(values) if values else 0.0
+
+
+# ---------------------------------------------------------------------------
+# The feature schema.  Each entry: feature name -> extractor over the
+# by-kind fact index.  Names are namespaced by evidence family so a drift
+# report reads like a diagnosis ("dxt.idle_fraction shifted"), and the
+# tuple order is the canonical vector order everywhere (JSON, digests,
+# drift decomposition).
+# ---------------------------------------------------------------------------
+
+_Extractor = Callable[[dict[str, list[Fact]]], float]
+
+_FEATURES: tuple[tuple[str, _Extractor], ...] = (
+    # -- application shape (app_context / volumes / counts) -----------------
+    ("app.runtime_s", lambda k: _agg(k, "app_context", "runtime_s", max)),
+    ("app.nprocs", lambda k: _agg(k, "app_context", "nprocs", max)),
+    ("app.total_bytes", lambda k: _agg(k, "app_context", "total_bytes", max)),
+    ("volume.bytes_read", lambda k: _agg(k, "volume", "bytes_read", sum)),
+    ("volume.bytes_written", lambda k: _agg(k, "volume", "bytes_written", sum)),
+    ("counts.reads", lambda k: _agg(k, "counts", "reads", sum)),
+    ("counts.writes", lambda k: _agg(k, "counts", "writes", sum)),
+    ("counts.files", lambda k: _agg(k, "counts", "n_files", max)),
+    # -- counter-channel pathology signals ---------------------------------
+    ("meta.ops", lambda k: _agg(k, "meta", "meta_ops", sum)),
+    ("meta.time_s", lambda k: _agg(k, "meta", "meta_time_s", sum)),
+    ("meta.fraction", lambda k: _agg(k, "meta", "meta_fraction", max)),
+    ("size.small_fraction", lambda k: _agg(k, "size_hist", "small_fraction", max)),
+    ("order.seq_fraction", lambda k: _agg(k, "order", "seq_fraction", min)),
+    ("align.unaligned_fraction", lambda k: _agg(k, "alignment", "unaligned_fraction", max)),
+    ("rank.gini", lambda k: _agg(k, "rank_balance", "gini", max)),
+    ("shared.bytes", lambda k: _agg(k, "shared", "shared_bytes", max)),
+    ("server.utilization", lambda k: _agg(k, "server_usage", "utilization", max)),
+    ("server.top_share", lambda k: _agg(k, "server_usage", "top_share", max)),
+    ("stdio.share", lambda k: _agg(k, "stdio_share", "share", max)),
+    ("reread.ratio", lambda k: _agg(k, "repetition", "ratio", max)),
+    # -- temporal channel (columnar DXT kernels) ---------------------------
+    ("dxt.span_s", lambda k: _agg(k, "dxt_timeline", "span_s", max)),
+    ("dxt.peak_to_mean", lambda k: _agg(k, "dxt_timeline", "peak_to_mean", max)),
+    ("dxt.rank_time_skew", lambda k: _agg(k, "dxt_rank_skew", "time_skew", max)),
+    ("dxt.rank_span_skew", lambda k: _agg(k, "dxt_rank_skew", "span_skew", max)),
+    ("dxt.mean_inflight", lambda k: _agg(k, "dxt_concurrency", "mean_inflight", max)),
+    ("dxt.idle_fraction", lambda k: _agg(k, "dxt_idle", "idle_fraction", max)),
+    ("dxt.n_gaps", lambda k: _agg(k, "dxt_idle", "n_gaps", max)),
+    ("dxt.stalled_ranks", lambda k: _agg(k, "dxt_idle", "stalled_ranks", max)),
+    ("dxt.file_skew_ratio", lambda k: _agg(k, "dxt_file_skew", "ratio", max)),
+    # -- server-attribution channel (per-OST kernels) ----------------------
+    ("ost.latency_ratio", lambda k: _agg(k, "dxt_ost_latency", "ratio", max)),
+    (
+        "ost.n_slow",
+        lambda k: max(
+            (float(len(f.data.get("slow_osts", []))) for f in k.get("dxt_ost_latency", [])),
+            default=0.0,
+        ),
+    ),
+    ("ost.time_skew", lambda k: _agg(k, "dxt_ost_skew", "skew", max)),
+)
+
+FEATURE_NAMES: tuple[str, ...] = tuple(name for name, _ in _FEATURES)
+
+
+def canonical_json(payload: object) -> str:
+    """The one JSON rendering used for digests and serialized artifacts.
+
+    Keys are sorted, separators are fixed, and floats go through Python's
+    shortest-repr float formatting — identical input, identical bytes, on
+    every platform and in every process.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """One run's deterministic feature vector.
+
+    ``features`` maps every name in :data:`FEATURE_NAMES` to a float;
+    construction through :func:`profile_trace` guarantees the schema.
+    """
+
+    trace_id: str
+    features: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        missing = set(FEATURE_NAMES) - set(self.features)
+        extra = set(self.features) - set(FEATURE_NAMES)
+        if missing or extra:
+            raise ValueError(
+                f"profile features must match FEATURE_NAMES exactly "
+                f"(missing {sorted(missing)}, unknown {sorted(extra)})"
+            )
+
+    def get(self, name: str) -> float:
+        return float(self.features[name])
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering (byte-stable across processes)."""
+        return canonical_json(
+            {"trace_id": self.trace_id, "features": {k: float(v) for k, v in self.features.items()}}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceProfile":
+        data = json.loads(text)
+        return cls(trace_id=data["trace_id"], features=dict(data["features"]))
+
+    @property
+    def digest(self) -> str:
+        """Stable content hash of the profile (trace id excluded, so the
+        same I/O behavior under a different run name hashes the same)."""
+        body = canonical_json({k: float(v) for k, v in self.features.items()})
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def profile_trace(log: DarshanLog, trace_id: str = "trace") -> TraceProfile:
+    """Reduce one log's evidence (both channels) to a :class:`TraceProfile`."""
+    facts = app_context_facts(log)
+    for fragment in extract_fragments(log):
+        facts.extend(fragment.facts)
+    facts.extend(cached_temporal_facts(log))
+    kinds = _by_kind(facts)
+    features = {name: float(extract(kinds)) for name, extract in _FEATURES}
+    return TraceProfile(trace_id=trace_id, features=features)

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "Scenario",
+    "SeriesScenario",
     "ScenarioNotFoundError",
     "DIFFICULTIES",
     "register_scenario",
@@ -43,6 +44,12 @@ __all__ = [
     "available_tags",
     "select_scenarios",
     "build_scenario",
+    "register_series_scenario",
+    "unregister_series_scenario",
+    "get_series_scenario",
+    "available_series_scenarios",
+    "iter_series_scenarios",
+    "build_series",
 ]
 
 # Tiers roughly track how much of the ground truth survives into counters:
@@ -231,3 +238,163 @@ def build_scenario(scenario: Scenario | str, seed: int = 0) -> "LabeledTrace":
         description=scenario.description or workload.exe,
         difficulty=scenario.difficulty,
     )
+
+
+# ---------------------------------------------------------------------------
+# Series scenarios: whole run *sequences* with a declared inflection point.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeriesScenario:
+    """One registered run series: a base workload that degrades mid-series.
+
+    A series sequences two already-registered single-trace scenarios: runs
+    before ``inflection_run`` build ``base``, runs from ``inflection_run``
+    on build ``degraded`` (``inflection_run=None`` marks a control series
+    that never degrades).  ``root_causes`` is the series-level ground
+    truth — the ``trend_regression`` key plus whatever issues the
+    degradation injects — against which the longitudinal channel is graded
+    (see :mod:`repro.regression` and ``benchmarks/eval_gate.py``).
+
+    Per-run seeds are ``seed + run_index``, so healthy runs carry natural
+    run-to-run variation for the baseline to absorb.
+    """
+
+    name: str
+    source: str
+    base: str
+    degraded: str
+    n_runs: int
+    inflection_run: int | None
+    root_causes: frozenset[str]
+    baseline_runs: int = 3
+    difficulty: str = "medium"
+    tags: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("series scenario name must be non-empty")
+        if self.difficulty not in DIFFICULTIES:
+            raise ValueError(
+                f"unknown difficulty {self.difficulty!r}; expected one of {DIFFICULTIES}"
+            )
+        unknown = set(self.root_causes) - set(ISSUE_KEYS)
+        if unknown:
+            raise ValueError(f"unknown root causes for {self.name}: {sorted(unknown)}")
+        if self.n_runs < 2:
+            raise ValueError("a series needs at least two runs")
+        if not 1 <= self.baseline_runs < self.n_runs:
+            raise ValueError("baseline_runs must be in [1, n_runs)")
+        if self.inflection_run is not None and not (
+            self.baseline_runs <= self.inflection_run < self.n_runs
+        ):
+            raise ValueError(
+                "inflection_run must land after the baseline window and "
+                "before the series ends (or be None for a control)"
+            )
+        if self.inflection_run is None and "trend_regression" in self.root_causes:
+            raise ValueError("a control series cannot claim trend_regression")
+        if self.inflection_run is not None and "trend_regression" not in self.root_causes:
+            raise ValueError("a degrading series must claim trend_regression")
+
+    def scenario_for_run(self, run_index: int) -> Scenario:
+        """The single-trace scenario backing run ``run_index``."""
+        if self.inflection_run is not None and run_index >= self.inflection_run:
+            return get_scenario(self.degraded)
+        return get_scenario(self.base)
+
+
+_SERIES_REGISTRY: dict[str, SeriesScenario] = {}
+
+_SERIES_BUILTIN_MODULES = ("repro.workloads.series",)
+_series_builtins_loaded = False
+_series_builtins_loading = False
+
+
+def _ensure_series_builtins() -> None:
+    global _series_builtins_loaded, _series_builtins_loading
+    if _series_builtins_loaded or _series_builtins_loading:
+        return
+    import importlib
+
+    _series_builtins_loading = True
+    try:
+        for module in _SERIES_BUILTIN_MODULES:
+            importlib.import_module(module)
+        _series_builtins_loaded = True
+    finally:
+        _series_builtins_loading = False
+
+
+def register_series_scenario(series: SeriesScenario, *, replace: bool = False) -> SeriesScenario:
+    """Register ``series`` under its name (same contract as scenarios)."""
+    _ensure_series_builtins()
+    if not replace and series.name in _SERIES_REGISTRY:
+        raise ValueError(
+            f"series scenario {series.name!r} is already registered (pass replace=True)"
+        )
+    _SERIES_REGISTRY[series.name] = series
+    return series
+
+
+def unregister_series_scenario(name: str) -> None:
+    """Remove a series registration (no-op if absent)."""
+    _SERIES_REGISTRY.pop(name, None)
+
+
+def iter_series_scenarios(tag: str | None = None) -> tuple[SeriesScenario, ...]:
+    """Registered series scenarios in registration order, tag-filtered."""
+    _ensure_series_builtins()
+    series = tuple(_SERIES_REGISTRY.values())
+    if tag is None:
+        return series
+    return tuple(
+        s
+        for s in series
+        if tag == s.name or tag in (s.source, s.difficulty, *s.tags)
+    )
+
+
+def available_series_scenarios(tag: str | None = None) -> tuple[str, ...]:
+    """Registered series names in registration order."""
+    return tuple(s.name for s in iter_series_scenarios(tag))
+
+
+def get_series_scenario(name: str) -> SeriesScenario:
+    """Look up one series scenario by exact name."""
+    _ensure_series_builtins()
+    try:
+        return _SERIES_REGISTRY[name]
+    except KeyError:
+        raise ScenarioNotFoundError(name, available_series_scenarios()) from None
+
+
+def build_series(series: SeriesScenario | str, seed: int = 0) -> list["LabeledTrace"]:
+    """Run every workload of a series, in run order.
+
+    Run ``i`` gets trace id ``<series>/run<i>`` and seed ``seed + i``;
+    each trace carries the *per-run* labels of its backing scenario (the
+    series-level ground truth stays on the :class:`SeriesScenario`).
+    """
+    from repro.tracebench.dataset import LabeledTrace
+
+    if isinstance(series, str):
+        series = get_series_scenario(series)
+    traces: list[LabeledTrace] = []
+    for run_index in range(series.n_runs):
+        backing = series.scenario_for_run(run_index)
+        workload = backing.builder()
+        log, _result = workload.run(seed=seed + run_index)
+        traces.append(
+            LabeledTrace(
+                trace_id=f"{series.name}/run{run_index:02d}",
+                source=series.source,
+                log=log,
+                labels=backing.root_causes,
+                description=backing.description or workload.exe,
+                difficulty=series.difficulty,
+            )
+        )
+    return traces

@@ -1,0 +1,89 @@
+"""Built-in series scenarios: run sequences with mid-series degradation.
+
+Each series sequences two registered single-trace scenarios — a healthy
+base and a degraded variant — with a declared inflection run, so the
+longitudinal channel (:mod:`repro.regression`) has exact ground truth to
+grade against: *which* run the profile departed at, and *which* issues
+the degradation injected.  The control series never degrades and must
+stay below the drift threshold for its whole length.
+
+Series-level ``root_causes`` are always ``trend_regression`` plus the
+issues the degraded runs add over the base runs; ``benchmarks/eval_gate.py``
+re-derives that set from the expert rules on every CI run, so these
+declarations cannot silently drift from what the rules actually detect.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.scenarios import SeriesScenario, register_series_scenario
+
+__all__ = ["SERIES_NAMES"]
+
+
+def _series(
+    name: str,
+    base: str,
+    degraded: str,
+    inflection_run: int | None,
+    difficulty: str,
+    theme: str,
+    description: str,
+    *injected: str,
+) -> None:
+    causes = set(injected)
+    if inflection_run is not None:
+        causes.add("trend_regression")
+    register_series_scenario(
+        SeriesScenario(
+            name=name,
+            source="series",
+            base=base,
+            degraded=degraded,
+            n_runs=8,
+            inflection_run=inflection_run,
+            root_causes=frozenset(causes),
+            baseline_runs=3,
+            difficulty=difficulty,
+            tags=("series", theme),
+            description=description,
+        )
+    )
+
+
+_series(
+    "series01-ost-degradation", "path20-rebalanced-stripe", "path18-hot-ost", 5,
+    "hard", "hotspot",
+    "a well-restriped cluster whose file lands back on a degraded OST at run 5",
+    "server_imbalance",
+)
+_series(
+    "series02-metadata-creep", "path12-clean-baseline", "path03-metadata-storm", 4,
+    "medium", "metadata",
+    "clean collective output replaced by a create/stat flood from run 4 on",
+    "high_metadata_load", "no_mpi",
+)
+_series(
+    "series03-locking-onset", "path12-clean-baseline", "path14-lock-convoy", 5,
+    "hard", "locking",
+    "healthy aligned writes that fall into extent-lock handoffs at run 5",
+    "lock_contention", "shared_file_access", "small_write", "no_collective_write",
+)
+_series(
+    "series04-interference-onset", "path12-clean-baseline", "path15-bursty-interference", 6,
+    "hard", "interference",
+    "a stable job that starts stalling under cross-job interference at run 6",
+    "io_stall", "no_mpi",
+)
+_series(
+    "series05-steady-control", "path12-clean-baseline", "path12-clean-baseline", None,
+    "control", "control",
+    "eight healthy runs with only seed-level variation — drift must stay quiet",
+)
+
+SERIES_NAMES: tuple[str, ...] = (
+    "series01-ost-degradation",
+    "series02-metadata-creep",
+    "series03-locking-onset",
+    "series04-interference-onset",
+    "series05-steady-control",
+)

@@ -603,11 +603,13 @@ class TestPinnedRegressions:
             repo_ctx.context_only_kinds
         ) == set(repo_ctx.fact_kinds)
 
-    def test_drishti_gap_is_exactly_no_mpi(self, repo_ctx: CheckContext) -> None:
+    def test_drishti_gap_is_declared_exactly(self, repo_ctx: CheckContext) -> None:
         covered = {
             key for keys in repo_ctx.trigger_issues.values() for key in keys
         }
-        assert set(repo_ctx.issue_keys) - covered == {"no_mpi"}
+        # no_mpi is the paper's critique; trend_regression is structurally
+        # out of reach for a single-trace tool (it lives across a series).
+        assert set(repo_ctx.issue_keys) - covered == {"no_mpi", "trend_regression"}
 
     def test_fact_examples_roundtrip_live(self) -> None:
         from repro.llm.facts import (

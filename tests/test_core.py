@@ -20,10 +20,11 @@ from repro.llm.findings import Finding, parse_findings, render_findings
 class TestIssues:
     def test_taxonomy_size(self):
         # The paper's 16 Table II issues plus the two time-domain
-        # extension issues (lock_contention, io_stall).
-        assert len(ISSUES) == 18
-        assert len(set(ISSUE_KEYS)) == 18
-        assert {"lock_contention", "io_stall"} <= set(ISSUE_KEYS)
+        # extension issues (lock_contention, io_stall) and the
+        # longitudinal one (trend_regression).
+        assert len(ISSUES) == 19
+        assert len(set(ISSUE_KEYS)) == 19
+        assert {"lock_contention", "io_stall", "trend_regression"} <= set(ISSUE_KEYS)
 
     def test_lookup(self):
         assert issue_by_key("small_write").label == "Small Write I/O Requests"

@@ -39,10 +39,10 @@ _BLOCKS = _python_blocks()
 
 
 def test_docs_exist():
-    """The documented surface is present: README plus the three guides."""
+    """The documented surface is present: README plus the four guides."""
     names = {p.name for p in DOC_FILES}
     assert "README.md" in names
-    assert {"evidence.md", "extending.md", "analysis.md"} <= names
+    assert {"evidence.md", "extending.md", "analysis.md", "regression.md"} <= names
     assert _BLOCKS, "expected runnable python snippets in the docs"
 
 

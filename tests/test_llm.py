@@ -109,6 +109,7 @@ def _example_fact(kind: str) -> Fact:
         "dxt_file_skew": {"slow_path": "/scratch/out.00003", "slow_mbps": 120.5, "median_mbps": 485.0, "n_files": 8, "ratio": 4.0},
         "dxt_ost_skew": {"time_share": 0.354, "hot_ost": 3, "bytes_share": 0.125, "skew": 2.8, "n_osts": 8},
         "dxt_ost_latency": {"slow_osts": [2, 5], "slow_mbps": 61.7, "median_mbps": 246.9, "n_osts": 8, "ratio": 4.0},
+        "trend_regression": {"n_runs": 8, "baseline_runs": 3, "run_index": 5, "drift": 4.5, "threshold": 1.0, "top_feature": "dxt.idle_fraction"},
     }
     return Fact(kind=kind, data=samples[kind])
 

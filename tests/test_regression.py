@@ -1,0 +1,370 @@
+"""The longitudinal regression channel: profiles, baselines, drift, series.
+
+Determinism is the channel's core contract — baselines must serialize to
+byte-identical JSON across processes, drift must decompose into named
+contributions, and the inflection finder must land exactly on the
+injected degradation run for every registered series scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.llm.facts import extract_facts, render_fact
+from repro.llm.reasoning import infer_findings
+from repro.regression import (
+    DRIFT_THRESHOLD,
+    FEATURE_NAMES,
+    Baseline,
+    SeriesDiagnosticTool,
+    TraceProfile,
+    build_baseline,
+    drift_score,
+    find_inflection,
+    profile_trace,
+    score_series,
+    trend_regression_fact,
+)
+from repro.regression.drift import InflectionPoint
+from repro.workloads.scenarios import (
+    ScenarioNotFoundError,
+    SeriesScenario,
+    available_series_scenarios,
+    build_series,
+    get_series_scenario,
+    iter_series_scenarios,
+    register_series_scenario,
+    unregister_series_scenario,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _flat_profile(value: float, trace_id: str = "t") -> TraceProfile:
+    return TraceProfile(trace_id=trace_id, features={n: value for n in FEATURE_NAMES})
+
+
+@pytest.fixture(scope="module")
+def locking_series():
+    """One built series (the locking-onset scenario), shared per module."""
+    scenario = get_series_scenario("series03-locking-onset")
+    return scenario, build_series(scenario, seed=0)
+
+
+class TestTraceProfile:
+    def test_schema_is_fixed_and_validated(self):
+        profile = _flat_profile(1.0)
+        assert set(profile.features) == set(FEATURE_NAMES)
+        with pytest.raises(ValueError, match="FEATURE_NAMES"):
+            TraceProfile(trace_id="t", features={"app.runtime_s": 1.0})
+
+    def test_profile_trace_is_deterministic(self, sb01_trace):
+        a = profile_trace(sb01_trace.log, "a")
+        b = profile_trace(sb01_trace.log, "b")
+        # Same log, same features — the digest ignores the run name.
+        assert a.features == b.features
+        assert a.digest == b.digest
+        assert a.to_json() != b.to_json()  # trace_id differs
+
+    def test_json_round_trip(self, sb01_trace):
+        profile = profile_trace(sb01_trace.log, "rt")
+        again = TraceProfile.from_json(profile.to_json())
+        assert again == profile
+        assert again.to_json() == profile.to_json()
+
+
+class TestBaseline:
+    def test_center_is_median_scale_is_max_deviation(self):
+        profiles = [_flat_profile(v) for v in (1.0, 5.0, 2.0)]
+        baseline = build_baseline(profiles)
+        assert baseline.center["app.runtime_s"] == 2.0
+        assert baseline.scale["app.runtime_s"] == 3.0
+
+    def test_even_run_count_median_is_deterministic(self):
+        profiles = [_flat_profile(v) for v in (1.0, 2.0, 3.0, 4.0)]
+        assert build_baseline(profiles).center["app.runtime_s"] == 2.5
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="zero profiles"):
+            build_baseline([])
+
+    def test_json_round_trip_preserves_digest(self):
+        baseline = build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)])
+        again = Baseline.from_json(baseline.to_json())
+        assert again == baseline
+        assert again.digest == baseline.digest
+
+    def test_baseline_json_is_byte_identical_across_processes(self, locking_series):
+        """The cross-process reuse contract: same series, same bytes."""
+        scenario, traces = locking_series
+        profiles = [profile_trace(t.log, t.trace_id) for t in traces]
+        local = build_baseline(profiles[: scenario.baseline_runs]).to_json()
+        script = (
+            "from repro.workloads.scenarios import build_series, get_series_scenario\n"
+            "from repro.regression import build_baseline, profile_trace\n"
+            f"s = get_series_scenario({scenario.name!r})\n"
+            "traces = build_series(s, seed=0)\n"
+            "profiles = [profile_trace(t.log, t.trace_id) for t in traces]\n"
+            "print(build_baseline(profiles[:s.baseline_runs]).to_json(), end='')\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        ).stdout
+        assert remote == local
+        json.loads(local)  # and it is real JSON
+
+
+class TestDrift:
+    def test_zero_drift_at_baseline_center(self):
+        baseline = build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)])
+        score = drift_score(_flat_profile(2.0), baseline)
+        assert score.total == 0.0
+        assert set(score.contributions) == set(FEATURE_NAMES)
+
+    def test_total_is_max_contribution_with_named_feature(self):
+        baseline = build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)])
+        features = {n: 2.0 for n in FEATURE_NAMES}
+        features["dxt.idle_fraction"] = 50.0
+        score = drift_score(TraceProfile(trace_id="t", features=features), baseline)
+        assert score.top_feature == "dxt.idle_fraction"
+        assert score.total == score.contributions["dxt.idle_fraction"]
+        assert score.top(1)[0][0] == "dxt.idle_fraction"
+
+    def test_zero_variance_baseline_needs_more_than_the_floor(self):
+        baseline = build_baseline([_flat_profile(2.0)] * 3)
+        # Within the relative floor (5% of |center|): not drift.
+        assert drift_score(_flat_profile(2.05), baseline).total <= DRIFT_THRESHOLD
+        # Far outside it: drift.
+        assert drift_score(_flat_profile(4.0), baseline).total > DRIFT_THRESHOLD
+
+    def test_score_series_preserves_run_order(self):
+        baseline = build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)])
+        profiles = [_flat_profile(v, f"run{i}") for i, v in enumerate((2.0, 9.0))]
+        scores = score_series(profiles, baseline)
+        assert [s.trace_id for s in scores] == ["run0", "run1"]
+        assert scores[0].total < scores[1].total
+
+
+class TestInflection:
+    def test_first_crossing_wins(self):
+        baseline = build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)])
+        profiles = [_flat_profile(v, f"run{i}") for i, v in enumerate((2.0, 2.0, 50.0, 90.0))]
+        inflection = find_inflection(profiles, baseline)
+        assert inflection is not None
+        assert inflection.run_index == 2
+
+    def test_steady_series_has_no_inflection(self):
+        baseline = build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)])
+        assert find_inflection([_flat_profile(2.0)] * 6, baseline) is None
+
+    @pytest.mark.parametrize("name", available_series_scenarios())
+    def test_every_registered_series_grounds_exactly(self, name):
+        """Detected inflection run == the injected one, for every series."""
+        scenario = get_series_scenario(name)
+        traces = build_series(scenario, seed=0)
+        profiles = [profile_trace(t.log, t.trace_id) for t in traces]
+        baseline = build_baseline(profiles[: scenario.baseline_runs])
+        inflection = find_inflection(profiles, baseline)
+        detected = None if inflection is None else inflection.run_index
+        assert detected == scenario.inflection_run
+
+
+class TestTrendFactAndRule:
+    def test_nl_round_trip(self):
+        inflection = InflectionPoint(
+            run_index=5,
+            score=drift_score(
+                _flat_profile(9.0),
+                build_baseline([_flat_profile(v) for v in (1.0, 2.0, 3.0)]),
+            ),
+            threshold=DRIFT_THRESHOLD,
+        )
+        fact = trend_regression_fact(inflection, n_runs=8, baseline_runs=3)
+        extracted = extract_facts(render_fact(fact))
+        assert len(extracted) == 1
+        assert extracted[0].kind == "trend_regression"
+        assert extracted[0].data["run_index"] == 5
+        assert extracted[0].data["n_runs"] == 8
+        assert extracted[0].data["top_feature"] == fact.data["top_feature"]
+
+    def test_rule_fires_at_threshold_and_stays_quiet_below(self):
+        def fact_with(drift: float):
+            from repro.llm.facts import Fact
+
+            return Fact(
+                "trend_regression",
+                {
+                    "n_runs": 8,
+                    "baseline_runs": 3,
+                    "run_index": 5,
+                    "drift": drift,
+                    "threshold": 1.0,
+                    "top_feature": "dxt.idle_fraction",
+                },
+            )
+
+        fired = infer_findings([fact_with(4.5)])
+        assert [f.issue_key for f in fired] == ["trend_regression"]
+        assert "run 5" in fired[0].evidence
+        assert "dxt.idle_fraction" in fired[0].evidence
+        assert infer_findings([fact_with(0.4)]) == []
+
+
+class TestSeriesScenarioRegistry:
+    def test_builtins_registered_with_series_tag(self):
+        names = available_series_scenarios("series")
+        assert len(names) >= 5
+        assert "series05-steady-control" in names
+        controls = [s for s in iter_series_scenarios() if s.inflection_run is None]
+        assert controls, "expected at least one control series"
+
+    def test_register_round_trip_and_duplicate_rejection(self):
+        series = SeriesScenario(
+            name="tmp-series",
+            source="test",
+            base="path12-clean-baseline",
+            degraded="path03-metadata-storm",
+            n_runs=5,
+            inflection_run=3,
+            root_causes=frozenset({"trend_regression", "high_metadata_load", "no_mpi"}),
+        )
+        register_series_scenario(series)
+        try:
+            assert get_series_scenario("tmp-series") is series
+            with pytest.raises(ValueError, match="already registered"):
+                register_series_scenario(series)
+        finally:
+            unregister_series_scenario("tmp-series")
+        with pytest.raises(ScenarioNotFoundError):
+            get_series_scenario("tmp-series")
+
+    def test_validation(self):
+        def make(**kwargs):
+            defaults = dict(
+                name="bad",
+                source="test",
+                base="path12-clean-baseline",
+                degraded="path03-metadata-storm",
+                n_runs=6,
+                inflection_run=4,
+                root_causes=frozenset({"trend_regression"}),
+            )
+            defaults.update(kwargs)
+            return SeriesScenario(**defaults)
+
+        with pytest.raises(ValueError, match="at least two runs"):
+            make(n_runs=1, inflection_run=None, root_causes=frozenset())
+        with pytest.raises(ValueError, match="baseline window"):
+            make(inflection_run=1)
+        with pytest.raises(ValueError, match="unknown root causes"):
+            make(root_causes=frozenset({"trend_regression", "bogus"}))
+        with pytest.raises(ValueError, match="cannot claim"):
+            make(inflection_run=None)
+        with pytest.raises(ValueError, match="must claim"):
+            make(root_causes=frozenset())
+
+    def test_build_series_trace_ids_and_per_run_labels(self, locking_series):
+        scenario, traces = locking_series
+        assert len(traces) == scenario.n_runs
+        assert traces[0].trace_id == f"{scenario.name}/run00"
+        # Pre-inflection runs carry the base scenario's (clean) labels...
+        assert traces[0].labels == frozenset()
+        # ...and post-inflection runs the degraded scenario's labels.
+        assert "lock_contention" in traces[scenario.inflection_run].labels
+
+
+class TestSeriesDiagnosticTool:
+    def test_protocol_conformance_and_registration(self):
+        from repro.core.registry import DiagnosticTool, available_tools, get_tool
+
+        assert "series" in available_tools()
+        tool = get_tool("series", inner="drishti")
+        assert isinstance(tool, DiagnosticTool)
+        assert tool.name == "series"
+        assert tool.usage().calls == 0
+
+    def test_single_trace_diagnose_passes_through(self, sb01_trace):
+        tool = SeriesDiagnosticTool(inner="drishti")
+        report = tool.diagnose(sb01_trace.log, trace_id="one")
+        assert report.trace_id == "one"
+
+    def test_diagnose_series_finds_regression(self, locking_series):
+        scenario, traces = locking_series
+        tool = SeriesDiagnosticTool(inner="drishti", baseline_runs=scenario.baseline_runs)
+        result = tool.diagnose_series(
+            [t.log for t in traces],
+            series_id=scenario.name,
+            trace_ids=[t.trace_id for t in traces],
+        )
+        assert result.inflection is not None
+        assert result.inflection.run_index == scenario.inflection_run
+        assert "trend_regression" in result.report.issue_keys
+        rendered = result.render()
+        assert "<-- inflection" in rendered
+        assert len(result.scores) == scenario.n_runs
+
+    def test_steady_series_appends_nothing(self):
+        scenario = get_series_scenario("series05-steady-control")
+        traces = build_series(scenario, seed=0)
+        tool = SeriesDiagnosticTool(inner="drishti", baseline_runs=scenario.baseline_runs)
+        result = tool.diagnose_series([t.log for t in traces], series_id=scenario.name)
+        assert result.inflection is None
+        assert "trend_regression" not in result.report.issue_keys
+        assert "steady" in result.render()
+
+    def test_pinned_baseline_lifts_run_floor(self, locking_series):
+        scenario, traces = locking_series
+        profiles = [profile_trace(t.log, t.trace_id) for t in traces]
+        baseline = Baseline.from_json(
+            build_baseline(profiles[: scenario.baseline_runs]).to_json()
+        )
+        tool = SeriesDiagnosticTool(inner="drishti", baseline=baseline)
+        result = tool.diagnose_series([traces[-1].log], series_id="pinned")
+        assert result.inflection is not None
+        assert result.inflection.run_index == 0
+
+    def test_too_few_runs_rejected(self, sb01_trace):
+        tool = SeriesDiagnosticTool(inner="drishti", baseline_runs=3)
+        with pytest.raises(ValueError, match="at least 4 runs"):
+            tool.diagnose_series([sb01_trace.log] * 3)
+
+
+class TestSeriesCLI:
+    def test_scenario_subcommand_runs(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "series",
+                "--scenario",
+                "series02-metadata-creep",
+                "--inner",
+                "drishti",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "<-- inflection" in out
+        assert "trend_regression" in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["series", "--scenario", "nope"]) == 2
+        assert "available series scenarios" in capsys.readouterr().err
+
+    def test_no_traces_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["series"]) == 2
+        assert "two or more trace files" in capsys.readouterr().err
