@@ -1,6 +1,6 @@
 """CI evaluation gate: exact grounding of the counter-invisible tiers.
 
-Three jobs in one script, matching the ``evaluation-gate`` CI job:
+Four jobs in one script, matching the ``evaluation-gate`` CI job:
 
 1. **Exact-grounding sweep** — every scenario whose ground truth lives
    beyond the counters (the PR 3 temporal tier path13-17 + path04, and
@@ -14,7 +14,17 @@ Three jobs in one script, matching the ``evaluation-gate`` CI job:
    ``trend_regression`` plus the issues the rules detect at the
    inflection beyond the base runs equals the series' declared root
    causes.
-3. **Table IV artifact** — renders the full Table IV plus the
+3. **Pinned-seed fuzz sweep** — every registered generated composition
+   (the ``fuzz-composition`` tier) must keep its derived labels
+   recoverable: per-pathology recall over the generated tier must meet
+   or beat the curated pathology tier's recall for the same issue key.
+   Each adversarial pair must *demonstrably* mask its rules — the bare
+   twin detects the masked keys, the masked twin does not — asserting
+   the documented known gap stays exactly as documented.  The rendered
+   per-pathology confusion matrix plus the known-gap list is written to
+   ``--fuzz-out``, uploaded per SHA (``--fuzz-only`` runs just this
+   sweep, as the ``fuzz-smoke`` CI step does).
+4. **Table IV artifact** — renders the full Table IV plus the
    per-difficulty split over the hard + control tiers and writes them to
    ``--table-out``, uploaded per SHA so every commit's evaluation surface
    is one click away.
@@ -29,13 +39,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.summaries import app_context_facts, extract_fragments
-from repro.darshan.dxt import dxt_temporal_facts
+from repro.evaluation.confusion import ConfusionMatrix
+from repro.evaluation.detector import detected_issues
 from repro.evaluation.harness import evaluate_scenarios
 from repro.evaluation.tables import render_table4, render_table4_difficulty
-from repro.llm.reasoning import infer_findings
 from repro.regression import build_baseline, find_inflection, profile_trace
-from repro.workloads.scenarios import build_scenario, build_series, iter_series_scenarios
+from repro.workloads.fuzz import ADVERSARIAL_PAIRS
+from repro.workloads.scenarios import (
+    build_scenario,
+    build_series,
+    iter_series_scenarios,
+    select_scenarios,
+)
 
 # The counter-invisible sweep: temporal tier (PR 3) + attribution tier (PR 5).
 SWEEP = (
@@ -52,21 +67,12 @@ SWEEP = (
 )
 
 
-def detected_issues(trace) -> set[str]:
-    """Issue keys the expert rules recover from both evidence channels."""
-    facts = app_context_facts(trace.log)
-    for fragment in extract_fragments(trace.log):
-        facts.extend(fragment.facts)
-    facts.extend(dxt_temporal_facts(trace.log.dxt_segments or []))
-    return {f.issue_key for f in infer_findings(facts)}
-
-
 def run_sweep(seed: int = 0) -> list[str]:
     """Exact-grounding check; returns human-readable failure lines."""
     failures = []
     for name in SWEEP:
         trace = build_scenario(name, seed=seed)
-        detected = detected_issues(trace)
+        detected = detected_issues(trace.log)
         labels = set(trace.labels)
         if detected != labels:
             missing = sorted(labels - detected)
@@ -108,7 +114,7 @@ def run_series_sweep(seed: int = 0) -> list[str]:
                 print(f"ok   {series.name}: steady (no inflection)")
             continue
         injected = {"trend_regression"} | (
-            detected_issues(traces[inflection.run_index]) - detected_issues(traces[0])
+            detected_issues(traces[inflection.run_index].log) - detected_issues(traces[0].log)
         )
         labels = set(series.root_causes)
         if injected != labels:
@@ -123,10 +129,96 @@ def run_series_sweep(seed: int = 0) -> list[str]:
     return failures
 
 
+def run_fuzz_sweep(seed: int = 0, out: str = "FUZZ_confusion.txt") -> list[str]:
+    """Pinned-seed fuzz sweep: recall floor + adversarial known-gap check.
+
+    The generated compositions (``fuzz-composition`` tag) must keep every
+    derived label recoverable — per-pathology recall at or above the
+    curated pathology tier's recall for the same issue key.  The
+    adversarial twins are excluded from the recall floor on purpose:
+    their masked halves *are* the documented gap, and this sweep asserts
+    the gap behaves exactly as documented (detected bare, masked when
+    diluted).  Writes the rendered confusion matrix + known-gap list to
+    ``out``.
+    """
+    failures = []
+    curated_pairs = []
+    for scenario in select_scenarios(["pathology"]):
+        trace = build_scenario(scenario, seed=seed)
+        curated_pairs.append((detected_issues(trace.log), set(trace.labels)))
+    curated = ConfusionMatrix.from_pairs(curated_pairs)
+
+    fuzz_pairs = []
+    labeled_keys: set[str] = set()
+    for scenario in select_scenarios(["fuzz-composition"]):
+        trace = build_scenario(scenario, seed=seed)
+        detected = detected_issues(trace.log)
+        labels = set(trace.labels)
+        fuzz_pairs.append((detected, labels))
+        labeled_keys |= labels
+        missing = sorted(labels - detected)
+        if missing:
+            failures.append(f"{scenario.name}: labels not recovered: {missing}")
+            print(f"FAIL {failures[-1]}", file=sys.stderr)
+        else:
+            print(f"ok   {scenario.name}: {sorted(labels)}")
+    confusion = ConfusionMatrix.from_pairs(fuzz_pairs)
+    for key in sorted(labeled_keys):
+        if confusion.recall_for(key) < curated.recall_for(key):
+            failures.append(
+                f"recall({key}): fuzz {confusion.recall_for(key):.2f} < "
+                f"curated {curated.recall_for(key):.2f}"
+            )
+            print(f"FAIL {failures[-1]}", file=sys.stderr)
+
+    gap_lines = []
+    adversarial = {s.name: s for s in select_scenarios(["fuzz-adversarial"])}
+    for pair in ADVERSARIAL_PAIRS:
+        bare = build_scenario(adversarial[pair.bare_name], seed=seed)
+        masked = build_scenario(adversarial[pair.masked_name], seed=seed)
+        bare_detected = detected_issues(bare.log)
+        masked_detected = detected_issues(masked.log)
+        if not pair.masked_keys <= bare_detected:
+            failures.append(
+                f"{pair.name}: bare twin no longer detects "
+                f"{sorted(pair.masked_keys - bare_detected)}"
+            )
+            print(f"FAIL {failures[-1]}", file=sys.stderr)
+            continue
+        leaked = pair.masked_keys & masked_detected
+        if leaked:
+            failures.append(
+                f"{pair.name}: mask broken — {sorted(leaked)} still detected in the masked twin"
+            )
+            print(f"FAIL {failures[-1]}", file=sys.stderr)
+            continue
+        gap_lines.append(
+            f"{pair.name}: masks {', '.join(sorted(pair.masked_keys))} — {pair.description}"
+        )
+        print(f"ok   {pair.name}: known gap holds ({', '.join(sorted(pair.masked_keys))} masked)")
+    if not gap_lines:
+        failures.append("no adversarial pair demonstrably masks a rule")
+        print(f"FAIL {failures[-1]}", file=sys.stderr)
+
+    text = confusion.render("Fuzz sweep confusion (expert rules, pinned seed)")
+    text += "\n\nKnown gaps (adversarial masking, asserted by the gate):\n"
+    text += "".join(f"  - {line}\n" for line in gap_lines)
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {out}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--table-out", default="TABLE4_hard.txt")
+    parser.add_argument("--fuzz-out", default="FUZZ_confusion.txt")
+    parser.add_argument(
+        "--fuzz-only",
+        action="store_true",
+        help="run only the pinned-seed fuzz sweep (the fuzz-smoke CI step)",
+    )
     parser.add_argument(
         "--selectors",
         nargs="*",
@@ -135,8 +227,17 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.fuzz_only:
+        failures = run_fuzz_sweep(seed=args.seed, out=args.fuzz_out)
+        if failures:
+            print(f"{len(failures)} fuzz check(s) failed", file=sys.stderr)
+            return 1
+        print("fuzz sweep: all labels recoverable, all adversarial gaps hold")
+        return 0
+
     failures = run_sweep(seed=args.seed)
     failures += run_series_sweep(seed=args.seed)
+    failures += run_fuzz_sweep(seed=args.seed, out=args.fuzz_out)
 
     result = evaluate_scenarios(args.selectors, seed=args.seed)
     rendered = render_table4(result) + "\n\n" + render_table4_difficulty(result)

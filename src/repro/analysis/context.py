@@ -164,7 +164,7 @@ class CheckContext:
 
         # Keep in sync with the reserved set in repro.cli.build_parser.
         reserved = frozenset(
-            {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series"}
+            {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series", "fuzz"}
         )
 
         return cls(

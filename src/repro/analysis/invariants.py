@@ -11,6 +11,8 @@ registries agree with each other:
   with a declared total topological order and no unreachable rule;
 * ``scenario-ground-truth`` — scenario labels are canonical issue keys and
   every issue key is grounded by at least one scenario;
+* ``fuzz-ground-truth`` — the registered generated tier matches a
+  deterministic regeneration of the pinned fuzz stream, labels included;
 * ``issue-reachability`` — every issue key is reachable by at least one
   tool (expert rule, temporal fact path, or Drishti trigger);
 * ``trigger-issue-map`` — the Drishti trigger↔issue mapping covers exactly
@@ -380,6 +382,73 @@ def check_scenario_ground_truth(ctx: CheckContext) -> list[Diagnostic]:
         )
     if not ctx.scenarios:
         out.append(error("scenario-ground-truth", "no scenarios are registered", file=file))
+    return out
+
+
+@register_check(
+    "fuzz-ground-truth",
+    description="the registered fuzz tier matches a deterministic regeneration of the pinned stream",
+    tags=("scenarios", "fuzz"),
+)
+def check_fuzz_ground_truth(ctx: CheckContext) -> list[Diagnostic]:
+    """Extend the ground-truth invariant to *generated* scenarios.
+
+    Regenerates the pinned fuzz stream (sampling only, no trace builds)
+    and verifies the registry holds exactly those scenarios with exactly
+    the derived labels — any drift between the sampler and what tests and
+    CI actually evaluate is an error.  Also checks each adversarial
+    pair's declared masked keys are labels its bare twin carries.
+    """
+    from repro.workloads import fuzz
+
+    out: list[Diagnostic] = []
+    file = "src/repro/workloads/fuzz.py"
+    registered = {s.name: s for s in ctx.scenarios if s.source == fuzz.FUZZ_SOURCE}
+    expected = {
+        s.name: frozenset(s.root_causes)
+        for s in fuzz.generate_scenarios() + fuzz.adversarial_scenarios()
+    }
+    for name, causes in sorted(expected.items()):
+        info = registered.pop(name, None)
+        if info is None:
+            out.append(
+                error(
+                    "fuzz-ground-truth",
+                    f"fuzz scenario {name!r} is in the pinned stream but not registered",
+                    file=file,
+                )
+            )
+        elif frozenset(info.root_causes) != causes:
+            out.append(
+                error(
+                    "fuzz-ground-truth",
+                    f"fuzz scenario {name!r} registered with labels "
+                    f"{sorted(info.root_causes)} but the pinned stream derives "
+                    f"{sorted(causes)}",
+                    file=file,
+                )
+            )
+    for name in sorted(registered):
+        out.append(
+            error(
+                "fuzz-ground-truth",
+                f"registered fuzz scenario {name!r} is not part of the pinned "
+                f"stream regeneration",
+                file=file,
+            )
+        )
+    adversarial = {s.name: frozenset(s.root_causes) for s in fuzz.adversarial_scenarios()}
+    for pair in fuzz.ADVERSARIAL_PAIRS:
+        stray = pair.masked_keys - adversarial.get(pair.bare_name, frozenset())
+        if stray:
+            out.append(
+                error(
+                    "fuzz-ground-truth",
+                    f"adversarial pair {pair.name!r} declares masked keys "
+                    f"{sorted(stray)} its bare twin does not even carry",
+                    file=file,
+                )
+            )
     return out
 
 

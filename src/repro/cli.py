@@ -14,6 +14,10 @@ Commands:
   Table IV harness over registry-selected scenarios and print it;
 * ``series <run1> <run2> ...`` (or ``series --scenario NAME``) — monitor a
   run series for longitudinal regression against its early-run baseline;
+* ``fuzz generate|sweep|ramp`` — the generative scenario fuzzer: sample
+  seeded pathology compositions, score the expert rules over a generated
+  sweep (per-pathology confusion matrix), or binary-search each rule's
+  masking threshold;
 * ``chat <trace.darshan.txt>`` — diagnose, then answer questions from stdin.
 
 A tool registered via :func:`repro.core.registry.register_tool` before
@@ -66,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     # name `diagnose` (with `ioagent` as alias) and its design switches.
     # Names that would collide with the fixed subcommands are skipped (the
     # tool stays reachable through the API) rather than crashing argparse.
-    reserved = {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series"}
+    reserved = {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series", "fuzz"}
     for tool_name in available_tools():
         if tool_name in reserved:
             continue
@@ -141,6 +145,35 @@ def build_parser() -> argparse.ArgumentParser:
     se.add_argument("--model", default="gpt-4o")
     se.add_argument("--max-workers", type=int, default=None)
     se.set_defaults(func=_cmd_series)
+
+    fz = sub.add_parser(
+        "fuzz", help="generative scenario fuzzer (seeded pathology compositions)"
+    )
+    fz.set_defaults(func=_cmd_fuzz)
+    fz_sub = fz.add_subparsers(dest="fuzz_command", required=True)
+    gen = fz_sub.add_parser(
+        "generate", help="sample compositions and print their derived ground truth"
+    )
+    gen.add_argument("--seed", type=int, default=0, help="root seed of the composition stream")
+    gen.add_argument("--count", type=int, default=10, help="how many compositions to sample")
+    sweep = fz_sub.add_parser(
+        "sweep",
+        help="build each sampled composition, score the expert rules, and "
+        "render the per-pathology confusion matrix",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="root seed of the composition stream")
+    sweep.add_argument("--count", type=int, default=10, help="how many compositions to sweep")
+    sweep.add_argument("--build-seed", type=int, default=0, help="seed for the trace builds")
+    sweep.add_argument(
+        "--out", default=None, help="also write the rendered confusion matrix to this file"
+    )
+    ramp = fz_sub.add_parser(
+        "ramp", help="binary-search the masking intensity at which each rule stops firing"
+    )
+    ramp.add_argument("--seed", type=int, default=0, help="seed for the ramp trace builds")
+    ramp.add_argument(
+        "--iterations", type=int, default=6, help="bisection steps per ramp (resolution 2^-n)"
+    )
 
     ev = sub.add_parser("evaluate", help="run the Table IV evaluation harness")
     ev.add_argument("--traces", default="", help="comma-separated trace ids (default: all 40)")
@@ -266,13 +299,54 @@ def _cmd_series(args) -> int:
     return 0
 
 
+def _select_scenarios_or_fail(tokens: list[str]):
+    """Select scenarios, or print the friendly selector error and return None.
+
+    The shared exit-2 error path for every CLI surface that accepts
+    scenario selectors (``evaluate --scenarios``, ``list-scenarios
+    --tag``): unknown tokens get the same hints everywhere.
+    """
+    from repro.workloads.scenarios import (
+        DIFFICULTIES,
+        ScenarioNotFoundError,
+        available_tags,
+        select_scenarios,
+    )
+
+    try:
+        return select_scenarios(tokens)
+    except ScenarioNotFoundError as exc:
+        noun = "selector" if len(exc.unknown) == 1 else "selectors"
+        print(f"error: unknown scenario {noun}: {', '.join(exc.unknown)}", file=sys.stderr)
+        # Difficulty selectors are case-sensitive like every other
+        # token; a near-miss on one gets a targeted hint.
+        for token in exc.unknown:
+            if token.lower() in DIFFICULTIES and token not in DIFFICULTIES:
+                print(
+                    f"hint: difficulty tiers are lowercase — did you mean "
+                    f"{token.lower()!r}?",
+                    file=sys.stderr,
+                )
+        print(
+            "selectors match a scenario name, tag, source, or difficulty;",
+            file=sys.stderr,
+        )
+        print(f"difficulty tiers: {', '.join(DIFFICULTIES)}", file=sys.stderr)
+        print(f"available tags: {', '.join(available_tags())}", file=sys.stderr)
+        print("available scenarios: see `python -m repro list-scenarios`", file=sys.stderr)
+        return None
+
+
 def _cmd_list_scenarios(args) -> int:
     from repro.workloads.scenarios import iter_scenarios
 
-    scenarios = iter_scenarios(getattr(args, "tag", None))
-    if not scenarios:
-        print(f"no scenarios match {args.tag!r}", file=sys.stderr)
-        return 2
+    tag = getattr(args, "tag", None)
+    if tag is not None:
+        scenarios = _select_scenarios_or_fail([tag])
+        if scenarios is None:
+            return 2
+    else:
+        scenarios = iter_scenarios(None)
     width = max(len(s.name) for s in scenarios)
     for s in scenarios:
         causes = ",".join(sorted(s.root_causes)) or "<clean>"
@@ -320,12 +394,7 @@ def _cmd_evaluate(args) -> int:
     from repro.tracebench import build_tracebench
     from repro.tracebench.dataset import TraceBench
     from repro.tracebench.spec import TRACE_SPECS
-    from repro.workloads.scenarios import (
-        ScenarioNotFoundError,
-        available_tags,
-        build_scenario,
-        select_scenarios,
-    )
+    from repro.workloads.scenarios import build_scenario
 
     # The full 40-trace build is only paid when a TraceBench trace is
     # actually evaluated; pathology-only runs never touch it.
@@ -340,35 +409,8 @@ def _cmd_evaluate(args) -> int:
     selected = []
     if args.scenarios:
         tokens = [t.strip() for t in args.scenarios.split(",") if t.strip()]
-        try:
-            scenarios = select_scenarios(tokens)
-        except ScenarioNotFoundError as exc:
-            from repro.workloads.scenarios import DIFFICULTIES
-
-            noun = "selector" if len(exc.unknown) == 1 else "selectors"
-            print(
-                f"error: unknown scenario {noun}: {', '.join(exc.unknown)}",
-                file=sys.stderr,
-            )
-            # Difficulty selectors are case-sensitive like every other
-            # token; a near-miss on one gets a targeted hint.
-            for token in exc.unknown:
-                if token.lower() in DIFFICULTIES and token not in DIFFICULTIES:
-                    print(
-                        f"hint: difficulty tiers are lowercase — did you mean "
-                        f"{token.lower()!r}?",
-                        file=sys.stderr,
-                    )
-            print(
-                "selectors match a scenario name, tag, source, or difficulty;",
-                file=sys.stderr,
-            )
-            print(
-                f"difficulty tiers: {', '.join(DIFFICULTIES)}",
-                file=sys.stderr,
-            )
-            print(f"available tags: {', '.join(available_tags())}", file=sys.stderr)
-            print("available scenarios: see `python -m repro list-scenarios`", file=sys.stderr)
+        scenarios = _select_scenarios_or_fail(tokens)
+        if scenarios is None:
             return 2
         # The memoized TraceBench build already holds the tracebench-tagged
         # traces; anything else (e.g. the pathology tier) builds fresh.
@@ -393,7 +435,69 @@ def _cmd_evaluate(args) -> int:
         bench, tools=tools, progress=lambda msg: print(f"  {msg}", file=sys.stderr)
     )
     print(render_table4(result))
+    # Generated scenarios add the per-pathology view: across the fuzz
+    # sweep, which *rules* held up (confusion counts per issue key)?
+    fuzz_traces = [t for t in selected if t.source == "fuzz"]
+    if fuzz_traces:
+        from repro.evaluation.confusion import ConfusionMatrix
+        from repro.evaluation.detector import detected_issues
+
+        pairs = [(detected_issues(t.log), set(t.labels)) for t in fuzz_traces]
+        print()
+        print(ConfusionMatrix.from_pairs(pairs).render("Fuzz tier confusion (expert rules)"))
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.evaluation.detector import detected_issues
+    from repro.workloads.fuzz import RAMPS, find_detection_threshold, generate_compositions
+
+    if args.fuzz_command == "generate":
+        for comp in generate_compositions(args.seed, args.count):
+            print(comp.name)
+            print(
+                f"  nprocs={comp.nprocs} num_osts={comp.num_osts} "
+                f"labels={','.join(sorted(comp.labels))}"
+            )
+            print(f"  {comp.description}")
+        return 0
+
+    if args.fuzz_command == "ramp":
+        for ramp in RAMPS:
+            result = find_detection_threshold(
+                ramp, detected_issues, seed=args.seed, iterations=args.iterations
+            )
+            print(
+                f"{result.ramp:24s} {result.issue_key:20s} "
+                f"detected at {result.detected_at:.3f}, masked at {result.masked_at:.3f} "
+                f"(threshold ~{result.threshold:.3f})"
+            )
+        return 0
+
+    # sweep
+    from repro.evaluation.confusion import ConfusionMatrix
+    from repro.workloads.scenarios import build_scenario
+
+    pairs = []
+    misses = 0
+    for comp in generate_compositions(args.seed, args.count):
+        trace = build_scenario(comp.scenario(), seed=args.build_seed)
+        detected = detected_issues(trace.log)
+        labels = set(trace.labels)
+        pairs.append((detected, labels))
+        missing = labels - detected
+        if missing:
+            misses += 1
+            print(f"MISS {comp.name}: not recovered: {', '.join(sorted(missing))}")
+        else:
+            print(f"ok   {comp.name}")
+    rendered = ConfusionMatrix.from_pairs(pairs).render("Fuzz sweep confusion (expert rules)")
+    print()
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    return 1 if misses else 0
 
 
 def main(argv: list[str] | None = None) -> int:

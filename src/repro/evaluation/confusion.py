@@ -1,0 +1,102 @@
+"""Per-pathology confusion matrices over labeled scenario sweeps.
+
+Table IV scores each *tool* over each *trace*; this module pivots the
+same confusion counts the other way: one row per **issue key**, counting
+across a whole sweep how often that pathology was recovered when
+injected (true positives), reported when absent (false positives), and
+missed when present (false negatives).  Each cell reuses
+:class:`~repro.evaluation.accuracy.MatchStats`, so precision/recall/F1
+carry the exact same semantics as the per-trace accuracy numbers.
+
+This is the natural rendering for the generated fuzz tier, where the
+question is not "how good is tool X on trace Y" but "which *rules* hold
+up across a distribution of compositions" (see ``repro fuzz sweep`` and
+the fuzz gate in ``benchmarks/eval_gate.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.issues import ISSUE_KEYS
+from repro.evaluation.accuracy import MatchStats
+
+__all__ = ["ConfusionMatrix"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Per-issue confusion counts aggregated over many (detected, labels) pairs."""
+
+    cells: dict[str, MatchStats]
+    n_traces: int
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[Iterable[str], Iterable[str]]]
+    ) -> ConfusionMatrix:
+        """Aggregate ``(detected, labels)`` pairs, one per trace.
+
+        For each issue key, a trace contributes one true positive if the
+        key is both detected and labeled, one false positive if detected
+        only, and one miss if labeled only.
+        """
+        tp: dict[str, int] = {}
+        fp: dict[str, int] = {}
+        fn: dict[str, int] = {}
+        n = 0
+        for detected_it, labels_it in pairs:
+            n += 1
+            detected, labels = set(detected_it), set(labels_it)
+            for key in detected & labels:
+                tp[key] = tp.get(key, 0) + 1
+            for key in detected - labels:
+                fp[key] = fp.get(key, 0) + 1
+            for key in labels - detected:
+                fn[key] = fn.get(key, 0) + 1
+        cells = {
+            key: MatchStats(
+                matched=tp.get(key, 0),
+                false_positives=fp.get(key, 0),
+                missed=fn.get(key, 0),
+            )
+            for key in set(tp) | set(fp) | set(fn)
+        }
+        return cls(cells=cells, n_traces=n)
+
+    def totals(self) -> MatchStats:
+        """Micro-average: confusion counts summed over every issue key."""
+        return MatchStats(
+            matched=sum(s.matched for s in self.cells.values()),
+            false_positives=sum(s.false_positives for s in self.cells.values()),
+            missed=sum(s.missed for s in self.cells.values()),
+        )
+
+    def recall_for(self, key: str) -> float:
+        """Recall for one issue key (1.0 when the key never occurs)."""
+        stats = self.cells.get(key)
+        return stats.recall if stats is not None else 1.0
+
+    def render(self, title: str = "Per-pathology confusion matrix") -> str:
+        """A fixed-width table, issue keys in canonical taxonomy order."""
+        ordered = [k for k in ISSUE_KEYS if k in self.cells]
+        ordered += sorted(set(self.cells) - set(ordered))
+        header = (
+            f"{'issue':24s} {'tp':>4s} {'fp':>4s} {'fn':>4s} "
+            f"{'prec':>6s} {'recall':>6s} {'f1':>6s}"
+        )
+        lines = [f"{title} ({self.n_traces} traces)", header, "-" * len(header)]
+        for key in ordered:
+            s = self.cells[key]
+            lines.append(
+                f"{key:24s} {s.matched:4d} {s.false_positives:4d} {s.missed:4d} "
+                f"{s.precision:6.2f} {s.recall:6.2f} {s.f1:6.2f}"
+            )
+        t = self.totals()
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'(micro total)':24s} {t.matched:4d} {t.false_positives:4d} {t.missed:4d} "
+            f"{t.precision:6.2f} {t.recall:6.2f} {t.f1:6.2f}"
+        )
+        return "\n".join(lines)

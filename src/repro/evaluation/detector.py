@@ -1,0 +1,26 @@
+"""The deterministic expert-rule detector over both evidence channels.
+
+One function: run the counter summaries and the DXT temporal kernels over
+a trace and apply the expert rules — no LLM, no sampling, no tools.  This
+is the grounding oracle the evaluation gate, the fuzz sweep, and the
+confusion-matrix surface all share: what the *rules* can recover from a
+log, independent of any agent built on top of them.
+"""
+
+from __future__ import annotations
+
+from repro.core.summaries import app_context_facts, extract_fragments
+from repro.darshan.dxt import dxt_temporal_facts
+from repro.darshan.log import DarshanLog
+from repro.llm.reasoning import infer_findings
+
+__all__ = ["detected_issues"]
+
+
+def detected_issues(log: DarshanLog) -> set[str]:
+    """Issue keys the expert rules recover from both evidence channels."""
+    facts = app_context_facts(log)
+    for fragment in extract_fragments(log):
+        facts.extend(fragment.facts)
+    facts.extend(dxt_temporal_facts(log.dxt_segments or []))
+    return {f.issue_key for f in infer_findings(facts)}

@@ -35,6 +35,7 @@ SOURCE_TITLES = {
     "io500": "IO500",
     "real-applications": "Real-Applications",
     "pathology": "Pathology",
+    "fuzz": "Fuzz",
 }
 
 

@@ -1,0 +1,837 @@
+"""Generative scenario fuzzer: seeded pathology compositions with derived labels.
+
+The 61 curated scenarios pin the diagnosis pipeline at 61 points; this
+module turns them into a *distribution*.  A seeded generator samples
+compositions of 2-4 existing pathology phases (false sharing, metadata
+churn, checkpoint bursts, stragglers, slow OSTs, fsync floods, ...) with
+randomized intensities, sizes, rank counts, and OST layouts.  Ground-truth
+labels are **derived from the injected phases**, not asserted by hand:
+every ingredient draw sizes itself so the corresponding expert rule is
+guaranteed to clear its threshold (request counts above
+``small_min_requests``, metadata visits sized against a generous upper
+bound of the composition's data time, stdio volume proportional to the
+POSIX write volume, ...), and conversely stays clear of every *other*
+rule's trigger (shared-file records held under 16 MiB where the label is
+not intended, checkpoint gap counts kept below the stall rule's minimum,
+OST layouts kept symmetric).
+
+Three surfaces:
+
+- :func:`generate_compositions` / :func:`generate_scenarios` — the seeded
+  sampler.  Generation is a pure function of ``(seed, index)`` via
+  :func:`repro.util.rng.rng_for`, so the same seed reproduces the same
+  scenario set in any process, and a longer sweep is a strict prefix
+  extension of a shorter one.
+- :data:`ADVERSARIAL_PAIRS` — fixed bare/masked twins generalizing
+  path21's masking idea to the counter rules: the masked twin adds a
+  *diluting* workload that pushes a firing rule back under its threshold
+  while the injected pathology is still present.  The recall gap on the
+  masked twins is a documented, asserted known gap (see
+  ``benchmarks/eval_gate.py``).
+- :data:`RAMPS` / :func:`find_detection_threshold` — intensity ramps that
+  binary-search the masking intensity at which an expert rule stops
+  firing, measuring each rule's empirical detection threshold.
+
+Every sample registers as a normal :class:`~repro.workloads.scenarios.Scenario`
+under the ``fuzz`` tag, so the harness, batch runner, and CLI consume the
+generated tier unchanged (``python -m repro evaluate --scenarios fuzz``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.timing import PerfModel
+from repro.util.rng import rng_for
+from repro.util.units import KiB, MiB
+from repro.workloads.base import PhaseFn, Workload
+from repro.workloads.patterns import (
+    checkpoint_burst_phase,
+    data_phase,
+    false_sharing_phase,
+    fsync_per_write_phase,
+    interference_stall_phase,
+    lock_convoy_phase,
+    metadata_churn_phase,
+    repetitive_read_phase,
+    stdio_phase,
+    straggler_phase,
+)
+from repro.workloads.scenarios import Scenario, register_scenario
+
+DEFAULT_FUZZ_SEED = 0
+DEFAULT_FUZZ_COUNT = 10
+FUZZ_SOURCE = "fuzz"
+COMPOSITION_TAGS = ("fuzz", "fuzz-composition")
+ADVERSARIAL_TAGS = ("fuzz", "fuzz-adversarial")
+
+# Mirrors of the simulator's PerfModel defaults, used only to *upper-bound*
+# data time when sizing the metadata-churn ingredient (overestimating data
+# time merely makes the churn larger, never mislabels).
+_OP_LAT = 50e-6
+_BW = 500.0 * MiB  # bytes/second per OST lane
+_SEEK = 2e-3
+_VISIT_SECONDS = 3 * 400e-6  # open + stat + close, each one MDT round-trip
+# MPI-IO requests lower 1:1 to POSIX; time can be attributed to both module
+# records, so MPI-IO ingredients double their estimate to stay an upper bound.
+_MPIIO_TIME = 2.0
+
+_TEMPORAL_PRIMARIES = ("straggler", "slowost", "lockconvoy", "interfstall")
+_PRIMARIES = ("falseshare", "stride", "checkpoint", "fsyncflood") + _TEMPORAL_PRIMARIES
+
+
+@dataclass(frozen=True)
+class IngredientDraw:
+    """One sampled pathology phase plus everything label derivation needs."""
+
+    key: str
+    summary: str
+    labels: frozenset[str]
+    phase: PhaseFn
+    data_seconds: float  # generous upper estimate of the phase's data time
+    posix_write_bytes: int  # bytes written through POSIX (incl. lowered MPI-IO)
+    mpiio: bool
+    perf: PerfModel | None = None
+    slow_osts: dict[int, float] = field(default_factory=dict)
+    stripe_overrides: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+
+
+def _draw_false_sharing(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    record = int(rng.choice((512, 1024)))
+    count = -(-int(rng.integers(1200, 2001)) // nprocs)
+    n_ops = count * nprocs
+    # record * n_ops <= 2 MiB: far below the 16 MiB shared-file threshold,
+    # so shared_file_access is intentionally absent from the label set.
+    return IngredientDraw(
+        key="falseshare",
+        summary=f"false sharing: {n_ops} interleaved {record} B records",
+        labels=frozenset({"small_write", "misaligned_write", "no_collective_write"}),
+        phase=false_sharing_phase(f"{root}/falseshare.dat", record, count),
+        data_seconds=n_ops * (_OP_LAT + record / _BW + _SEEK) * _MPIIO_TIME,
+        posix_write_bytes=record * n_ops,
+        mpiio=True,
+    )
+
+
+def _draw_stride(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    count = -(-24 // nprocs) + int(rng.integers(0, max(2, 40 // nprocs)))
+    n_ops = count * nprocs
+    return IngredientDraw(
+        key="stride",
+        summary=f"misaligned stride: {n_ops} x 1 MiB shifted 2080 B off every boundary",
+        labels=frozenset({"misaligned_write", "shared_file_access", "no_collective_write"}),
+        phase=data_phase(
+            f"{root}/stride.dat",
+            "write",
+            1 * MiB,
+            count,
+            api="mpiio",
+            layout="shared",
+            pattern="strided",
+            unaligned_shim=2080,
+            mem_aligned=False,
+        ),
+        data_seconds=n_ops * (_OP_LAT + 1 * MiB / _BW + _SEEK) * _MPIIO_TIME,
+        posix_write_bytes=n_ops * MiB,
+        mpiio=True,
+    )
+
+
+def _draw_checkpoint(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    writes_per_burst = int(rng.integers(6, 11))
+    bursts = int(rng.integers(3, 6))  # <= 4 compute gaps: below the stall rule's 6
+    while writes_per_burst * bursts * nprocs < 80:  # keep the shared record >= 20 MiB
+        writes_per_burst += 1
+    n_ops = writes_per_burst * bursts * nprocs
+    return IngredientDraw(
+        key="checkpoint",
+        summary=f"checkpoint bursts: {bursts} x {writes_per_burst} x 256 KiB per rank",
+        labels=frozenset({"shared_file_access", "no_collective_write"}),
+        phase=checkpoint_burst_phase(
+            f"{root}/checkpoint.dat", 256 * KiB, writes_per_burst, bursts
+        ),
+        data_seconds=n_ops * (_OP_LAT + 256 * KiB / _BW + _SEEK) * _MPIIO_TIME,
+        posix_write_bytes=n_ops * 256 * KiB,
+        mpiio=True,
+    )
+
+
+def _draw_fsync_flood(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    count = -(-2400 // nprocs) + int(rng.integers(0, max(2, 400 // nprocs)))
+    n_ops = count * nprocs
+    return IngredientDraw(
+        key="fsyncflood",
+        summary=f"fsync flood: {n_ops} x 4 KiB appends, each with its own fsync",
+        labels=frozenset({"small_write", "high_metadata_load"}),
+        phase=fsync_per_write_phase(f"{root}/wal.dat", 4 * KiB, count),
+        data_seconds=n_ops * (_OP_LAT + 4 * KiB / _BW),
+        posix_write_bytes=n_ops * 4 * KiB,
+        perf=PerfModel(sync_latency=2e-3),
+        mpiio=False,
+    )
+
+
+def _draw_straggler(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    count = int(rng.integers(16, 33))
+    straggler_rank = int(rng.integers(0, nprocs))
+    slow_factor = 256
+    return IngredientDraw(
+        key="straggler",
+        summary=(
+            f"straggler: rank {straggler_rank} trickles its {count} MiB "
+            f"in {slow_factor}x smaller pieces"
+        ),
+        labels=frozenset(
+            {"rank_imbalance", "shared_file_access", "small_write", "no_collective_write"}
+        ),
+        phase=straggler_phase(
+            f"{root}/field.dat",
+            1 * MiB,
+            count,
+            straggler_rank=straggler_rank,
+            slow_factor=slow_factor,
+        ),
+        data_seconds=(
+            count * slow_factor * (_OP_LAT + 4 * KiB / _BW)
+            + (nprocs - 1) * count * (_OP_LAT + 1 * MiB / _BW + _SEEK)
+        )
+        * _MPIIO_TIME,
+        posix_write_bytes=count * nprocs * MiB,
+        mpiio=True,
+    )
+
+
+def _draw_slow_ost(
+    rng: np.random.Generator, nprocs: int, num_osts: int, root: str
+) -> IngredientDraw:
+    count = -(-160 // nprocs) + int(rng.integers(0, max(2, 96 // nprocs)))
+    n_ops = count * nprocs
+    ost = int(rng.integers(0, num_osts))
+    factor = float(rng.choice((4.0, 5.0, 6.0)))
+    path = f"{root}/hotspot.dat"
+    return IngredientDraw(
+        key="slowost",
+        summary=f"slow OST: stripe-wide shared write with OST {ost} serving {factor:.0f}x slower",
+        labels=frozenset({"server_imbalance", "shared_file_access", "no_collective_write"}),
+        phase=data_phase(path, "write", 1 * MiB, count, api="mpiio", layout="shared"),
+        data_seconds=n_ops
+        * (_OP_LAT + 1 * MiB / _BW + _SEEK)
+        * (1.0 + (factor - 1.0) / num_osts)
+        * _MPIIO_TIME,
+        posix_write_bytes=n_ops * MiB,
+        mpiio=True,
+        slow_osts={ost: factor},
+        stripe_overrides={path: (1 * MiB, num_osts, 0)},
+    )
+
+
+def _draw_lock_convoy(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    rounds = -(-520 // nprocs) + int(rng.integers(0, 41))
+    n_ops = rounds * nprocs
+    return IngredientDraw(
+        key="lockconvoy",
+        summary=f"lock convoy: {rounds} rounds of token-passing 64 KiB shared writes",
+        labels=frozenset(
+            {"lock_contention", "shared_file_access", "small_write", "no_collective_write"}
+        ),
+        phase=lock_convoy_phase(f"{root}/convoy.dat", 64 * KiB, rounds),
+        # The convoy serializes; bound data time by the full serialized span
+        # per rank in case lock waits are attributed to the writes.
+        data_seconds=n_ops * (_OP_LAT + 64 * KiB / _BW) * nprocs,
+        posix_write_bytes=n_ops * 64 * KiB,
+        mpiio=True,
+    )
+
+
+def _draw_interference_stall(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    writes_per_window = int(rng.integers(4, 9))
+    stalls = int(rng.integers(8, 13))  # comfortably above the 6-gap minimum
+    stall_seconds = round(float(rng.uniform(0.5, 0.9)), 2)
+    n_ops = writes_per_window * (stalls + 1) * nprocs
+    return IngredientDraw(
+        key="interfstall",
+        summary=(
+            f"interference: sequential streams frozen {stalls} times "
+            f"for {stall_seconds:.2f} s each"
+        ),
+        labels=frozenset({"io_stall"}),
+        phase=interference_stall_phase(
+            f"{root}/stream.dat",
+            1 * MiB,
+            writes_per_window,
+            stalls,
+            stall_seconds=stall_seconds,
+        ),
+        data_seconds=n_ops * (_OP_LAT + 1 * MiB / _BW),
+        posix_write_bytes=n_ops * MiB,
+        mpiio=False,
+    )
+
+
+def _draw_random_reader(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    count = -(-640 // nprocs) + int(rng.integers(0, max(2, 360 // nprocs)))
+    n_ops = count * nprocs
+    # n_ops * 4 KiB <= 4 MiB: below the shared-file threshold by design.
+    return IngredientDraw(
+        key="randread",
+        summary=f"random reader: {n_ops} shuffled 4 KiB reads on one shared file",
+        labels=frozenset({"random_read", "small_read"}),
+        phase=data_phase(
+            f"{root}/lookup.dat", "read", 4 * KiB, count, layout="shared", pattern="random"
+        ),
+        data_seconds=n_ops * (_OP_LAT + 4 * KiB / _BW + _SEEK),
+        posix_write_bytes=0,
+        mpiio=False,
+    )
+
+
+def _draw_repetitive_reader(rng: np.random.Generator, nprocs: int, root: str) -> IngredientDraw:
+    repeats = int(rng.integers(6, 13))
+    region = 8 * MiB
+    passes = region // MiB
+    return IngredientDraw(
+        key="reread",
+        summary=f"repetitive reader: every rank re-reads the same 8 MiB {repeats} times",
+        labels=frozenset({"repetitive_read", "shared_file_access"}),
+        phase=repetitive_read_phase(f"{root}/input.dat", region, 1 * MiB, repeats),
+        data_seconds=nprocs * repeats * (passes * (_OP_LAT + 1 * MiB / _BW) + _SEEK),
+        posix_write_bytes=0,
+        mpiio=False,
+    )
+
+
+def _draw_stdio_log(
+    rng: np.random.Generator, nprocs: int, root: str, posix_write_bytes: int
+) -> IngredientDraw:
+    # The stdio share rule needs STDIO bytes >= 30% of all bytes written;
+    # size the log stream proportionally to the composition's POSIX volume.
+    ratio = float(rng.uniform(0.8, 1.6))
+    total = max(int(ratio * posix_write_bytes), 2 * MiB)
+    count = -(-total // (8 * KiB * nprocs))
+    n_ops = count * nprocs
+    return IngredientDraw(
+        key="stdio",
+        summary=f"stdio log: {n_ops} x 8 KiB fprintf-style appends",
+        labels=frozenset({"low_level_write"}),
+        phase=stdio_phase(f"{root}/app.log", "write", 8 * KiB, count),
+        data_seconds=n_ops * (_OP_LAT + 8 * KiB / _BW),
+        posix_write_bytes=0,
+        mpiio=False,
+    )
+
+
+def _draw_churn(
+    rng: np.random.Generator, nprocs: int, root: str, data_seconds: float
+) -> IngredientDraw:
+    cycles = int(rng.choice((2, 3)))
+    # Size the flood so metadata time clears the 40% fraction with margin
+    # against the (over-estimated) data time of every other ingredient,
+    # and op count clears the 2000-op minimum.
+    visits = max(1000, math.ceil(1.2 * data_seconds / _VISIT_SECONDS))
+    files = max(1, -(-visits // (nprocs * (1 + cycles))))
+    n_visits = files * nprocs * (1 + cycles)
+    return IngredientDraw(
+        key="churn",
+        summary=f"metadata churn: {n_visits} open/stat/close visits over {files * nprocs} files",
+        labels=frozenset({"high_metadata_load"}),
+        phase=metadata_churn_phase(f"{root}/staging", files, cycles=cycles),
+        data_seconds=0.0,
+        posix_write_bytes=0,
+        mpiio=False,
+    )
+
+
+@dataclass(frozen=True)
+class FuzzComposition:
+    """One sampled composition: 2-4 pathology phases plus derived ground truth."""
+
+    seed: int
+    index: int
+    nprocs: int
+    num_osts: int
+    primary: str
+    ingredients: tuple[IngredientDraw, ...]  # in phase order
+    labels: frozenset[str]
+
+    @property
+    def name(self) -> str:
+        keys = "+".join(d.key for d in self.ingredients)
+        return f"fuzz-s{self.seed}-{self.index:03d}-{keys}"
+
+    @property
+    def description(self) -> str:
+        return "; ".join(d.summary for d in self.ingredients)
+
+    def workload(self) -> Workload:
+        perf: PerfModel | None = None
+        slow_osts: dict[int, float] = {}
+        stripe_overrides: dict[str, tuple] = {}
+        for draw in self.ingredients:
+            if draw.perf is not None:
+                perf = draw.perf
+            slow_osts.update(draw.slow_osts)
+            stripe_overrides.update(draw.stripe_overrides)
+        return Workload(
+            name=self.name,
+            exe=f"/opt/fuzz/{self.primary}",
+            nprocs=self.nprocs,
+            phases=tuple(d.phase for d in self.ingredients),
+            uses_mpi=any(d.mpiio for d in self.ingredients),
+            jobid=7000 + self.index,
+            num_osts=self.num_osts,
+            default_stripe_width=self.num_osts,
+            stripe_overrides=stripe_overrides,
+            perf=perf,
+            slow_osts=slow_osts,
+        )
+
+    def scenario(self) -> Scenario:
+        return Scenario(
+            name=self.name,
+            source=FUZZ_SOURCE,
+            builder=self.workload,
+            root_causes=self.labels,
+            difficulty="medium",
+            tags=COMPOSITION_TAGS,
+            description=self.description,
+        )
+
+
+def sample_composition(seed: int, index: int) -> FuzzComposition:
+    """Sample composition ``index`` of the stream rooted at ``seed``.
+
+    A pure function of ``(seed, index)``: the RNG is scoped per index, so
+    sweeps are prefix-stable and reproducible across processes.
+    """
+    rng = rng_for(seed, "fuzz", index)
+    nprocs = int(rng.choice((4, 8, 16)))
+    num_osts = int(rng.choice((4, 8)))
+    primary_key = str(rng.choice(_PRIMARIES))
+    root = f"/scratch/fuzz/s{seed}/{index:03d}"
+
+    if primary_key in _TEMPORAL_PRIMARIES:
+        # Temporal ground truth must own the DXT span: metadata churn is the
+        # only secondary that emits no segments at all.
+        secondary_keys = ["churn"]
+    elif primary_key == "fsyncflood":
+        pool: tuple[str, ...] = ("churn", "stdio")
+        n = int(rng.integers(1, len(pool) + 1))
+        secondary_keys = [str(k) for k in rng.choice(pool, size=n, replace=False)]
+    else:
+        pool = ("reader", "churn", "stdio")
+        n = int(rng.integers(1, len(pool) + 1))
+        secondary_keys = [str(k) for k in rng.choice(pool, size=n, replace=False)]
+    if "reader" in secondary_keys:
+        kind = str(rng.choice(("randread", "reread")))
+        secondary_keys[secondary_keys.index("reader")] = kind
+
+    if primary_key == "falseshare":
+        primary = _draw_false_sharing(rng, nprocs, root)
+    elif primary_key == "stride":
+        primary = _draw_stride(rng, nprocs, root)
+    elif primary_key == "checkpoint":
+        primary = _draw_checkpoint(rng, nprocs, root)
+    elif primary_key == "fsyncflood":
+        primary = _draw_fsync_flood(rng, nprocs, root)
+    elif primary_key == "straggler":
+        primary = _draw_straggler(rng, nprocs, root)
+    elif primary_key == "slowost":
+        primary = _draw_slow_ost(rng, nprocs, num_osts, root)
+    elif primary_key == "lockconvoy":
+        primary = _draw_lock_convoy(rng, nprocs, root)
+    else:
+        primary = _draw_interference_stall(rng, nprocs, root)
+
+    reader: IngredientDraw | None = None
+    if "randread" in secondary_keys:
+        reader = _draw_random_reader(rng, nprocs, root)
+    elif "reread" in secondary_keys:
+        reader = _draw_repetitive_reader(rng, nprocs, root)
+
+    stdio: IngredientDraw | None = None
+    if "stdio" in secondary_keys:
+        stdio = _draw_stdio_log(rng, nprocs, root, primary.posix_write_bytes)
+
+    churn: IngredientDraw | None = None
+    if "churn" in secondary_keys:
+        others = [primary] + [d for d in (reader, stdio) if d is not None]
+        churn = _draw_churn(rng, nprocs, root, sum(d.data_seconds for d in others))
+
+    # Phase order: churn (no DXT segments) first, readers next, the primary
+    # pathology, then the stdio log stream.
+    ingredients = tuple(d for d in (churn, reader, primary, stdio) if d is not None)
+    labels = frozenset().union(*(d.labels for d in ingredients))
+    if not any(d.mpiio for d in ingredients):
+        labels |= {"no_mpi"}
+    return FuzzComposition(
+        seed=seed,
+        index=index,
+        nprocs=nprocs,
+        num_osts=num_osts,
+        primary=primary.key,
+        ingredients=ingredients,
+        labels=labels,
+    )
+
+
+def generate_compositions(
+    seed: int = DEFAULT_FUZZ_SEED, count: int = DEFAULT_FUZZ_COUNT
+) -> list[FuzzComposition]:
+    """The first ``count`` compositions of the stream rooted at ``seed``."""
+    return [sample_composition(seed, i) for i in range(count)]
+
+
+def generate_scenarios(
+    seed: int = DEFAULT_FUZZ_SEED, count: int = DEFAULT_FUZZ_COUNT
+) -> list[Scenario]:
+    """The same stream, packaged as registrable scenarios."""
+    return [c.scenario() for c in generate_compositions(seed, count)]
+
+
+# --------------------------------------------------------------------------
+# Adversarial pairs: pathology + masking workload
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdversarialPair:
+    """A bare pathology and a masked twin that dilutes its counter signature.
+
+    ``masked_keys`` are recoverable from the bare trace but pushed back
+    under their rule's threshold in the masked twin — the *known gap* the
+    evaluation gate documents and asserts.
+    """
+
+    name: str
+    bare_name: str
+    masked_name: str
+    masked_keys: frozenset[str]
+    description: str
+
+
+_ADV_ROOT = "/scratch/fuzz/adv"
+
+
+def _adv_small_write_bare() -> Workload:
+    return Workload(
+        name="fuzz-adv-smallwrite-bare",
+        exe="/opt/fuzz/adv",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(false_sharing_phase(f"{_ADV_ROOT}/records.dat", 1024, 320),),
+    )
+
+
+def _adv_small_write_masked() -> Workload:
+    # 3840 aligned 1 MiB writes dilute 2560 interleaved 1 KiB records:
+    # small fraction 0.40 < 0.60, unaligned fraction 0.30 < 0.50.
+    return Workload(
+        name="fuzz-adv-smallwrite-masked",
+        exe="/opt/fuzz/adv",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        phases=(
+            false_sharing_phase(f"{_ADV_ROOT}/records.dat", 1024, 320),
+            data_phase(f"{_ADV_ROOT}/bulk.dat", "write", 1 * MiB, 480, api="mpiio"),
+        ),
+    )
+
+
+def _adv_metadata_bare() -> Workload:
+    return Workload(
+        name="fuzz-adv-metadata-bare",
+        exe="/opt/fuzz/adv",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        uses_mpi=False,
+        phases=(metadata_churn_phase(f"{_ADV_ROOT}/staging", 120, cycles=2),),
+    )
+
+
+def _adv_metadata_masked() -> Workload:
+    # ~8.2 s of bulk sequential data time dilutes ~3.5 s of metadata time:
+    # the metadata fraction drops to ~0.30 < 0.40.
+    return Workload(
+        name="fuzz-adv-metadata-masked",
+        exe="/opt/fuzz/adv",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        uses_mpi=False,
+        phases=(
+            metadata_churn_phase(f"{_ADV_ROOT}/staging", 120, cycles=2),
+            data_phase(f"{_ADV_ROOT}/bulk.dat", "write", 1 * MiB, 500),
+        ),
+    )
+
+
+def _adv_random_read_bare() -> Workload:
+    return Workload(
+        name="fuzz-adv-randread-bare",
+        exe="/opt/fuzz/adv",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        uses_mpi=False,
+        phases=(
+            data_phase(
+                f"{_ADV_ROOT}/lookup.dat", "read", 4 * KiB, 800, layout="shared", pattern="random"
+            ),
+        ),
+    )
+
+
+def _adv_random_read_masked() -> Workload:
+    # 6400 sequential 1 MiB reads lift the sequential fraction to ~0.75 > 0.70
+    # and halve the small fraction to 0.50 < 0.60.
+    return Workload(
+        name="fuzz-adv-randread-masked",
+        exe="/opt/fuzz/adv",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        uses_mpi=False,
+        phases=(
+            data_phase(
+                f"{_ADV_ROOT}/lookup.dat", "read", 4 * KiB, 800, layout="shared", pattern="random"
+            ),
+            data_phase(f"{_ADV_ROOT}/scan.dat", "read", 1 * MiB, 800, layout="shared"),
+        ),
+    )
+
+
+_ADVERSARIAL_SPECS: tuple[tuple[AdversarialPair, Callable[[], Workload], Callable[[], Workload], frozenset[str]], ...] = (
+    (
+        AdversarialPair(
+            name="small-write-dilution",
+            bare_name="fuzz-adv-smallwrite-bare",
+            masked_name="fuzz-adv-smallwrite-masked",
+            masked_keys=frozenset({"small_write", "misaligned_write"}),
+            description=(
+                "bulk aligned 1 MiB writes dilute a false-sharing record stream "
+                "below the small-request and alignment thresholds"
+            ),
+        ),
+        _adv_small_write_bare,
+        _adv_small_write_masked,
+        frozenset({"small_write", "misaligned_write", "no_collective_write"}),
+    ),
+    (
+        AdversarialPair(
+            name="metadata-dilution",
+            bare_name="fuzz-adv-metadata-bare",
+            masked_name="fuzz-adv-metadata-masked",
+            masked_keys=frozenset({"high_metadata_load"}),
+            description=(
+                "a bulk write stream dilutes a metadata flood below the "
+                "40% metadata-time fraction"
+            ),
+        ),
+        _adv_metadata_bare,
+        _adv_metadata_masked,
+        frozenset({"high_metadata_load", "no_mpi"}),
+    ),
+    (
+        AdversarialPair(
+            name="random-read-dilution",
+            bare_name="fuzz-adv-randread-bare",
+            masked_name="fuzz-adv-randread-masked",
+            masked_keys=frozenset({"random_read", "small_read"}),
+            description=(
+                "a sequential scan lifts the sequential-read fraction over the "
+                "randomness threshold and dilutes the small-request fraction"
+            ),
+        ),
+        _adv_random_read_bare,
+        _adv_random_read_masked,
+        frozenset({"random_read", "small_read", "shared_file_access", "no_mpi"}),
+    ),
+)
+
+ADVERSARIAL_PAIRS: tuple[AdversarialPair, ...] = tuple(spec[0] for spec in _ADVERSARIAL_SPECS)
+
+
+def adversarial_scenarios() -> list[Scenario]:
+    """Both twins of every adversarial pair, as registrable scenarios.
+
+    The masked twin keeps the *injected* labels: its pathology is still
+    present, the counters just no longer show it.  The resulting recall
+    gap is the point — ``benchmarks/eval_gate.py`` asserts it holds.
+    """
+    scenarios: list[Scenario] = []
+    for pair, bare_builder, masked_builder, bare_labels in _ADVERSARIAL_SPECS:
+        scenarios.append(
+            Scenario(
+                name=pair.bare_name,
+                source=FUZZ_SOURCE,
+                builder=bare_builder,
+                root_causes=bare_labels,
+                difficulty="medium",
+                tags=ADVERSARIAL_TAGS,
+                description=f"{pair.description} (bare half: no mask applied)",
+            )
+        )
+        scenarios.append(
+            Scenario(
+                name=pair.masked_name,
+                source=FUZZ_SOURCE,
+                builder=masked_builder,
+                root_causes=bare_labels,
+                difficulty="medium",
+                tags=ADVERSARIAL_TAGS,
+                description=f"{pair.description} (masked half: known detection gap)",
+            )
+        )
+    return scenarios
+
+
+# --------------------------------------------------------------------------
+# Intensity ramps: binary-search a rule's detection threshold
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RampSpec:
+    """A family of workloads parameterized by masking intensity ``t`` in [0, 1].
+
+    At ``t = 0`` the pathology is undiluted and ``issue_key`` must be
+    detected; at ``t = 1`` the mask is strong enough that it must not be.
+    """
+
+    name: str
+    issue_key: str
+    description: str
+    build: Callable[[float], Workload]
+
+
+@dataclass(frozen=True)
+class ThresholdResult:
+    """Bracketing result of a threshold search over one ramp."""
+
+    ramp: str
+    issue_key: str
+    detected_at: float  # highest intensity still detected
+    masked_at: float  # lowest intensity observed masked
+
+    @property
+    def threshold(self) -> float:
+        return (self.detected_at + self.masked_at) / 2.0
+
+
+def _ramp_workload(name: str, phases: tuple[PhaseFn, ...], *, uses_mpi: bool = True) -> Workload:
+    return Workload(
+        name=name,
+        exe="/opt/fuzz/ramp",
+        nprocs=8,
+        num_osts=4,
+        default_stripe_width=4,
+        uses_mpi=uses_mpi,
+        phases=phases,
+    )
+
+
+def _ramp_small_write(t: float) -> Workload:
+    mask = round(t * 240)
+    phases: list[PhaseFn] = [false_sharing_phase(f"{_ADV_ROOT}/ramp-records.dat", 1024, 80)]
+    if mask:
+        phases.append(data_phase(f"{_ADV_ROOT}/ramp-bulk.dat", "write", 1 * MiB, mask, api="mpiio"))
+    return _ramp_workload("fuzz-ramp-smallwrite", tuple(phases))
+
+
+def _ramp_metadata(t: float) -> Workload:
+    mask = round(t * 500)
+    phases: list[PhaseFn] = [metadata_churn_phase(f"{_ADV_ROOT}/ramp-staging", 42, cycles=2)]
+    if mask:
+        phases.append(data_phase(f"{_ADV_ROOT}/ramp-bulk.dat", "write", 1 * MiB, mask))
+    return _ramp_workload("fuzz-ramp-metadata", tuple(phases), uses_mpi=False)
+
+
+def _ramp_random_read(t: float) -> Workload:
+    mask = round(t * 240)
+    phases: list[PhaseFn] = [
+        data_phase(
+            f"{_ADV_ROOT}/ramp-lookup.dat", "read", 4 * KiB, 80, layout="shared", pattern="random"
+        )
+    ]
+    if mask:
+        phases.append(data_phase(f"{_ADV_ROOT}/ramp-scan.dat", "read", 1 * MiB, mask, layout="shared"))
+    return _ramp_workload("fuzz-ramp-randread", tuple(phases), uses_mpi=False)
+
+
+RAMPS: tuple[RampSpec, ...] = (
+    RampSpec(
+        name="small-write-dilution",
+        issue_key="small_write",
+        description="aligned 1 MiB writes diluting a 1 KiB false-sharing stream",
+        build=_ramp_small_write,
+    ),
+    RampSpec(
+        name="metadata-dilution",
+        issue_key="high_metadata_load",
+        description="bulk data time diluting a fixed metadata flood",
+        build=_ramp_metadata,
+    ),
+    RampSpec(
+        name="random-read-dilution",
+        issue_key="random_read",
+        description="a sequential scan diluting a shuffled 4 KiB read stream",
+        build=_ramp_random_read,
+    ),
+)
+
+
+def find_detection_threshold(
+    ramp: RampSpec,
+    detect: Callable[[object], set[str]],
+    *,
+    seed: int = 0,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    iterations: int = 6,
+) -> ThresholdResult:
+    """Binary-search the masking intensity at which ``ramp.issue_key`` vanishes.
+
+    ``detect`` maps a built :class:`~repro.darshan.log.DarshanLog` to the
+    set of detected issue keys (injected, so the workload layer stays
+    independent of the evaluation layer).  Requires detection at ``lo``
+    and non-detection at ``hi``; returns the final bracket.
+    """
+
+    def detected(t: float) -> bool:
+        log, _ = ramp.build(t).run(seed=seed)
+        return ramp.issue_key in detect(log)
+
+    if not detected(lo):
+        raise ValueError(f"ramp {ramp.name!r}: {ramp.issue_key!r} not detected at intensity {lo}")
+    if detected(hi):
+        raise ValueError(f"ramp {ramp.name!r}: {ramp.issue_key!r} still detected at intensity {hi}")
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if detected(mid):
+            lo = mid
+        else:
+            hi = mid
+    return ThresholdResult(ramp=ramp.name, issue_key=ramp.issue_key, detected_at=lo, masked_at=hi)
+
+
+# --------------------------------------------------------------------------
+# Default registration: the pinned fuzz tier
+# --------------------------------------------------------------------------
+
+
+def register_default_fuzz_scenarios() -> None:
+    """Register the pinned-seed fuzz tier (compositions + adversarial twins)."""
+    for scenario in generate_scenarios():
+        register_scenario(scenario)
+    for scenario in adversarial_scenarios():
+        register_scenario(scenario)
+
+
+register_default_fuzz_scenarios()

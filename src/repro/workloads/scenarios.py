@@ -119,7 +119,11 @@ _REGISTRY: dict[str, Scenario] = {}
 
 # Built-in scenarios resolve lazily so importing the registry stays cheap
 # and cycle-free (spec -> workloads, pathologies -> patterns).
-_BUILTIN_MODULES = ("repro.tracebench.spec", "repro.workloads.pathologies")
+_BUILTIN_MODULES = (
+    "repro.tracebench.spec",
+    "repro.workloads.pathologies",
+    "repro.workloads.fuzz",
+)
 _builtins_loaded = False
 _builtins_loading = False  # reentrancy guard: builtins register during import
 

@@ -229,7 +229,9 @@ class TestCli:
 
     def test_list_scenarios_unknown_tag(self, capsys):
         assert main(["list-scenarios", "--tag", "nope"]) == 2
-        assert "no scenarios match" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown scenario selector: nope" in err
+        assert "available tags:" in err
 
     def test_evaluate_scenarios_selector(self, capsys):
         assert main(["evaluate", "--scenarios", "control"]) == 0

@@ -1,0 +1,285 @@
+"""The generative scenario fuzzer: sampling, grounding, adversarial gaps.
+
+The fuzzer's contract has three legs, each tested here: sampling is
+deterministic and prefix-stable (the same seed always yields the same
+compositions, byte-for-byte across processes), every derived label is
+recoverable by the expert rules from the built trace, and each
+adversarial pair *demonstrably* masks its rule — the documented known
+gap.  The per-pathology confusion matrix that scores the tier is pinned
+against a hand-computed fixture.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.issues import ISSUE_KEYS
+from repro.darshan.writer import render_darshan_text
+from repro.evaluation.accuracy import MatchStats
+from repro.evaluation.confusion import ConfusionMatrix
+from repro.evaluation.detector import detected_issues
+from repro.workloads.fuzz import (
+    ADVERSARIAL_PAIRS,
+    DEFAULT_FUZZ_COUNT,
+    DEFAULT_FUZZ_SEED,
+    RAMPS,
+    find_detection_threshold,
+    generate_compositions,
+    sample_composition,
+)
+from repro.workloads.scenarios import build_scenario, select_scenarios
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _digest(log) -> str:
+    text = render_darshan_text(log, include_dxt=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class TestSampling:
+    def test_composition_shape(self):
+        for index in range(6):
+            comp = sample_composition(3, index)
+            assert 2 <= len(comp.ingredients) <= 4
+            assert comp.labels <= set(ISSUE_KEYS)
+            for draw in comp.ingredients:
+                assert draw.labels <= comp.labels  # ground truth is the union
+            assert comp.nprocs in {4, 8, 16}
+            assert comp.num_osts in {4, 8}
+            assert comp.name.startswith(f"fuzz-s3-{index:03d}-")
+
+    def test_no_mpi_label_tracks_ingredients(self):
+        for index in range(8):
+            comp = sample_composition(5, index)
+            uses_mpi = any(d.mpiio for d in comp.ingredients)
+            assert ("no_mpi" in comp.labels) == (not uses_mpi)
+
+    def test_sampling_is_deterministic(self):
+        a = sample_composition(7, 2)
+        b = sample_composition(7, 2)
+        assert (a.name, a.labels, a.description) == (b.name, b.labels, b.description)
+        assert (a.nprocs, a.num_osts, a.primary) == (b.nprocs, b.num_osts, b.primary)
+        assert [d.key for d in a.ingredients] == [d.key for d in b.ingredients]
+
+    def test_stream_is_prefix_stable(self):
+        """Drawing 5 then 10 compositions agrees on the shared prefix."""
+        five = [c.name for c in generate_compositions(0, 5)]
+        ten = [c.name for c in generate_compositions(0, 10)]
+        assert ten[:5] == five
+
+    def test_build_is_byte_identical_in_process(self):
+        """Satellite contract: building twice yields identical digests."""
+        comp = sample_composition(4, 1)
+        first = build_scenario(comp.scenario(), seed=0)
+        second = build_scenario(comp.scenario(), seed=0)
+        assert _digest(first.log) == _digest(second.log)
+
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_build_is_byte_identical_across_processes(self, seed):
+        """Same fuzzer seed, fresh interpreter: the same trace bytes."""
+        comp = sample_composition(seed, 0)
+        local = _digest(build_scenario(comp.scenario(), seed=0).log)
+        script = (
+            "import hashlib\n"
+            "from repro.darshan.writer import render_darshan_text\n"
+            "from repro.workloads.fuzz import sample_composition\n"
+            "from repro.workloads.scenarios import build_scenario\n"
+            f"comp = sample_composition({seed}, 0)\n"
+            "trace = build_scenario(comp.scenario(), seed=0)\n"
+            "text = render_darshan_text(trace.log, include_dxt=True)\n"
+            "print(hashlib.sha256(text.encode('utf-8')).hexdigest(), end='')\n"
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        ).stdout
+        assert remote == local
+
+
+class TestRegistration:
+    def test_pinned_tier_registered(self):
+        fuzz = select_scenarios(["fuzz"])
+        assert len(fuzz) == DEFAULT_FUZZ_COUNT + 2 * len(ADVERSARIAL_PAIRS)
+        assert all(s.source == "fuzz" for s in fuzz)
+        compositions = select_scenarios(["fuzz-composition"])
+        assert len(compositions) == DEFAULT_FUZZ_COUNT
+        assert all(s.difficulty == "medium" for s in compositions)
+
+    def test_registered_names_match_pinned_stream(self):
+        expected = [
+            c.name for c in generate_compositions(DEFAULT_FUZZ_SEED, DEFAULT_FUZZ_COUNT)
+        ]
+        assert [s.name for s in select_scenarios(["fuzz-composition"])] == expected
+
+    def test_adversarial_twins_registered(self):
+        names = {s.name for s in select_scenarios(["fuzz-adversarial"])}
+        for pair in ADVERSARIAL_PAIRS:
+            assert pair.bare_name in names
+            assert pair.masked_name in names
+
+
+class TestGrounding:
+    @pytest.mark.parametrize(
+        "name", [s.name for s in select_scenarios(["fuzz-composition"])]
+    )
+    def test_derived_labels_recoverable(self, name):
+        """Every label the fuzzer derived, the expert rules recover."""
+        trace = build_scenario(name, seed=0)
+        assert set(trace.labels) <= detected_issues(trace.log)
+
+
+class TestAdversarial:
+    @pytest.mark.parametrize(
+        "pair", ADVERSARIAL_PAIRS, ids=[p.name for p in ADVERSARIAL_PAIRS]
+    )
+    def test_masking_demonstrated(self, pair):
+        """Bare twin detects the keys; the masked twin provably does not."""
+        bare = build_scenario(pair.bare_name, seed=0)
+        masked = build_scenario(pair.masked_name, seed=0)
+        assert pair.masked_keys <= detected_issues(bare.log)
+        assert not pair.masked_keys & detected_issues(masked.log)
+        # Twins share ground truth: labels record what was injected, so
+        # the masked twin is an honest false-negative row, not a relabel.
+        assert set(bare.labels) == set(masked.labels)
+
+
+class TestRamps:
+    def test_threshold_is_bisected_to_a_bracket(self):
+        ramp = RAMPS[0]
+        result = find_detection_threshold(ramp, detected_issues, seed=0, iterations=3)
+        assert result.ramp == ramp.name
+        assert result.issue_key == ramp.issue_key
+        assert 0.0 <= result.detected_at < result.masked_at <= 1.0
+        # 3 bisection steps shrink the initial [0, 1] bracket to 1/8.
+        assert result.masked_at - result.detected_at == pytest.approx(0.125)
+        assert result.threshold == pytest.approx(
+            (result.detected_at + result.masked_at) / 2.0
+        )
+
+    def test_unbracketed_ramp_is_rejected(self):
+        with pytest.raises(ValueError, match="not detected at intensity"):
+            find_detection_threshold(RAMPS[0], lambda log: set(), iterations=1)
+
+
+class TestConfusionMatrix:
+    """Satellite: the cell math pinned against a hand-computed fixture."""
+
+    # Three scenarios: (detected, labels).
+    #   s1: a hits, b is a false positive, c is missed
+    #   s2: a hits cleanly
+    #   s3: c hits, b is missed
+    PAIRS = [
+        ({"a", "b"}, {"a", "c"}),
+        ({"a"}, {"a"}),
+        ({"c"}, {"b", "c"}),
+    ]
+
+    def test_cells_match_hand_computation(self):
+        m = ConfusionMatrix.from_pairs(self.PAIRS)
+        assert m.n_traces == 3
+        assert m.cells["a"] == MatchStats(matched=2, false_positives=0, missed=0)
+        assert m.cells["b"] == MatchStats(matched=0, false_positives=1, missed=1)
+        assert m.cells["c"] == MatchStats(matched=1, false_positives=0, missed=1)
+
+    def test_derived_rates_are_exact(self):
+        m = ConfusionMatrix.from_pairs(self.PAIRS)
+        assert (m.cells["a"].precision, m.cells["a"].recall, m.cells["a"].f1) == (
+            1.0,
+            1.0,
+            1.0,
+        )
+        assert (m.cells["b"].precision, m.cells["b"].recall, m.cells["b"].f1) == (
+            0.0,
+            0.0,
+            0.0,
+        )
+        assert (m.cells["c"].precision, m.cells["c"].recall) == (1.0, 0.5)
+        assert m.cells["c"].f1 == pytest.approx(2 / 3)
+
+    def test_micro_totals(self):
+        t = ConfusionMatrix.from_pairs(self.PAIRS).totals()
+        assert (t.matched, t.false_positives, t.missed) == (3, 1, 2)
+        assert t.precision == 0.75
+        assert t.recall == 0.6
+        assert t.f1 == pytest.approx(2 / 3)
+
+    def test_recall_for_absent_key_is_one(self):
+        m = ConfusionMatrix.from_pairs(self.PAIRS)
+        assert m.recall_for("never-seen") == 1.0
+
+    def test_render_orders_taxonomy_keys_first(self):
+        pairs = [({"small_write", "zz-custom"}, {"small_write", "zz-custom"})]
+        rendered = ConfusionMatrix.from_pairs(pairs).render("fixture")
+        assert rendered.startswith("fixture (1 traces)")
+        assert rendered.index("small_write") < rendered.index("zz-custom")
+        assert "(micro total)" in rendered
+
+
+class TestFuzzCLI:
+    def test_generate_prints_derived_truth(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "generate", "--seed", "5", "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("fuzz-s5-") == 3
+        assert "labels=" in out
+
+    def test_sweep_renders_and_writes_confusion(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "confusion.txt"
+        assert main(["fuzz", "sweep", "--count", "2", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok   fuzz-s0-") == 2
+        assert "Fuzz sweep confusion" in out
+        written = out_path.read_text(encoding="utf-8")
+        assert written.startswith("Fuzz sweep confusion")
+
+    def test_ramp_reports_every_threshold(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "ramp", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("threshold ~") == len(RAMPS)
+
+    def test_evaluate_renders_fuzz_confusion(self, capsys):
+        from repro.cli import main
+
+        name = select_scenarios(["fuzz-composition"])[0].name
+        assert main(["evaluate", "--scenarios", name]) == 0
+        out = capsys.readouterr().out
+        assert "Fuzz tier confusion (expert rules)" in out
+
+
+class TestSelectorErrors:
+    """Satellite: one friendly exit-2 path for every selector surface."""
+
+    def test_evaluate_and_list_scenarios_share_the_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["evaluate", "--scenarios", "bogus-tag"]) == 2
+        evaluate_err = capsys.readouterr().err
+        assert main(["list-scenarios", "--tag", "bogus-tag"]) == 2
+        list_err = capsys.readouterr().err
+        assert evaluate_err == list_err
+        assert "unknown scenario selector: bogus-tag" in evaluate_err
+        assert "available tags:" in evaluate_err
+        assert "list-scenarios" in evaluate_err
+
+    def test_difficulty_case_hint(self, capsys):
+        from repro.cli import main
+
+        assert main(["list-scenarios", "--tag", "Hard"]) == 2
+        err = capsys.readouterr().err
+        assert "difficulty tiers are lowercase" in err
+        assert "'hard'" in err

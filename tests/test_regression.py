@@ -368,3 +368,87 @@ class TestSeriesCLI:
 
         assert main(["series"]) == 2
         assert "two or more trace files" in capsys.readouterr().err
+
+
+class TestSeriesCLITraceFiles:
+    """The trace-file entry point: argument order IS run order."""
+
+    @pytest.fixture(scope="class")
+    def trace_files(self, tmp_path_factory):
+        """The locking-onset series exported as per-run trace files."""
+        from repro.darshan.writer import render_darshan_text
+
+        scenario = get_series_scenario("series03-locking-onset")
+        traces = build_series(scenario, seed=0)
+        directory = tmp_path_factory.mktemp("series-runs")
+        paths = []
+        for i, trace in enumerate(traces):
+            path = directory / f"run-{i}.darshan.txt"
+            path.write_text(
+                render_darshan_text(trace.log, include_dxt=True), encoding="utf-8"
+            )
+            paths.append(str(path))
+        return scenario, paths
+
+    def test_single_run_series_exits_2(self, trace_files, capsys):
+        """One trace file is not a series; same friendly error as none."""
+        from repro.cli import main
+
+        _, paths = trace_files
+        assert main(["series", paths[0]]) == 2
+        assert "two or more trace files" in capsys.readouterr().err
+
+    @staticmethod
+    def _inflection_run(out: str) -> int:
+        """The run index on the drift table's ``<-- inflection`` line."""
+        for line in out.splitlines():
+            if "<-- inflection" in line:
+                return int(line.split()[1])
+        raise AssertionError(f"no inflection line in output:\n{out}")
+
+    def test_in_order_files_recover_the_inflection(self, trace_files, capsys):
+        from repro.cli import main
+
+        scenario, paths = trace_files
+        assert main(["series", *paths, "--inner", "drishti"]) == 0
+        out = capsys.readouterr().out
+        assert self._inflection_run(out) == scenario.inflection_run
+
+    def test_argument_order_is_run_order_not_filename_order(self, trace_files, capsys):
+        """Reversed arguments build a different series: the CLI must not
+        sort the files, because shell glob order is not run order."""
+        from repro.cli import main
+
+        scenario, paths = trace_files
+        assert main(["series", *reversed(paths), "--inner", "drishti"]) == 0
+        out = capsys.readouterr().out
+        # Degraded runs now freeze the baseline, so the first *clean* run
+        # is the departure — a different inflection than run order finds.
+        assert self._inflection_run(out) != scenario.inflection_run
+        assert self._inflection_run(out) == scenario.n_runs - scenario.inflection_run
+
+    def test_duplicate_files_are_distinct_runs(self, trace_files, capsys):
+        """The same file twice is two runs — a real monitoring shape, where
+        an unchanged job recurs before the regression lands."""
+        from repro.cli import main
+
+        _, paths = trace_files
+        code = main(
+            [
+                "series",
+                paths[0],
+                paths[0],
+                paths[0],
+                paths[-1],
+                "--baseline-runs",
+                "2",
+                "--inner",
+                "drishti",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 runs, baseline frozen over the first 2" in out
+        # The duplicated clean run sits exactly on the baseline; only the
+        # degraded final run drifts.
+        assert self._inflection_run(out) == 3
