@@ -1,0 +1,163 @@
+"""CI chaos gate: the diagnosis service must bend, not break.
+
+Sweeps every pinned fault plan (:mod:`repro.resilience.faults`) over the
+counter-grounded pathology scenarios and asserts the resilience contract:
+
+1. **Crash-free** — under every plan the service returns a report; no
+   exception escapes :meth:`DiagnosisService.diagnose`.
+2. **Honest degradation** — plans that cost an evidence channel produce
+   reports marked ``degraded`` naming that channel (``dxt-temporal``,
+   ``merge``, ``llm-completions``, dropped ``fragment:*`` entries), and
+   the ``describe-outage`` plan trips the circuit breaker.
+3. **Cache hygiene** — a degraded report is never cached, and a damaged
+   trace never shares the clean trace's content digest (so a degraded
+   answer can never be served for a clean resubmission).
+4. **Accuracy floors** — under single-channel loss (and under transparent
+   recovery) label F1 stays at or above the pinned per-scenario floor.
+5. **Reproducibility** — the report digest from a fresh subprocess equals
+   the in-process digest: chaos runs are byte-identical per seed.
+
+Writes the full chaos report JSON to ``--out`` (uploaded per SHA by the
+``chaos-smoke`` CI job).
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/chaos_gate.py --out CHAOS_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+from repro.resilience.chaos import DEFAULT_CHAOS_SCENARIOS, ChaosReport, run_chaos
+
+# Plans where recovery or single-channel loss must preserve accuracy.
+# (Not llm-brownout: garbled completions legitimately destroy evidence —
+# its contract is honest degradation, checked separately.)
+FLOOR_PLANS = ("flaky-llm", "temporal-crash", "merge-outage", "truncated-dxt")
+
+# Pinned per-scenario F1 floors, slightly below the measured values
+# (0.75 / 0.80 / 1.00 clean and under every FLOOR_PLAN at seed 0).
+F1_FLOORS = {
+    "path01-random-small-reads": 0.70,
+    "path05-bursty-checkpoint": 0.75,
+    "path09-fsync-per-write": 0.95,
+}
+
+# Plans that must mark the report degraded, and the channel they cost.
+EXPECTED_CHANNELS = {
+    "temporal-crash": "dxt-temporal",
+    "merge-outage": "merge",
+    "llm-brownout": "llm-completions",
+}
+
+
+def check_report(report: ChaosReport) -> list[str]:
+    """All contract assertions over one sweep; returns failure lines."""
+    failures: list[str] = []
+
+    def fail(line: str) -> None:
+        failures.append(line)
+        print(f"FAIL {line}", file=sys.stderr)
+
+    runs_by_plan: dict[str, list] = {}
+    for run in report.runs:
+        runs_by_plan.setdefault(run.plan, []).append(run)
+
+        tag = f"{run.plan}/{run.scenario}"
+        if not run.completed:
+            fail(f"{tag}: service crashed: {run.error}")
+            continue
+        if run.cached_degraded:
+            fail(f"{tag}: {run.cached_degraded} degraded report(s) stored in cache")
+        if run.damage_applied and run.trace_digest == run.clean_trace_digest:
+            fail(f"{tag}: damaged trace aliases the clean digest")
+        if run.plan in FLOOR_PLANS and run.f1 < F1_FLOORS[run.scenario]:
+            fail(f"{tag}: f1 {run.f1:.3f} below floor {F1_FLOORS[run.scenario]:.2f}")
+        channel = EXPECTED_CHANNELS.get(run.plan)
+        if channel is not None and channel not in run.degraded:
+            fail(f"{tag}: degraded={run.degraded} does not name {channel!r}")
+
+    for run in runs_by_plan.get("flaky-llm", []):
+        if run.retries == 0:
+            fail(f"flaky-llm/{run.scenario}: no retries surfaced in metrics")
+        if run.degraded:
+            fail(f"flaky-llm/{run.scenario}: recovery should be transparent, got {run.degraded}")
+    for run in runs_by_plan.get("describe-outage", []):
+        if run.circuit_trips == 0:
+            fail(f"describe-outage/{run.scenario}: breaker never tripped")
+        if not any(ch.startswith("fragment:") for ch in run.degraded):
+            fail(f"describe-outage/{run.scenario}: no dropped fragment recorded")
+    for run in runs_by_plan.get("garbled-trace", []):
+        if run.parse_skipped == 0:
+            fail(f"garbled-trace/{run.scenario}: lenient parser skipped nothing")
+
+    if not failures:
+        for run in report.runs:
+            deg = ",".join(run.degraded[:2]) + ("…" if len(run.degraded) > 2 else "")
+            print(
+                f"ok   {run.plan}/{run.scenario}: f1={run.f1:.3f} "
+                f"degraded=[{deg}] retries={run.retries} trips={run.circuit_trips}"
+            )
+    return failures
+
+
+def check_cross_process(report: ChaosReport, seed: int) -> list[str]:
+    """A fresh interpreter must reproduce the report digest byte-for-byte."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "chaos", "--seed", str(seed), "--digest"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        line = f"subprocess chaos run failed: {proc.stderr.strip()[-300:]}"
+        print(f"FAIL {line}", file=sys.stderr)
+        return [line]
+    child_digest = proc.stdout.strip().splitlines()[-1]
+    if child_digest != report.digest:
+        line = f"cross-process digest mismatch: {child_digest} != {report.digest}"
+        print(f"FAIL {line}", file=sys.stderr)
+        return [line]
+    print(f"ok   cross-process digest reproduces: {report.digest}")
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="CHAOS_report.json")
+    parser.add_argument(
+        "--skip-subprocess",
+        action="store_true",
+        help="skip the cross-process reproducibility check (fast local runs)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_chaos(seed=args.seed)
+    failures = check_report(report)
+    if not args.skip_subprocess:
+        failures += check_cross_process(report, seed=args.seed)
+
+    payload = report.as_dict()
+    payload["digest"] = report.digest
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        print(f"{len(failures)} chaos check(s) failed", file=sys.stderr)
+        return 1
+    print(
+        f"chaos gate green: {len(report.plans)} plans x "
+        f"{len(DEFAULT_CHAOS_SCENARIOS)} scenarios, all crash-free, "
+        f"floors hold, digest {report.digest[:12]} reproducible"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,7 @@ Substrate:
 * :mod:`repro.llm` — the deterministic, capability-tiered SimLLM substrate.
 """
 
-__version__ = "2.1.0"  # minor: DXT temporal evidence channel + difficulty splits
+__version__ = "2.2.0"  # minor: resilience layer (fault plans, recovery, chaos gate)
 
 __all__ = [
     "IOAgent",

@@ -22,7 +22,14 @@ from typing import Callable, Mapping, Sequence
 
 from repro.llm.facts import Fact
 
-__all__ = ["ScenarioInfo", "CheckContext", "produced_fact_kinds", "consumed_fact_kinds"]
+__all__ = [
+    "ScenarioInfo",
+    "FaultPlanInfo",
+    "StagePolicy",
+    "CheckContext",
+    "produced_fact_kinds",
+    "consumed_fact_kinds",
+]
 
 
 @dataclass(frozen=True)
@@ -33,6 +40,24 @@ class ScenarioInfo:
     root_causes: frozenset[str]
     difficulty: str = "medium"
     source: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlanInfo:
+    """The slice of a registered FaultPlan the resilience check needs."""
+
+    name: str
+    # (kind, rate, scope) per spec, in plan order.
+    specs: tuple[tuple[str, float, str], ...]
+
+
+@dataclass(frozen=True)
+class StagePolicy:
+    """One pipeline stage's declared failure contract."""
+
+    name: str
+    failure_mode: str  # 'abort' | 'degrade'
+    channel: str  # evidence channel lost on degrade ('' for abort stages)
 
 
 def _fact_kind_of_call(node: ast.Call) -> str | None:
@@ -117,6 +142,11 @@ class CheckContext:
     tool_names: tuple[str, ...]
     reserved_cli_commands: frozenset[str]
 
+    # -- resilience surface (fault registry + stage failure contracts) -----
+    fault_kinds: tuple[str, ...] = ()
+    fault_plans: tuple[FaultPlanInfo, ...] = ()
+    stage_policies: tuple[StagePolicy, ...] = ()
+
     # -- source tree (for the AST lint rules) ------------------------------
     src_root: Path = Path("src")
 
@@ -164,7 +194,35 @@ class CheckContext:
 
         # Keep in sync with the reserved set in repro.cli.build_parser.
         reserved = frozenset(
-            {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series", "fuzz"}
+            {
+                "diagnose",
+                "chat",
+                "tracebench",
+                "evaluate",
+                "list-scenarios",
+                "series",
+                "fuzz",
+                "chaos",
+            }
+        )
+
+        from repro.core.pipeline import DEFAULT_STAGE_CLASSES
+        from repro.resilience.faults import available_fault_kinds, iter_fault_plans
+
+        fault_plans = tuple(
+            FaultPlanInfo(
+                name=plan.name,
+                specs=tuple((s.kind, s.rate, s.scope) for s in plan.specs),
+            )
+            for plan in iter_fault_plans()
+        )
+        stage_policies = tuple(
+            StagePolicy(
+                name=stage_cls.name,
+                failure_mode=getattr(stage_cls, "failure_mode", "abort"),
+                channel=getattr(stage_cls, "channel", ""),
+            )
+            for stage_cls in DEFAULT_STAGE_CLASSES
         )
 
         return cls(
@@ -187,6 +245,9 @@ class CheckContext:
             scenarios=scenarios,
             tool_names=available_tools(),
             reserved_cli_commands=reserved,
+            fault_kinds=available_fault_kinds(),
+            fault_plans=fault_plans,
+            stage_policies=stage_policies,
             src_root=src_root,
             locations={
                 "facts": "src/repro/llm/facts.py",
@@ -195,5 +256,7 @@ class CheckContext:
                 "triggers": "src/repro/baselines/drishti/triggers.py",
                 "scenarios": "src/repro/workloads/scenarios.py",
                 "tools": "src/repro/core/registry.py",
+                "faults": "src/repro/resilience/faults.py",
+                "stages": "src/repro/core/pipeline.py",
             },
         )

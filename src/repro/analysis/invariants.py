@@ -18,7 +18,11 @@ registries agree with each other:
 * ``trigger-issue-map`` — the Drishti trigger↔issue mapping covers exactly
   the registered triggers and its coverage gap is the declared one;
 * ``tool-registry`` — tool registrations are well-formed, collision-free,
-  and reachable from the CLI.
+  and reachable from the CLI;
+* ``resilience-contract`` — fault plans reference only registered fault
+  kinds, every kind is exercised by a pinned plan, stage-crash scopes
+  name degradable stages, and every pipeline stage declares a coherent
+  failure contract.
 """
 
 from __future__ import annotations
@@ -589,6 +593,117 @@ def check_tool_registry(ctx: CheckContext) -> list[Diagnostic]:
                     f"tool name {name!r} collides with a reserved CLI command and "
                     f"gets no subcommand",
                     file=file,
+                )
+            )
+    return out
+
+
+@register_check(
+    "resilience-contract",
+    description="fault plans use registered kinds, every kind is exercised, stages declare coherent failure contracts",
+    tags=("resilience",),
+)
+def check_resilience_contract(ctx: CheckContext) -> list[Diagnostic]:
+    """The chaos gate is only as honest as this wiring.
+
+    A plan referencing an unregistered kind silently injects nothing; a
+    registered kind no plan exercises is untested weather; a
+    ``stage-crash`` aimed at an abort stage would crash the service the
+    gate promises never crashes; and a stage declaring ``degrade`` with
+    no channel would produce degraded reports that cannot say what they
+    lost.
+    """
+    out: list[Diagnostic] = []
+    faults_file = ctx.location("faults")
+    stages_file = ctx.location("stages")
+    kinds = set(ctx.fault_kinds)
+    stage_by_name = {p.name: p for p in ctx.stage_policies}
+
+    if not ctx.fault_plans:
+        out.append(
+            error("resilience-contract", "no fault plans are registered: the chaos gate sweeps nothing", file=faults_file)
+        )
+    exercised: set[str] = set()
+    for plan in ctx.fault_plans:
+        if not plan.specs:
+            out.append(
+                error(
+                    "resilience-contract",
+                    f"fault plan {plan.name!r} has no fault specs",
+                    file=faults_file,
+                )
+            )
+        for kind, rate, scope in plan.specs:
+            if kind not in kinds:
+                out.append(
+                    error(
+                        "resilience-contract",
+                        f"fault plan {plan.name!r} uses unregistered fault kind {kind!r}",
+                        file=faults_file,
+                    )
+                )
+                continue
+            exercised.add(kind)
+            if not 0.0 <= rate <= 1.0:
+                out.append(
+                    error(
+                        "resilience-contract",
+                        f"fault plan {plan.name!r}: {kind!r} rate {rate} outside [0, 1]",
+                        file=faults_file,
+                    )
+                )
+            if kind == "stage-crash":
+                policy = stage_by_name.get(scope)
+                if policy is None:
+                    out.append(
+                        error(
+                            "resilience-contract",
+                            f"fault plan {plan.name!r}: stage-crash scope {scope!r} "
+                            f"names no pipeline stage",
+                            file=faults_file,
+                        )
+                    )
+                elif policy.failure_mode != "degrade":
+                    out.append(
+                        error(
+                            "resilience-contract",
+                            f"fault plan {plan.name!r}: stage-crash targets "
+                            f"{scope!r}, an abort stage — the sweep would crash the "
+                            f"service the chaos gate asserts never crashes",
+                            file=faults_file,
+                        )
+                    )
+    for kind in sorted(kinds - exercised):
+        out.append(
+            error(
+                "resilience-contract",
+                f"fault kind {kind!r} is registered but exercised by no pinned "
+                f"plan: that failure mode is never chaos-tested",
+                file=faults_file,
+            )
+        )
+
+    if not ctx.stage_policies:
+        out.append(
+            error("resilience-contract", "no stage failure contracts declared", file=stages_file)
+        )
+    for policy in ctx.stage_policies:
+        if policy.failure_mode not in ("abort", "degrade"):
+            out.append(
+                error(
+                    "resilience-contract",
+                    f"stage {policy.name!r} declares unknown failure_mode "
+                    f"{policy.failure_mode!r} (expected 'abort' or 'degrade')",
+                    file=stages_file,
+                )
+            )
+        if policy.failure_mode == "degrade" and not policy.channel:
+            out.append(
+                error(
+                    "resilience-contract",
+                    f"stage {policy.name!r} degrades but names no evidence channel — "
+                    f"its degraded reports could not say what they lost",
+                    file=stages_file,
                 )
             )
     return out

@@ -18,6 +18,10 @@ Commands:
   seeded pathology compositions, score the expert rules over a generated
   sweep (per-pathology confusion matrix), or binary-search each rule's
   masking threshold;
+* ``chaos [--plans a,b] [--digest] [--out FILE]`` — run the seeded
+  fault-injection sweep: every pinned fault plan over the chaos scenario
+  set, printing per-run outcome (degraded channels, retries, breaker
+  trips) and the byte-reproducible report digest;
 * ``chat <trace.darshan.txt>`` — diagnose, then answer questions from stdin.
 
 A tool registered via :func:`repro.core.registry.register_tool` before
@@ -70,7 +74,16 @@ def build_parser() -> argparse.ArgumentParser:
     # name `diagnose` (with `ioagent` as alias) and its design switches.
     # Names that would collide with the fixed subcommands are skipped (the
     # tool stays reachable through the API) rather than crashing argparse.
-    reserved = {"diagnose", "chat", "tracebench", "evaluate", "list-scenarios", "series", "fuzz"}
+    reserved = {
+        "diagnose",
+        "chat",
+        "tracebench",
+        "evaluate",
+        "list-scenarios",
+        "series",
+        "fuzz",
+        "chaos",
+    }
     for tool_name in available_tools():
         if tool_name in reserved:
             continue
@@ -174,6 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
     ramp.add_argument(
         "--iterations", type=int, default=6, help="bisection steps per ramp (resolution 2^-n)"
     )
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection sweep (resilience chaos harness)",
+    )
+    ch.add_argument("--seed", type=int, default=0, help="root seed of the chaos sweep")
+    ch.add_argument(
+        "--plans",
+        default="",
+        help="comma-separated fault plan names (default: every pinned plan)",
+    )
+    ch.add_argument(
+        "--scenarios",
+        default="",
+        help="comma-separated scenario names (default: the chaos scenario set)",
+    )
+    ch.add_argument(
+        "--list-plans", action="store_true", help="list the registered fault plans and exit"
+    )
+    ch.add_argument(
+        "--digest",
+        action="store_true",
+        help="print only the report digest (cross-process reproducibility checks)",
+    )
+    ch.add_argument("--out", default=None, help="write the chaos report JSON to this file")
+    ch.set_defaults(func=_cmd_chaos)
 
     ev = sub.add_parser("evaluate", help="run the Table IV evaluation harness")
     ev.add_argument("--traces", default="", help="comma-separated trace ids (default: all 40)")
@@ -498,6 +537,44 @@ def _cmd_fuzz(args) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(rendered + "\n")
     return 1 if misses else 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.resilience.chaos import DEFAULT_CHAOS_SCENARIOS, run_chaos
+    from repro.resilience.faults import available_fault_plans, get_fault_plan
+
+    if args.list_plans:
+        for name in available_fault_plans():
+            plan = get_fault_plan(name)
+            print(f"{name:18s} kinds={','.join(plan.kinds)}")
+            print(f"  {plan.description}")
+        return 0
+
+    plans = tuple(p for p in args.plans.split(",") if p) or None
+    scenarios = tuple(s for s in args.scenarios.split(",") if s) or DEFAULT_CHAOS_SCENARIOS
+    report = run_chaos(plans=plans, scenarios=scenarios, seed=args.seed)
+
+    if args.digest:
+        print(report.digest)
+    else:
+        for run in report.runs:
+            status = "ok  " if run.completed else "FAIL"
+            deg = ",".join(run.degraded) or "-"
+            print(
+                f"{status} {run.plan:18s} {run.scenario:28s} f1={run.f1:.3f} "
+                f"degraded={deg} retries={run.retries} trips={run.circuit_trips} "
+                f"skipped_lines={run.parse_skipped}"
+            )
+        print(f"digest: {report.digest}")
+    if args.out:
+        import json
+
+        payload = report.as_dict()
+        payload["digest"] = report.digest
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    return 0 if report.all_completed else 1
 
 
 def main(argv: list[str] | None = None) -> int:

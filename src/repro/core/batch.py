@@ -49,6 +49,15 @@ class BatchResult:
         return self.cost_usd / max(1, len(self.reports))
 
     @property
+    def degraded_traces(self) -> dict[str, tuple[str, ...]]:
+        """Trace id -> lost evidence channels, for reports that degraded."""
+        return {
+            trace_id: report.degraded
+            for trace_id, report in self.reports.items()
+            if report.degraded
+        }
+
+    @property
     def total_seconds(self) -> float:
         """Summed per-stage wall-clock (0.0 when no stage metrics exist)."""
         return sum(m.seconds for m in self.stage_metrics.values())

@@ -24,6 +24,23 @@ Key pieces:
 Determinism note: every LLM call is keyed by an explicit ``call_id``, so
 re-grouping the per-fragment work into stage-wide parallel sweeps produces
 byte-identical reports to the original fused loop.
+
+Failure semantics (the resilience contract):
+
+* every stage declares ``failure_mode`` — ``"abort"`` (its output is
+  load-bearing; an exception still fails the run) or ``"degrade"`` (the
+  pipeline records a :class:`StageFailure`, the report loses the stage's
+  ``channel``, and diagnosis continues on the remaining evidence);
+* the per-fragment stages (describe / integrate / diagnose) isolate
+  *recovery-layer* failures (:class:`~repro.resilience.errors.
+  ResilienceError` only — a genuine bug still propagates): the affected
+  fragment is dropped and recorded, the rest of the trace is diagnosed;
+* the merge stage falls back to plain concatenation when merging calls
+  fail, so a report is always produced once fragment diagnoses exist;
+* recovery-layer incidents (retries, circuit trips, injected faults) are
+  attributed to the running stage via the client's fault listener and
+  surfaced through ``PipelineContext.stage_faults`` and the
+  ``on_fault_event`` observer hook.
 """
 
 from __future__ import annotations
@@ -41,9 +58,10 @@ from repro.core.preprocess import ModuleTable, split_modules
 from repro.core.report import DiagnosisReport
 from repro.core.summaries import SummaryFragment, app_context_facts, extract_fragments
 from repro.darshan.log import DarshanLog
-from repro.llm.client import LLMClient, Usage
+from repro.llm.client import FaultEvent, LLMClient, Usage
 from repro.llm.facts import Fact
 from repro.rag.retriever import Retriever
+from repro.resilience.errors import ResilienceError
 from repro.util.parallel import parallel_map
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -51,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "PipelineContext",
+    "StageFailure",
     "Stage",
     "PipelineObserver",
     "DiagnosisPipeline",
@@ -62,6 +81,7 @@ __all__ = [
     "DiagnoseStage",
     "MergeStage",
     "DEFAULT_STAGE_ORDER",
+    "DEFAULT_STAGE_CLASSES",
     "build_default_pipeline",
 ]
 
@@ -74,6 +94,22 @@ DEFAULT_STAGE_ORDER = (
     "diagnose",
     "merge",
 )
+
+
+@dataclass(frozen=True)
+class StageFailure:
+    """One absorbed failure: what broke, and which evidence it cost.
+
+    ``channel`` names the lost evidence — a whole channel for a degraded
+    stage (``"dxt-temporal"``, ``"knowledge"``, ``"merge"``) or
+    ``"fragment:<id>"`` for a dropped fragment — and feeds the report's
+    ``degraded`` annotation.
+    """
+
+    stage: str
+    channel: str
+    error: str
+    fragment_id: str = ""
 
 
 @dataclass
@@ -107,6 +143,33 @@ class PipelineContext:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     stage_usage: dict[str, Usage] = field(default_factory=dict)
 
+    # Resilience: absorbed failures and per-stage fault-event counts
+    # (stage -> fault kind -> count).
+    stage_failures: list[StageFailure] = field(default_factory=list)
+    stage_faults: dict[str, dict[str, int]] = field(default_factory=dict)
+    failure_lock: Lock = field(default_factory=Lock, repr=False)
+
+    def record_failure(
+        self, stage: str, channel: str, error: str, fragment_id: str = ""
+    ) -> None:
+        """Log one absorbed failure (thread-safe: fragments run in parallel)."""
+        failure = StageFailure(
+            stage=stage, channel=channel, error=error, fragment_id=fragment_id
+        )
+        with self.failure_lock:
+            self.stage_failures.append(failure)
+
+    @property
+    def degraded_channels(self) -> tuple[str, ...]:
+        """Evidence channels lost to absorbed failures (sorted, unique).
+
+        Sorted rather than arrival-ordered so the report stays
+        byte-identical across thread schedules.
+        """
+        with self.failure_lock:
+            channels = {f.channel for f in self.stage_failures if f.channel}
+        return tuple(sorted(channels))
+
     @property
     def sources_retrieved(self) -> int:
         return sum(len(r.retrieved) for r in self.integrations.values())
@@ -129,12 +192,21 @@ class PipelineContext:
             n_fragments=len(self.fragments),
             sources_retrieved=self.sources_retrieved,
             sources_kept=self.sources_kept,
+            degraded=self.degraded_channels,
         )
 
 
 @runtime_checkable
 class Stage(Protocol):
-    """One pipeline step: reads/writes the context, nothing else."""
+    """One pipeline step: reads/writes the context, nothing else.
+
+    Stages additionally declare their failure contract via two (class)
+    attributes, defaulted by the pipeline when absent: ``failure_mode``
+    (``"abort"`` — the default — or ``"degrade"``) and ``channel`` (the
+    evidence channel a degraded stage costs; required non-empty when
+    ``failure_mode == "degrade"``, enforced by the analysis suite's
+    resilience-contract check).
+    """
 
     name: str
 
@@ -157,6 +229,10 @@ class PipelineObserver:
         self, stage: str, ctx: PipelineContext, model: str, usage: Usage, call_id: str
     ) -> None: ...
 
+    def on_fault_event(
+        self, stage: str, ctx: PipelineContext, event: FaultEvent
+    ) -> None: ...
+
 
 # -- the six default stages ----------------------------------------------
 
@@ -165,6 +241,8 @@ class PreprocessStage:
     """Module-based pre-processor: split the log into per-module tables."""
 
     name = "preprocess"
+    failure_mode = "abort"  # everything downstream reads its tables
+    channel = ""
 
     def run(self, ctx: PipelineContext) -> None:
         ctx.module_tables = split_modules(ctx.log)
@@ -174,6 +252,8 @@ class SummarizeStage:
     """Extract categorized JSON summary fragments + application context."""
 
     name = "summarize"
+    failure_mode = "abort"  # without fragments there is nothing to diagnose
+    channel = ""
 
     def run(self, ctx: PipelineContext) -> None:
         ctx.fragments = extract_fragments(ctx.log)
@@ -191,9 +271,16 @@ class TemporalStage:
     (``DXT.timeline``) that the describe/diagnose stages treat exactly
     like a counter-derived one.  Without segments the stage is a no-op,
     so counter-only traces flow through unchanged.
+
+    Temporal evidence is additive, so this stage *degrades*: if it fails,
+    the run continues on counter evidence alone and the report is marked
+    degraded on the ``dxt-temporal`` channel — exactly the ``use_dxt=False``
+    ablation, arrived at involuntarily.
     """
 
     name = "temporal"
+    failure_mode = "degrade"
+    channel = "dxt-temporal"
 
     def run(self, ctx: PipelineContext) -> None:
         import inspect
@@ -214,33 +301,55 @@ class TemporalStage:
 
 
 class DescribeStage:
-    """JSON fragment → natural-language description, fragments in parallel."""
+    """JSON fragment → natural-language description, fragments in parallel.
+
+    Per-fragment isolation: a fragment whose calls exhaust the recovery
+    layer (``ResilienceError`` only — real bugs still propagate) is
+    dropped and recorded as a lost ``fragment:<id>`` channel; the rest of
+    the trace is still diagnosed.
+    """
 
     name = "describe"
+    failure_mode = "abort"  # whole-stage crashes are real bugs
+    channel = ""
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
 
-        def describe(fragment: SummaryFragment) -> tuple[str, str]:
+        def describe(fragment: SummaryFragment) -> tuple[str, str | None]:
             fid = fragment.fragment_id
-            text = describe_fragment(
-                fragment,
-                ctx.app_facts,
-                ctx.client,
-                cfg.model,
-                call_id=f"{ctx.trace_id}/{fid}/describe",
-            )
+            try:
+                text: str | None = describe_fragment(
+                    fragment,
+                    ctx.app_facts,
+                    ctx.client,
+                    cfg.model,
+                    call_id=f"{ctx.trace_id}/{fid}/describe",
+                )
+            except ResilienceError as exc:
+                ctx.record_failure(self.name, f"fragment:{fid}", repr(exc), fragment_id=fid)
+                text = None
             return fid, text
 
-        ctx.descriptions = dict(
-            parallel_map(describe, ctx.fragments, max_workers=cfg.max_workers)
-        )
+        ctx.descriptions = {
+            fid: text
+            for fid, text in parallel_map(describe, ctx.fragments, max_workers=cfg.max_workers)
+            if text is not None
+        }
 
 
 class IntegrateStage:
-    """Retrieve + self-reflection-filter domain knowledge per fragment."""
+    """Retrieve + self-reflection-filter domain knowledge per fragment.
+
+    Knowledge is an enhancement, not a prerequisite (``use_rag=False`` is
+    a paper ablation) — so both a whole-stage failure and a per-fragment
+    recovery exhaustion degrade to diagnosis-without-knowledge, recorded
+    on the ``knowledge`` channel.
+    """
 
     name = "integrate"
+    failure_mode = "degrade"
+    channel = "knowledge"
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
@@ -248,53 +357,87 @@ class IntegrateStage:
             ctx.integrations = {}
             return
 
-        def integrate(fragment: SummaryFragment) -> tuple[str, IntegrationResult]:
+        def integrate(fragment: SummaryFragment) -> tuple[str, IntegrationResult | None]:
             fid = fragment.fragment_id
-            result = integrate_fragment(
-                ctx.descriptions[fid],
-                ctx.retriever,
-                ctx.client,
-                reflection_model=cfg.reflection_model,
-                call_id=f"{ctx.trace_id}/{fid}",
-                use_reflection=cfg.use_reflection,
-                max_workers=cfg.max_workers,
-            )
+            if fid not in ctx.descriptions:  # fragment already dropped upstream
+                return fid, None
+            try:
+                result: IntegrationResult | None = integrate_fragment(
+                    ctx.descriptions[fid],
+                    ctx.retriever,
+                    ctx.client,
+                    reflection_model=cfg.reflection_model,
+                    call_id=f"{ctx.trace_id}/{fid}",
+                    use_reflection=cfg.use_reflection,
+                    max_workers=cfg.max_workers,
+                )
+            except ResilienceError as exc:
+                ctx.record_failure(self.name, self.channel, repr(exc), fragment_id=fid)
+                result = None
             return fid, result
 
-        ctx.integrations = dict(
-            parallel_map(integrate, ctx.fragments, max_workers=cfg.max_workers)
-        )
+        ctx.integrations = {
+            fid: result
+            for fid, result in parallel_map(
+                integrate, ctx.fragments, max_workers=cfg.max_workers
+            )
+            if result is not None
+        }
 
 
 class DiagnoseStage:
-    """Per-fragment diagnosis from description + surviving knowledge."""
+    """Per-fragment diagnosis from description + surviving knowledge.
+
+    Fragments dropped upstream are skipped; a fragment whose diagnosis
+    calls exhaust recovery is dropped here with the same isolation as
+    :class:`DescribeStage`.
+    """
 
     name = "diagnose"
+    failure_mode = "abort"
+    channel = ""
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
 
-        def diagnose(fragment: SummaryFragment) -> tuple[str, str]:
+        def diagnose(fragment: SummaryFragment) -> tuple[str, str | None]:
             fid = fragment.fragment_id
-            text = diagnose_fragment(
-                ctx.descriptions[fid],
-                ctx.fragment_sources(fid),
-                ctx.context,
-                ctx.client,
-                cfg.model,
-                call_id=f"{ctx.trace_id}/{fid}/diagnose",
-            )
+            if fid not in ctx.descriptions:  # fragment already dropped upstream
+                return fid, None
+            try:
+                text: str | None = diagnose_fragment(
+                    ctx.descriptions[fid],
+                    ctx.fragment_sources(fid),
+                    ctx.context,
+                    ctx.client,
+                    cfg.model,
+                    call_id=f"{ctx.trace_id}/{fid}/diagnose",
+                )
+            except ResilienceError as exc:
+                ctx.record_failure(self.name, f"fragment:{fid}", repr(exc), fragment_id=fid)
+                text = None
             return fid, text
 
-        ctx.diagnoses = dict(
-            parallel_map(diagnose, ctx.fragments, max_workers=cfg.max_workers)
-        )
+        ctx.diagnoses = {
+            fid: text
+            for fid, text in parallel_map(diagnose, ctx.fragments, max_workers=cfg.max_workers)
+            if text is not None
+        }
 
 
 class MergeStage:
-    """Merge fragment diagnoses into the final text (tree or one-step)."""
+    """Merge fragment diagnoses into the final text (tree or one-step).
+
+    A report must exist whenever fragment diagnoses exist, so merge never
+    aborts on recovery-layer failure: if the merging calls exhaust
+    recovery, the stage falls back to plain concatenation of the fragment
+    diagnoses and records the lost ``merge`` channel (the findings are all
+    there — only the cross-fragment synthesis is missing).
+    """
 
     name = "merge"
+    failure_mode = "abort"  # fallback below handles recovery-layer failures
+    channel = ""
 
     def __init__(self, strategy: str = "tree") -> None:
         if strategy not in ("tree", "one-step"):
@@ -303,21 +446,38 @@ class MergeStage:
 
     def run(self, ctx: PipelineContext) -> None:
         cfg = ctx.config
-        summaries = [ctx.diagnoses[f.fragment_id] for f in ctx.fragments]
+        summaries = [
+            ctx.diagnoses[f.fragment_id]
+            for f in ctx.fragments
+            if f.fragment_id in ctx.diagnoses
+        ]
         if not summaries:
-            ctx.merged_text = "No I/O activity was found in the trace; nothing to diagnose."
-        elif self.strategy == "tree":
-            ctx.merged_text = tree_merge(
-                summaries,
-                ctx.client,
-                cfg.model,
-                call_id_prefix=ctx.trace_id,
-                max_workers=cfg.max_workers,
-            )
-        else:
-            ctx.merged_text = one_step_merge(
-                summaries, ctx.client, cfg.model, call_id_prefix=ctx.trace_id
-            )
+            if ctx.fragments:
+                ctx.merged_text = (
+                    "Diagnosis unavailable: every summary fragment was lost to "
+                    "backend failures; no evidence survived to analyze."
+                )
+            else:
+                ctx.merged_text = (
+                    "No I/O activity was found in the trace; nothing to diagnose."
+                )
+            return
+        try:
+            if self.strategy == "tree":
+                ctx.merged_text = tree_merge(
+                    summaries,
+                    ctx.client,
+                    cfg.model,
+                    call_id_prefix=ctx.trace_id,
+                    max_workers=cfg.max_workers,
+                )
+            else:
+                ctx.merged_text = one_step_merge(
+                    summaries, ctx.client, cfg.model, call_id_prefix=ctx.trace_id
+                )
+        except ResilienceError as exc:
+            ctx.record_failure(self.name, "merge", repr(exc))
+            ctx.merged_text = "\n\n".join(summaries)
 
 
 # -- the pipeline itself --------------------------------------------------
@@ -382,23 +542,65 @@ class DiagnosisPipeline:
             for obs in all_observers:
                 obs.on_llm_call(current_stage, ctx, model, usage, call_id)
 
+        def on_fault(event: FaultEvent) -> None:
+            if event.call_id and not event.call_id.startswith(call_prefix):
+                return
+            with usage_lock:
+                per_stage = ctx.stage_faults.setdefault(current_stage, {})
+                per_stage[event.kind] = per_stage.get(event.kind, 0) + 1
+            if event.kind == "garbled":
+                # A mangled completion is corrupted evidence the pipeline
+                # cannot repair: mark the channel lost so the report says
+                # degraded and the service refuses to cache it.
+                ctx.record_failure(
+                    current_stage,
+                    "llm-completions",
+                    f"garbled completion in call {event.call_id!r}",
+                )
+            for obs in all_observers:
+                obs.on_fault_event(current_stage, ctx, event)
+
         client.add_usage_listener(on_usage)
+        client.add_fault_listener(on_fault)
         try:
             for stage in self.stages:
                 current_stage = stage.name
                 for obs in all_observers:
                     obs.on_stage_start(stage.name, ctx)
                 started = time.perf_counter()
-                stage.run(ctx)
-                elapsed = time.perf_counter() - started
-                ctx.stage_seconds[stage.name] = (
-                    ctx.stage_seconds.get(stage.name, 0.0) + elapsed
-                )
-                for obs in all_observers:
-                    obs.on_stage_end(stage.name, ctx, elapsed)
+                try:
+                    stage.run(ctx)
+                except Exception as exc:
+                    if getattr(stage, "failure_mode", "abort") != "degrade":
+                        raise
+                    # Degradable stage: absorb ANY failure (its evidence is
+                    # additive), record the lost channel, keep diagnosing.
+                    channel = getattr(stage, "channel", "") or stage.name
+                    ctx.record_failure(stage.name, channel, repr(exc))
+                finally:
+                    elapsed = time.perf_counter() - started
+                    ctx.stage_seconds[stage.name] = (
+                        ctx.stage_seconds.get(stage.name, 0.0) + elapsed
+                    )
+                    for obs in all_observers:
+                        obs.on_stage_end(stage.name, ctx, elapsed)
         finally:
             client.remove_usage_listener(on_usage)
+            client.remove_fault_listener(on_fault)
         return ctx
+
+
+# The default stage classes in pipeline order (the analysis suite's
+# resilience-contract check audits their failure_mode/channel declarations).
+DEFAULT_STAGE_CLASSES: tuple[type, ...] = (
+    PreprocessStage,
+    SummarizeStage,
+    TemporalStage,
+    DescribeStage,
+    IntegrateStage,
+    DiagnoseStage,
+    MergeStage,
+)
 
 
 def build_default_pipeline(

@@ -24,6 +24,9 @@ class DiagnosisReport:
     n_fragments: int = 0
     sources_retrieved: int = 0
     sources_kept: int = 0
+    # Evidence channels lost to stage failures/faults while diagnosing
+    # (e.g. ``("dxt-temporal",)``); empty for a clean, full-fidelity run.
+    degraded: tuple[str, ...] = ()
 
     @cached_property
     def findings(self) -> tuple[Finding, ...]:
@@ -51,4 +54,9 @@ class DiagnosisReport:
             f"(model: {self.model}; {len(self.findings)} issue(s) identified; "
             f"{len(self.references)} reference(s))."
         )
+        if self.degraded:
+            header += (
+                " DEGRADED: produced without the "
+                f"{', '.join(self.degraded)} evidence channel(s)."
+            )
         return f"{header}\n\n{self.text}"

@@ -21,7 +21,7 @@ belong inside a tool:
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from threading import Lock
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -30,7 +30,7 @@ from repro.core.registry import DiagnosticTool, get_tool
 from repro.core.report import DiagnosisReport
 from repro.darshan.log import DarshanLog
 from repro.darshan.writer import render_darshan_text
-from repro.llm.client import Usage
+from repro.llm.client import FaultEvent, Usage
 from repro.util.parallel import parallel_map
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -61,13 +61,18 @@ def trace_digest(log: DarshanLog) -> str:
 
 @dataclass
 class StageMetrics:
-    """Aggregate latency/cost for one pipeline stage across a batch."""
+    """Aggregate latency/cost/fault telemetry for one stage across a batch."""
 
     seconds: float = 0.0
     calls: int = 0
     prompt_tokens: int = 0
     completion_tokens: int = 0
     cost_usd: float = 0.0
+    # Recovery-layer telemetry attributed to this stage.
+    retries: int = 0
+    circuit_trips: int = 0
+    # fault-event kind (e.g. "transient", "timeout", "garbled") -> count.
+    faults: dict[str, int] = field(default_factory=dict)
 
     def add_time(self, seconds: float) -> None:
         self.seconds += seconds
@@ -77,6 +82,13 @@ class StageMetrics:
         self.prompt_tokens += usage.prompt_tokens
         self.completion_tokens += usage.completion_tokens
         self.cost_usd += usage.cost_usd
+
+    def add_fault(self, kind: str) -> None:
+        if kind == "retry":
+            self.retries += 1
+        elif kind == "circuit-trip":
+            self.circuit_trips += 1
+        self.faults[kind] = self.faults.get(kind, 0) + 1
 
 
 def _observable_runner(tool: DiagnosticTool) -> "Callable | None":
@@ -118,6 +130,10 @@ class _MetricsCollector(PipelineObserver):
         with self._lock:
             self._metrics(stage).add_usage(usage)
 
+    def on_fault_event(self, stage: str, ctx: PipelineContext, event: FaultEvent) -> None:
+        with self._lock:
+            self._metrics(stage).add_fault(event.kind)
+
 
 class DiagnosisService:
     """Multi-trace diagnosis facade over a registered tool.
@@ -158,7 +174,14 @@ class DiagnosisService:
     # -- single trace ------------------------------------------------------
 
     def _cache_key(self, log: DarshanLog) -> tuple[str, str, str]:
-        return (trace_digest(log), self.tool.name, repr(self.config))
+        # Key on the *tool's* effective config when it carries one: a tool
+        # instance built around a different config than the service default
+        # (an ablated use_dxt=False agent, say) must not alias the full
+        # tool's entries under the same trace digest.
+        config = getattr(self.tool, "config", None)
+        if config is None:
+            config = self.config
+        return (trace_digest(log), self.tool.name, repr(config))
 
     def diagnose(
         self,
@@ -184,7 +207,12 @@ class DiagnosisService:
         if key is not None:
             with self._cache_lock:
                 self.cache_misses += 1
-                self._cache.setdefault(key, report)
+                # Never cache a degraded report: the degradation came from
+                # transient weather (faults, outages), not from the trace
+                # content the key is addressed by — a later clean run of
+                # the same digest must not be served a degraded answer.
+                if not report.degraded:
+                    self._cache.setdefault(key, report)
         return report
 
     def _run_tool(
@@ -197,6 +225,11 @@ class DiagnosisService:
             ctx = self.tool.run(log, trace_id, observers=all_observers)
             return ctx.build_report()
         return self.tool.diagnose(log, trace_id=trace_id)
+
+    def cached_reports(self) -> tuple[DiagnosisReport, ...]:
+        """Snapshot of every cached report (the chaos gate audits these)."""
+        with self._cache_lock:
+            return tuple(self._cache.values())
 
     def clear_cache(self) -> None:
         with self._cache_lock:

@@ -160,7 +160,12 @@ def render_dxt_text(segments) -> str:
     return "\n".join(lines) + "\n"
 
 
-def parse_dxt_text(text: str) -> SegmentTable:
+def parse_dxt_text(
+    text: str,
+    *,
+    lenient: bool = False,
+    skipped: list[tuple[int, str, str]] | None = None,
+) -> SegmentTable:
     """Parse :func:`render_dxt_text` output back into a segment table.
 
     The inverse of the text rendering, so exported traces keep the
@@ -170,15 +175,16 @@ def parse_dxt_text(text: str) -> SegmentTable:
     segment).  Nine-field lines — the pre-ost export format — still parse,
     degrading to an unattributed table.  Comment and blank lines are
     skipped, matching the counter-text parser's tolerance.
+
+    ``lenient=True`` skips malformed segment lines (truncated, garbled,
+    unparseable numbers) instead of raising; each drop is appended to
+    ``skipped`` (when given) as ``(lineno, line, reason)`` so callers can
+    fold them into a :class:`~repro.darshan.parser.ParseReport`.
     """
     def _is_ost_token(token: str) -> bool:
         return token == "-" or token.isdigit()
 
-    builder = SegmentTableBuilder()
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
+    def _parse_line(line: str, lineno: int) -> tuple:
         parts = line.split(None, 9)
         if len(parts) == 9 or (len(parts) == 10 and not _is_ost_token(parts[8])):
             # A legacy (pre-ost) export line: either exactly 9 fields, or
@@ -196,7 +202,7 @@ def parse_dxt_text(text: str) -> SegmentTable:
             raise ValueError(
                 f"DXT line {lineno}: unknown operation {operation!r} (expected read/write)"
             )
-        builder.append(
+        return (
             module,
             int(rank),
             path,
@@ -207,6 +213,21 @@ def parse_dxt_text(text: str) -> SegmentTable:
             float(end),
             None if ost == "-" else int(ost),
         )
+
+    builder = SegmentTableBuilder()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            fields = _parse_line(line, lineno)
+        except ValueError as exc:
+            if not lenient:
+                raise
+            if skipped is not None:
+                skipped.append((lineno, line, str(exc)))
+            continue
+        builder.append(*fields)
     return builder.build()
 
 

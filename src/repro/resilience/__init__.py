@@ -1,0 +1,95 @@
+"""Resilience layer: fault injection, recovery policy, chaos evaluation.
+
+Three planes, deliberately decoupled:
+
+* **failure taxonomy + recovery** (:mod:`.errors`, :mod:`.retry`) — leaf
+  modules the production client (:mod:`repro.llm.client`) builds on;
+* **fault injection** (:mod:`.faults`, :mod:`.client`) — seeded
+  :class:`FaultPlan` registry plus the :class:`FaultyLLMClient` that
+  replays a plan's weather deterministically;
+* **chaos harness** (:mod:`.chaos`) — runs a service under a plan and
+  produces the digestable :class:`ChaosReport` the gate pins.
+
+``.client`` and ``.chaos`` import the LLM/core layers, which themselves
+import ``.errors``/``.retry`` — so this package loads those two lazily
+(module ``__getattr__``) to keep the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.resilience.errors import (
+    CircuitOpenError,
+    InjectedStageError,
+    LLMTimeoutError,
+    PermanentLLMError,
+    ResilienceError,
+    TransientLLMError,
+)
+from repro.resilience.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultPlanNotFoundError,
+    FaultSpec,
+    available_fault_kinds,
+    available_fault_plans,
+    corrupt_trace_text,
+    get_fault_kind,
+    get_fault_plan,
+    iter_fault_plans,
+    register_fault_kind,
+    register_fault_plan,
+    unregister_fault_kind,
+    unregister_fault_plan,
+)
+from repro.resilience.retry import CircuitBreaker, ResilienceMetrics, RetryPolicy
+
+__all__ = [
+    "ResilienceError",
+    "TransientLLMError",
+    "LLMTimeoutError",
+    "PermanentLLMError",
+    "CircuitOpenError",
+    "InjectedStageError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilienceMetrics",
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultPlanNotFoundError",
+    "register_fault_kind",
+    "unregister_fault_kind",
+    "available_fault_kinds",
+    "get_fault_kind",
+    "register_fault_plan",
+    "unregister_fault_plan",
+    "available_fault_plans",
+    "get_fault_plan",
+    "iter_fault_plans",
+    "corrupt_trace_text",
+    # lazy (imported on first access to avoid llm/core import cycles):
+    "FaultyLLMClient",
+    "ChaosReport",
+    "ChaosRun",
+    "run_chaos_plan",
+    "chaos_report_digest",
+]
+
+_LAZY = {
+    "FaultyLLMClient": "repro.resilience.client",
+    "ChaosReport": "repro.resilience.chaos",
+    "ChaosRun": "repro.resilience.chaos",
+    "run_chaos_plan": "repro.resilience.chaos",
+    "chaos_report_digest": "repro.resilience.chaos",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

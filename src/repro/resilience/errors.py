@@ -1,0 +1,59 @@
+"""The resilience error taxonomy: how an LLM backend is allowed to fail.
+
+Every failure the recovery layer knows how to handle is a subclass of
+:class:`ResilienceError`.  A production deployment would map its provider
+SDK's exceptions onto this taxonomy (an OpenAI ``RateLimitError`` becomes
+:class:`TransientLLMError`, an auth failure :class:`PermanentLLMError`,
+…); the simulated fault plane (:mod:`repro.resilience.faults`) raises them
+directly.  The split drives recovery policy:
+
+* **transient** (:class:`TransientLLMError`, :class:`LLMTimeoutError`) —
+  retried under the client's :class:`~repro.resilience.retry.RetryPolicy`;
+* **permanent** (:class:`PermanentLLMError`) — never retried, surfaced
+  immediately (and counted against the circuit breaker);
+* **fast-fail** (:class:`CircuitOpenError`) — the breaker refused to even
+  place the call;
+* **injected stage crash** (:class:`InjectedStageError`) — the chaos
+  harness's simulated stage failure, exercised by the degradation path in
+  :class:`~repro.core.pipeline.DiagnosisPipeline`.
+
+The pipeline's per-fragment isolation catches exactly this taxonomy: a
+fragment whose calls exhaust recovery is dropped (and recorded), while any
+*other* exception type still propagates — a genuine bug must never be
+silently reclassified as weather.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ResilienceError",
+    "TransientLLMError",
+    "LLMTimeoutError",
+    "PermanentLLMError",
+    "CircuitOpenError",
+    "InjectedStageError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for every failure the recovery layer understands."""
+
+
+class TransientLLMError(ResilienceError):
+    """A call failed in a way expected to heal on retry (rate limit, 5xx)."""
+
+
+class LLMTimeoutError(TransientLLMError):
+    """A call exceeded its deadline; retryable like any transient failure."""
+
+
+class PermanentLLMError(ResilienceError):
+    """A call failed in a way no retry can fix (bad auth, invalid model)."""
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open: the call was fast-failed, not placed."""
+
+
+class InjectedStageError(ResilienceError):
+    """A chaos-plan stage crash (see ``stage-crash`` fault kind)."""

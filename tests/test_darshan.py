@@ -15,7 +15,11 @@ from repro.darshan.counters import (
 )
 from repro.darshan.instrument import DarshanInstrument
 from repro.darshan.log import MODULE_ORDER
-from repro.darshan.parser import DarshanParseError, parse_darshan_text
+from repro.darshan.parser import (
+    DarshanParseError,
+    parse_darshan_text,
+    parse_darshan_text_with_report,
+)
 from repro.darshan.records import DarshanRecord, record_id_for
 from repro.darshan.writer import render_darshan_text
 from repro.sim.filesystem import LustreFileSystem
@@ -216,3 +220,61 @@ class TestTextRoundTrip:
         text = render_darshan_text(sb01_trace.log)
         noisy = text.replace("\n\n", "\n# stray comment\n\n", 1)
         assert parse_darshan_text(noisy).header.exe == sb01_trace.log.header.exe
+
+
+class TestDamagedText:
+    """Edge cases for both parser postures: strict raises, lenient counts."""
+
+    def test_empty_dxt_section(self, sb01_trace):
+        # A DXT marker with no segment lines is valid in both postures:
+        # the temporal channel is simply absent, not an error.
+        text = render_darshan_text(sb01_trace.log) + "# DXT trace\n"
+        for lenient in (False, True):
+            log, report = parse_darshan_text_with_report(text, lenient=lenient)
+            assert log.dxt_segments is None
+            assert report.dxt_lines == 0
+            assert report.clean
+
+    def test_trailing_garbage_after_last_record(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log) + "?? trailing garbage ??\n"
+        with pytest.raises(DarshanParseError):
+            parse_darshan_text(text)
+        log, report = parse_darshan_text_with_report(text, lenient=True)
+        assert len(log.records) == len(sb01_trace.log.records)
+        assert report.skipped_count == 1
+        assert report.skipped[0].text == "?? trailing garbage ??"
+        assert "8 tab-separated fields" in report.skipped[0].reason
+
+    def test_mid_line_truncation(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log).rstrip("\n")
+        truncated = text[: len(text) - len(text.rsplit("\t", 2)[-1]) - 4]
+        with pytest.raises(DarshanParseError):
+            parse_darshan_text(truncated)
+        log, report = parse_darshan_text_with_report(truncated, lenient=True)
+        # Only the cut line is lost; every intact record survives.
+        assert report.skipped_count == 1
+        assert len(log.records) >= len(sb01_trace.log.records) - 1
+
+    def test_dxt_garbage_lineno_offsets_into_full_text(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log, include_dxt=True)
+        assert "# DXT trace" in text  # the fixture trace carries segments
+        damaged = text + "POSIX garbled \x00 segment line\n"
+        with pytest.raises(DarshanParseError):
+            parse_darshan_text(damaged)
+        log, report = parse_darshan_text_with_report(damaged, lenient=True)
+        assert log.dxt_segments is not None
+        assert report.skipped_count == 1
+        # The skipped lineno is positioned in the *full* text, not the
+        # DXT sub-text, so diagnostics point at the real line.
+        assert report.skipped[0].lineno == len(damaged.splitlines())
+
+    def test_strict_round_trip_report_is_clean(self, sb01_trace):
+        text = render_darshan_text(sb01_trace.log, include_dxt=True)
+        log, report = parse_darshan_text_with_report(text)
+        assert report.clean
+        assert report.record_lines > 0
+        assert report.dxt_lines == len(log.dxt_segments)
+
+    def test_missing_header_raises_even_lenient(self):
+        with pytest.raises(DarshanParseError, match="missing header fields"):
+            parse_darshan_text_with_report("# exe: /bin/x\n", lenient=True)

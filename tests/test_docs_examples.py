@@ -39,10 +39,16 @@ _BLOCKS = _python_blocks()
 
 
 def test_docs_exist():
-    """The documented surface is present: README plus the four guides."""
+    """The documented surface is present: README plus the five guides."""
     names = {p.name for p in DOC_FILES}
     assert "README.md" in names
-    assert {"evidence.md", "extending.md", "analysis.md", "regression.md"} <= names
+    assert {
+        "evidence.md",
+        "extending.md",
+        "analysis.md",
+        "regression.md",
+        "resilience.md",
+    } <= names
     assert _BLOCKS, "expected runnable python snippets in the docs"
 
 
