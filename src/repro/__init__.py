@@ -1,7 +1,9 @@
 """repro — reproduction of *IOAgent: Democratizing Trustworthy HPC I/O
 Performance Diagnosis Capability via LLMs* (IPDPS 2025).
 
-Public API — three layers:
+Stable public API — ``repro.__all__`` is the blessed surface, pinned by
+``tests/test_public_api.py``; everything else is internal and may move
+between minor versions.  Four layers:
 
 **Tools** (everything implements the
 :class:`~repro.core.registry.DiagnosticTool` protocol: ``name``,
@@ -11,10 +13,14 @@ Public API — three layers:
   a thin facade over the composable stage pipeline;
 * :class:`repro.baselines.DrishtiTool` / :class:`repro.baselines.IONTool`
   — the comparison tools;
+* :class:`repro.regression.series.SeriesDiagnosticTool` — the
+  longitudinal wrapper (drift against an early-run baseline);
 * :func:`repro.core.registry.get_tool` / ``register_tool`` /
   ``available_tools`` — the registry the CLI, batch runner, and Table IV
   harness resolve tools from; register your own tool and every driver
-  picks it up.
+  picks it up.  Unknown names across *every* registry raise a
+  :class:`repro.util.lookup.RegistryLookupError` subclass with one shared
+  CLI rendering.
 
 **Pipeline** (:mod:`repro.core.pipeline`):
 
@@ -27,34 +33,65 @@ Public API — three layers:
 **Service** (:mod:`repro.core.service`):
 
 * :class:`DiagnosisService` — production-style facade: concurrent
-  multi-trace execution, per-trace result caching keyed by ``(trace
-  digest, config)``, shared memoized RAG index, and per-stage metrics on
-  every :class:`~repro.core.batch.BatchResult`.
+  multi-trace execution, content-addressed result caching keyed by
+  ``(trace digest, tool, config)``, optional persistent
+  :class:`~repro.serve.store.ResultStore` backing, shared memoized RAG
+  index, and one coherent :class:`~repro.core.service.ServiceStats`
+  snapshot.
+
+**Serving** (:mod:`repro.serve`):
+
+* :class:`~repro.serve.server.DiagnosisServer` — the always-on request
+  path: bounded work queue with typed backpressure
+  (:class:`~repro.serve.server.QueueFullError`), in-flight coalescing of
+  identical requests, persistent content-addressed results, and
+  deterministic fixed-bucket latency/queue-depth histograms
+  (:class:`~repro.serve.metrics.ServeSnapshot`).
 
 Substrate:
 
 * :func:`repro.tracebench.build_tracebench` — the TraceBench suite (§V);
 * :func:`repro.evaluation.evaluate_tools` — the Table IV harness;
-* :mod:`repro.sim` + :mod:`repro.darshan` + :mod:`repro.workloads` — the
-  simulated HPC substrate that generates Darshan traces offline;
+* :func:`repro.workloads.scenarios.register_scenario` /
+  ``select_scenarios`` — the scenario registry the evaluation and serve
+  drivers select workloads from;
+* :mod:`repro.sim` + :mod:`repro.darshan` — the simulated HPC substrate
+  that generates Darshan traces offline;
 * :mod:`repro.llm` — the deterministic, capability-tiered SimLLM substrate.
 """
 
-__version__ = "2.2.0"  # minor: resilience layer (fault plans, recovery, chaos gate)
+__version__ = "2.3.0"  # minor: serving layer (queue, coalescing, store) + stable API
 
 __all__ = [
+    # tools
     "IOAgent",
     "IOAgentConfig",
     "InteractiveSession",
-    "DiagnosisReport",
-    "DiagnosisPipeline",
-    "DiagnosisService",
     "DiagnosticTool",
     "register_tool",
     "get_tool",
     "available_tools",
     "DrishtiTool",
     "IONTool",
+    "SeriesDiagnosticTool",
+    # pipeline + reports
+    "DiagnosisReport",
+    "DiagnosisPipeline",
+    # service
+    "DiagnosisService",
+    "ServiceStats",
+    "trace_digest",
+    # serving layer
+    "DiagnosisServer",
+    "PendingDiagnosis",
+    "QueueFullError",
+    "ResultStore",
+    "ServeSnapshot",
+    # registries + errors
+    "register_scenario",
+    "select_scenarios",
+    "RegistryLookupError",
+    # substrate
     "build_tracebench",
     "evaluate_tools",
     "LLMClient",
@@ -79,10 +116,10 @@ def __getattr__(name: str) -> object:
         from repro.core.pipeline import DiagnosisPipeline
 
         return DiagnosisPipeline
-    if name == "DiagnosisService":
-        from repro.core.service import DiagnosisService
+    if name in ("DiagnosisService", "ServiceStats", "trace_digest"):
+        from repro.core import service
 
-        return DiagnosisService
+        return getattr(service, name)
     if name in ("DiagnosticTool", "register_tool", "get_tool", "available_tools"):
         from repro.core import registry
 
@@ -91,6 +128,28 @@ def __getattr__(name: str) -> object:
         import repro.baselines as baselines
 
         return getattr(baselines, name)
+    if name == "SeriesDiagnosticTool":
+        from repro.regression.series import SeriesDiagnosticTool
+
+        return SeriesDiagnosticTool
+    if name in (
+        "DiagnosisServer",
+        "PendingDiagnosis",
+        "QueueFullError",
+        "ResultStore",
+        "ServeSnapshot",
+    ):
+        import repro.serve as serve
+
+        return getattr(serve, name)
+    if name in ("register_scenario", "select_scenarios"):
+        from repro.workloads import scenarios
+
+        return getattr(scenarios, name)
+    if name == "RegistryLookupError":
+        from repro.util.lookup import RegistryLookupError
+
+        return RegistryLookupError
     if name == "build_tracebench":
         from repro.tracebench import build_tracebench
 

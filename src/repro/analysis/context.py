@@ -201,6 +201,7 @@ class CheckContext:
                 "evaluate",
                 "list-scenarios",
                 "series",
+                "serve",
                 "fuzz",
                 "chaos",
             }

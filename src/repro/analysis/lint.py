@@ -230,7 +230,7 @@ _LOCK_RULES = (
         "repro/core/service.py",
         "DiagnosisService",
         "_cache_lock",
-        frozenset({"_cache", "cache_hits", "cache_misses"}),
+        frozenset({"_cache", "cache_hits", "cache_misses", "store_hits"}),
     ),
 )
 

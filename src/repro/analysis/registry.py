@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, overload
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.util.lookup import RegistryLookupError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.context import CheckContext
@@ -47,17 +48,15 @@ class Check:
         return list(self.fn(ctx))
 
 
-class CheckNotFoundError(KeyError):
+class CheckNotFoundError(RegistryLookupError):
     """Raised for a check name nobody registered."""
 
-    def __init__(self, name: str, available: tuple[str, ...]) -> None:
-        super().__init__(name)
-        self.check_name = name
-        self.available = available
+    noun = "check"
+    available_label = "available checks"
 
-    def __str__(self) -> str:
-        options = ", ".join(self.available) or "<none>"
-        return f"unknown check {self.check_name!r}; available checks: {options}"
+    @property
+    def check_name(self) -> str:
+        return self.unknown[0]
 
 
 _REGISTRY: dict[str, Check] = {}

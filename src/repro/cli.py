@@ -14,6 +14,11 @@ Commands:
   Table IV harness over registry-selected scenarios and print it;
 * ``series <run1> <run2> ...`` (or ``series --scenario NAME``) — monitor a
   run series for longitudinal regression against its early-run baseline;
+* ``serve [traces...] [--scenarios SEL] [--repeat N]`` — drive the
+  streaming serving layer: feed trace files and/or scenario builds through
+  the bounded work queue (repeating each request ``--repeat`` times to
+  exercise coalescing) and print the deterministic metrics report with
+  per-stage latency and queue-depth histograms;
 * ``fuzz generate|sweep|ramp`` — the generative scenario fuzzer: sample
   seeded pathology compositions, score the expert rules over a generated
   sweep (per-pathology confusion matrix), or binary-search each rule's
@@ -81,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate",
         "list-scenarios",
         "series",
+        "serve",
         "fuzz",
         "chaos",
     }
@@ -158,6 +164,56 @@ def build_parser() -> argparse.ArgumentParser:
     se.add_argument("--model", default="gpt-4o")
     se.add_argument("--max-workers", type=int, default=None)
     se.set_defaults(func=_cmd_series)
+
+    sv = sub.add_parser(
+        "serve",
+        help="drive the streaming serving layer (bounded queue, coalescing, "
+        "persistent store, latency histograms)",
+    )
+    sv.add_argument(
+        "traces",
+        nargs="*",
+        help="darshan-parser text files to submit as requests",
+    )
+    sv.add_argument(
+        "--scenarios",
+        default="",
+        help="comma-separated scenario selectors to build and submit "
+        "(see `list-scenarios`)",
+    )
+    sv.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit each request this many times (identical requests coalesce "
+        "into one pipeline run)",
+    )
+    sv.add_argument("--tool", default="ioagent", help="registered diagnosis tool to serve")
+    sv.add_argument("--model", default="gpt-4o")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--workers", type=int, default=4, help="serving worker threads")
+    sv.add_argument(
+        "--queue-depth",
+        type=int,
+        default=256,
+        help="bounded work queue capacity (overflow is a typed rejection)",
+    )
+    sv.add_argument(
+        "--store",
+        default=None,
+        help="persistent result store directory (cross-process cache)",
+    )
+    sv.add_argument(
+        "--wall",
+        action="store_true",
+        help="histogram measured wall-clock latency instead of the "
+        "deterministic usage model (snapshots stop being reproducible)",
+    )
+    sv.add_argument(
+        "--reports", action="store_true", help="also print each diagnosis report"
+    )
+    sv.add_argument("--out", default=None, help="write the metrics snapshot JSON to this file")
+    sv.set_defaults(func=_cmd_serve)
 
     fz = sub.add_parser(
         "fuzz", help="generative scenario fuzzer (seeded pathology compositions)"
@@ -277,12 +333,22 @@ def _cmd_chat(args) -> int:
     return 0
 
 
+def _fail_lookup(exc) -> int:
+    """Print a :class:`~repro.util.lookup.RegistryLookupError` and exit 2.
+
+    The one CLI rendering for every registry (tools, scenarios, series,
+    fault plans, checks): the error subclass carries its own noun, hints,
+    and options line; this helper just routes it to stderr.
+    """
+    print(exc.render_cli(), file=sys.stderr)
+    return 2
+
+
 def _cmd_series(args) -> int:
-    from repro.core.registry import get_tool
+    from repro.core.registry import ToolNotFoundError, get_tool
     from repro.regression.drift import DRIFT_THRESHOLD
     from repro.workloads.scenarios import (
         ScenarioNotFoundError,
-        available_series_scenarios,
         build_series,
         get_series_scenario,
     )
@@ -292,14 +358,8 @@ def _cmd_series(args) -> int:
     if args.scenario is not None:
         try:
             scenario = get_series_scenario(args.scenario)
-        except ScenarioNotFoundError:
-            print(f"error: unknown series scenario {args.scenario!r}", file=sys.stderr)
-            print(
-                "available series scenarios: "
-                + (", ".join(available_series_scenarios()) or "<none>"),
-                file=sys.stderr,
-            )
-            return 2
+        except ScenarioNotFoundError as exc:
+            return _fail_lookup(exc)
         traces = build_series(scenario, seed=args.seed)
         logs = [t.log for t in traces]
         trace_ids = [t.trace_id for t in traces]
@@ -326,14 +386,17 @@ def _cmd_series(args) -> int:
     kwargs: dict = {"seed": args.seed, "model": args.model}
     if args.max_workers is not None:
         kwargs["max_workers"] = args.max_workers
-    tool = get_tool(
-        "series",
-        inner=args.inner,
-        baseline_runs=baseline_runs,
-        threshold=threshold,
-        **kwargs,
-    )
-    result = tool.diagnose_series(logs, series_id=series_id, trace_ids=trace_ids)
+    try:
+        tool = get_tool(
+            "series",
+            inner=args.inner,
+            baseline_runs=baseline_runs,
+            threshold=threshold,
+            **kwargs,
+        )
+        result = tool.diagnose_series(logs, series_id=series_id, trace_ids=trace_ids)
+    except ToolNotFoundError as exc:  # --inner named an unregistered tool
+        return _fail_lookup(exc)
     print(result.render())
     return 0
 
@@ -345,34 +408,12 @@ def _select_scenarios_or_fail(tokens: list[str]):
     scenario selectors (``evaluate --scenarios``, ``list-scenarios
     --tag``): unknown tokens get the same hints everywhere.
     """
-    from repro.workloads.scenarios import (
-        DIFFICULTIES,
-        ScenarioNotFoundError,
-        available_tags,
-        select_scenarios,
-    )
+    from repro.workloads.scenarios import ScenarioNotFoundError, select_scenarios
 
     try:
         return select_scenarios(tokens)
     except ScenarioNotFoundError as exc:
-        noun = "selector" if len(exc.unknown) == 1 else "selectors"
-        print(f"error: unknown scenario {noun}: {', '.join(exc.unknown)}", file=sys.stderr)
-        # Difficulty selectors are case-sensitive like every other
-        # token; a near-miss on one gets a targeted hint.
-        for token in exc.unknown:
-            if token.lower() in DIFFICULTIES and token not in DIFFICULTIES:
-                print(
-                    f"hint: difficulty tiers are lowercase — did you mean "
-                    f"{token.lower()!r}?",
-                    file=sys.stderr,
-                )
-        print(
-            "selectors match a scenario name, tag, source, or difficulty;",
-            file=sys.stderr,
-        )
-        print(f"difficulty tiers: {', '.join(DIFFICULTIES)}", file=sys.stderr)
-        print(f"available tags: {', '.join(available_tags())}", file=sys.stderr)
-        print("available scenarios: see `python -m repro list-scenarios`", file=sys.stderr)
+        _fail_lookup(exc)
         return None
 
 
@@ -539,9 +580,74 @@ def _cmd_fuzz(args) -> int:
     return 1 if misses else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.core.agent import IOAgentConfig
+    from repro.core.registry import ToolNotFoundError
+    from repro.serve import DiagnosisServer, QueueFullError
+    from repro.workloads.scenarios import build_scenario
+
+    requests: list[tuple] = [(path, _load_log(path)) for path in args.traces]
+    if args.scenarios:
+        tokens = [t.strip() for t in args.scenarios.split(",") if t.strip()]
+        scenarios = _select_scenarios_or_fail(tokens)
+        if scenarios is None:
+            return 2
+        for s in scenarios:
+            trace = build_scenario(s, seed=args.seed)
+            requests.append((trace.trace_id, trace.log))
+    if not requests:
+        print(
+            "error: pass trace files and/or --scenarios selectors to serve",
+            file=sys.stderr,
+        )
+        return 2
+    if args.repeat > 1:
+        requests = [req for req in requests for _ in range(args.repeat)]
+
+    config = IOAgentConfig(model=args.model, seed=args.seed)
+    try:
+        server = DiagnosisServer(
+            tool=args.tool,
+            config=config,
+            store=args.store,
+            queue_depth=args.queue_depth,
+            workers=args.workers,
+            wall_clock=args.wall,
+            autostart=False,  # deterministic driving mode: submit, then start
+        )
+    except ToolNotFoundError as exc:
+        return _fail_lookup(exc)
+    try:
+        reports = server.serve_all([(log, trace_id) for trace_id, log in requests])
+    except QueueFullError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            f"hint: the workload outgrew the bounded queue; raise --queue-depth "
+            f"(currently {args.queue_depth}) or shrink --repeat",
+            file=sys.stderr,
+        )
+        server.close()
+        return 2
+    server.close()
+    if args.reports:
+        for report in reports:
+            print(report.render())
+            print()
+    snapshot = server.metrics_snapshot()
+    print(snapshot.render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(snapshot.to_json() + "\n")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.resilience.chaos import DEFAULT_CHAOS_SCENARIOS, run_chaos
-    from repro.resilience.faults import available_fault_plans, get_fault_plan
+    from repro.resilience.faults import (
+        FaultPlanNotFoundError,
+        available_fault_plans,
+        get_fault_plan,
+    )
 
     if args.list_plans:
         for name in available_fault_plans():
@@ -552,7 +658,10 @@ def _cmd_chaos(args) -> int:
 
     plans = tuple(p for p in args.plans.split(",") if p) or None
     scenarios = tuple(s for s in args.scenarios.split(",") if s) or DEFAULT_CHAOS_SCENARIOS
-    report = run_chaos(plans=plans, scenarios=scenarios, seed=args.seed)
+    try:
+        report = run_chaos(plans=plans, scenarios=scenarios, seed=args.seed)
+    except FaultPlanNotFoundError as exc:
+        return _fail_lookup(exc)
 
     if args.digest:
         print(report.digest)

@@ -26,6 +26,7 @@ from typing import Callable, Protocol, runtime_checkable
 from repro.core.report import DiagnosisReport
 from repro.darshan.log import DarshanLog
 from repro.llm.client import Usage
+from repro.util.lookup import RegistryLookupError
 
 __all__ = [
     "DiagnosticTool",
@@ -53,17 +54,18 @@ class DiagnosticTool(Protocol):
 ToolFactory = Callable[..., DiagnosticTool]
 
 
-class ToolNotFoundError(KeyError):
+class ToolNotFoundError(RegistryLookupError):
     """Raised when ``get_tool`` is asked for a name nobody registered."""
 
-    def __init__(self, name: str, available: tuple[str, ...]) -> None:
-        super().__init__(name)
-        self.tool_name = name
-        self.available = available
+    noun = "tool"
+    available_label = "available tools"
 
-    def __str__(self) -> str:
-        options = ", ".join(self.available) or "<none>"
-        return f"unknown tool {self.tool_name!r}; available tools: {options}"
+    @property
+    def tool_name(self) -> str:
+        return self.unknown[0]
+
+    def available_cli_line(self) -> str:
+        return "available tools: " + (", ".join(self.available) or "<none>")
 
 
 _REGISTRY: dict[str, ToolFactory] = {}

@@ -36,9 +36,10 @@ from repro.util.parallel import parallel_map
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.agent import IOAgentConfig
     from repro.core.batch import BatchResult
+    from repro.serve.store import ResultStore
     from repro.tracebench.dataset import LabeledTrace
 
-__all__ = ["StageMetrics", "DiagnosisService", "trace_digest"]
+__all__ = ["StageMetrics", "ServiceStats", "DiagnosisService", "trace_digest"]
 
 
 def trace_digest(log: DarshanLog) -> str:
@@ -135,6 +136,30 @@ class _MetricsCollector(PipelineObserver):
             self._metrics(stage).add_fault(event.kind)
 
 
+@dataclass(frozen=True)
+class ServiceStats:
+    """One coherent snapshot of a service's caching + spend state.
+
+    The single accessor serve-mode and batch-mode metrics both read
+    through: ``stats()`` replaces the historical trio of
+    ``cached_reports()`` / ``usage()`` / ``cache_hits``-peeking (all kept
+    as thin wrappers).  ``usage`` is a point-in-time copy — mutating it
+    does not touch the tool's accounting.
+    """
+
+    tool: str
+    cache_hits: int
+    cache_misses: int
+    store_hits: int
+    cached_reports: tuple[DiagnosisReport, ...]
+    usage: Usage
+
+    @property
+    def requests(self) -> int:
+        """Total diagnose() calls that consulted the cache."""
+        return self.cache_hits + self.cache_misses + self.store_hits
+
+
 class DiagnosisService:
     """Multi-trace diagnosis facade over a registered tool.
 
@@ -143,6 +168,13 @@ class DiagnosisService:
     a name is given, construction knobs come from ``config`` (threaded to
     factories that accept them; heuristic tools ignore what they don't
     take).
+
+    ``store`` optionally backs the in-memory cache with a persistent
+    :class:`~repro.serve.store.ResultStore` (a directory path is accepted
+    and wrapped): lookups fall back memory → store → run, store hits are
+    promoted into memory, and every non-degraded result is persisted, so
+    a *fresh process* pointed at the same store serves known digests with
+    zero LLM calls.
     """
 
     def __init__(
@@ -152,6 +184,7 @@ class DiagnosisService:
         max_workers: int | None = None,
         cache: bool = True,
         observers: Sequence[PipelineObserver] = (),
+        store: "ResultStore | str | None" = None,
     ) -> None:
         if config is None:
             from repro.core.agent import IOAgentConfig
@@ -170,18 +203,60 @@ class DiagnosisService:
         self._cache_lock = Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.store_hits = 0
+        if isinstance(store, str):
+            from repro.serve.store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
 
     # -- single trace ------------------------------------------------------
 
-    def _cache_key(self, log: DarshanLog) -> tuple[str, str, str]:
-        # Key on the *tool's* effective config when it carries one: a tool
-        # instance built around a different config than the service default
-        # (an ablated use_dxt=False agent, say) must not alias the full
-        # tool's entries under the same trace digest.
+    def cache_key(self, log: DarshanLog) -> tuple[str, str, str]:
+        """The content address of ``log`` under this service's tool.
+
+        Keyed on the *tool's* effective config when it carries one: a tool
+        instance built around a different config than the service default
+        (an ablated use_dxt=False agent, say) must not alias the full
+        tool's entries under the same trace digest.
+        """
         config = getattr(self.tool, "config", None)
         if config is None:
             config = self.config
         return (trace_digest(log), self.tool.name, repr(config))
+
+    # Pre-serving-layer name, kept for callers that bound to it.
+    _cache_key = cache_key
+
+    def lookup(self, log: DarshanLog, trace_id: str = "trace") -> DiagnosisReport | None:
+        """Serve ``log`` from memory or the persistent store, or None.
+
+        Never runs the tool — this is the probe the serving layer uses to
+        resolve requests at submit time without burning a queue slot.
+        Hits count toward ``cache_hits`` / ``store_hits``; misses count
+        nothing (only an actual run records a miss).
+        """
+        if not self._cache_enabled:
+            return None
+        return self._lookup(self.cache_key(log), trace_id)
+
+    def _lookup(self, key: tuple[str, str, str], trace_id: str) -> DiagnosisReport | None:
+        with self._cache_lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                return hit if hit.trace_id == trace_id else replace(hit, trace_id=trace_id)
+        if self.store is not None:
+            stored = self.store.get(key)
+            if stored is not None:
+                with self._cache_lock:
+                    self.store_hits += 1
+                    # Promote: later identical requests hit memory.
+                    self._cache.setdefault(key, stored)
+                if stored.trace_id != trace_id:
+                    stored = replace(stored, trace_id=trace_id)
+                return stored
+        return None
 
     def diagnose(
         self,
@@ -189,20 +264,18 @@ class DiagnosisService:
         trace_id: str = "trace",
         observers: Sequence[PipelineObserver] = (),
     ) -> DiagnosisReport:
-        """Diagnose one log, serving identical content from the cache.
+        """Diagnose one log, serving identical content from the cache/store.
 
         Caching is content-addressed — keyed by ``(trace digest, tool,
         config)`` — so resubmitting an identical log under a new name is a
         hit; the cached report is relabeled with the requested
         ``trace_id``.
         """
-        key = self._cache_key(log) if self._cache_enabled else None
+        key = self.cache_key(log) if self._cache_enabled else None
         if key is not None:
-            with self._cache_lock:
-                hit = self._cache.get(key)
-                if hit is not None:
-                    self.cache_hits += 1
-                    return hit if hit.trace_id == trace_id else replace(hit, trace_id=trace_id)
+            hit = self._lookup(key, trace_id)
+            if hit is not None:
+                return hit
         report = self._run_tool(log, trace_id, observers)
         if key is not None:
             with self._cache_lock:
@@ -213,6 +286,10 @@ class DiagnosisService:
                 # the same digest must not be served a degraded answer.
                 if not report.degraded:
                     self._cache.setdefault(key, report)
+            # Same rule for the persistent store (put() enforces it too);
+            # the atomic write happens outside the cache lock.
+            if self.store is not None and not report.degraded:
+                self.store.put(key, report)
         return report
 
     def _run_tool(
@@ -226,19 +303,44 @@ class DiagnosisService:
             return ctx.build_report()
         return self.tool.diagnose(log, trace_id=trace_id)
 
-    def cached_reports(self) -> tuple[DiagnosisReport, ...]:
-        """Snapshot of every cached report (the chaos gate audits these)."""
+    # -- stats (the one coherent accessor; see ServiceStats) ---------------
+
+    def stats(self) -> ServiceStats:
+        """One consistent :class:`ServiceStats` snapshot of this service.
+
+        Counters and the cached-report tuple are read under the cache
+        lock, so a snapshot taken mid-batch is internally consistent.
+        """
+        usage = self.tool.usage()
         with self._cache_lock:
-            return tuple(self._cache.values())
+            return ServiceStats(
+                tool=self.tool.name,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+                store_hits=self.store_hits,
+                cached_reports=tuple(self._cache.values()),
+                usage=Usage(
+                    prompt_tokens=usage.prompt_tokens,
+                    completion_tokens=usage.completion_tokens,
+                    cost_usd=usage.cost_usd,
+                    calls=usage.calls,
+                ),
+            )
+
+    def cached_reports(self) -> tuple[DiagnosisReport, ...]:
+        """Deprecated: use ``stats().cached_reports`` (kept as a thin wrapper)."""
+        return self.stats().cached_reports
 
     def clear_cache(self) -> None:
+        """Drop the in-memory cache and reset counters (the store persists)."""
         with self._cache_lock:
             self._cache.clear()
             self.cache_hits = 0
             self.cache_misses = 0
+            self.store_hits = 0
 
     def usage(self) -> Usage:
-        """Cumulative LLM spend of the underlying tool."""
+        """Deprecated: use ``stats().usage`` (kept as a thin wrapper)."""
         return self.tool.usage()
 
     # -- batches -----------------------------------------------------------

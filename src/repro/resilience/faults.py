@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.util.lookup import RegistryLookupError
 from repro.util.rng import rng_for
 
 __all__ = [
@@ -207,17 +208,18 @@ class FaultPlan:
         return tuple(seen)
 
 
-class FaultPlanNotFoundError(KeyError):
+class FaultPlanNotFoundError(RegistryLookupError):
     """Raised for a plan name nobody registered."""
 
-    def __init__(self, name: str, available: tuple[str, ...]) -> None:
-        super().__init__(name)
-        self.plan_name = name
-        self.available = available
+    noun = "fault plan"
+    available_label = "available plans"
 
-    def __str__(self) -> str:
-        options = ", ".join(self.available) or "<none>"
-        return f"unknown fault plan {self.plan_name!r}; available plans: {options}"
+    @property
+    def plan_name(self) -> str:
+        return self.unknown[0]
+
+    def available_cli_line(self) -> str:
+        return f"available fault plans: {self.options()}"
 
 
 _PLAN_REGISTRY: dict[str, FaultPlan] = {}

@@ -1,0 +1,52 @@
+"""The serving layer: always-on diagnosis as a queued, cached backend.
+
+Public surface (re-exported at the top level by :mod:`repro`):
+
+* :class:`DiagnosisServer` — bounded work queue with typed backpressure
+  (:class:`QueueFullError`), in-flight coalescing of identical requests,
+  worker pool, per-stage latency + queue-depth histograms;
+* :class:`PendingDiagnosis` — the future-like handle ``submit`` returns;
+* :class:`ResultStore` — the persistent content-addressed result store
+  (atomic canonical-JSON records; degraded reports are never persisted);
+* :class:`~repro.serve.metrics.FixedBucketHistogram` /
+  :class:`~repro.serve.metrics.LatencyModel` /
+  :class:`~repro.serve.metrics.ServeSnapshot` — the deterministic
+  telemetry schema.
+
+See ``docs/serving.md`` for the executable walkthrough and
+``benchmarks/bench_serve.py`` for the coalescing/throughput gate.
+"""
+
+from repro.serve.metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    QUEUE_DEPTH_BUCKET_BOUNDS,
+    FixedBucketHistogram,
+    LatencyModel,
+    ServeCounters,
+    ServeSnapshot,
+)
+from repro.serve.server import (
+    DiagnosisServer,
+    PendingDiagnosis,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.store import ResultStore, report_from_dict, report_to_dict
+
+__all__ = [
+    "DiagnosisServer",
+    "PendingDiagnosis",
+    "QueueFullError",
+    "ServeError",
+    "ServerClosedError",
+    "ResultStore",
+    "FixedBucketHistogram",
+    "LatencyModel",
+    "ServeCounters",
+    "ServeSnapshot",
+    "LATENCY_BUCKET_BOUNDS",
+    "QUEUE_DEPTH_BUCKET_BOUNDS",
+    "report_to_dict",
+    "report_from_dict",
+]

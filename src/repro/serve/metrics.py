@@ -1,0 +1,231 @@
+"""Deterministic serving telemetry: fixed-bucket histograms + latency model.
+
+The serving layer exports two kinds of numbers:
+
+* **counters** — submitted / executed / coalesced / rejected / cache-hit
+  totals, plain ints;
+* **histograms** — per-stage latency and queue-depth distributions over
+  *fixed* bucket boundaries (:class:`FixedBucketHistogram`).
+
+Fixed buckets are the point: the bucket ladder is part of the schema, so
+two runs of the same workload produce snapshots that are comparable
+bucket-for-bucket — and, because a snapshot contains only order-independent
+values (integer bucket counts, the observation count, and the min/max of
+the observed multiset), *byte-identical* when the observed values are
+deterministic, regardless of worker-thread interleaving.
+
+Wall-clock latency is never deterministic, so the serving layer defaults to
+**modeled latency**: :class:`LatencyModel` maps a stage's (deterministic,
+seeded) LLM usage to a service time, the way a capacity model would — a
+fixed per-call overhead plus token throughput terms.  A serve run over a
+fixed seed/workload then snapshots byte-identically across processes,
+which CI pins.  Pass ``wall_clock=True`` to the server to histogram real
+measured seconds instead (operations mode; snapshots stop being
+reproducible, the schema stays identical).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Mapping
+
+from repro.llm.client import Usage
+
+__all__ = [
+    "LATENCY_BUCKET_BOUNDS",
+    "QUEUE_DEPTH_BUCKET_BOUNDS",
+    "FixedBucketHistogram",
+    "LatencyModel",
+    "ServeCounters",
+    "ServeSnapshot",
+]
+
+# 1-2-5 ladder from 1 ms to 100 s: wide enough for modeled and measured
+# latencies alike.  Part of the snapshot schema — change it and every
+# pinned snapshot changes with it.
+LATENCY_BUCKET_BOUNDS: tuple[float, ...] = (
+    0.001, 0.002, 0.005,
+    0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0, 100.0,
+)  # fmt: skip
+
+# Powers of two up to a deep backlog; depth 0 (empty queue at sample time)
+# lands in the first bucket.
+QUEUE_DEPTH_BUCKET_BOUNDS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class FixedBucketHistogram:
+    """Thread-safe histogram over fixed, inclusive upper-bound buckets.
+
+    ``bounds`` are the upper edges: an observation lands in the first
+    bucket whose bound is ``>= value``; values beyond the last bound land
+    in a final overflow bucket.  The snapshot (:meth:`as_dict`) carries
+    only order-independent state, so concurrent observers cannot make two
+    runs of the same value multiset differ.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKET_BOUNDS, unit: str = "s") -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and ascending")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.unit = unit
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values clamp to the first bucket)."""
+        value = float(value)
+        index = len(self.bounds)  # overflow unless a bound catches it
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def as_dict(self) -> dict[str, object]:
+        """Order-independent snapshot: bounds, bucket counts, count, min/max."""
+        with self._lock:
+            return {
+                "unit": self.unit,
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "min": self._min,
+                "max": self._max,
+            }
+
+    def render(self, label: str, width: int = 40) -> str:
+        """Fixed-width text rendering (one row per non-empty bucket)."""
+        return _render_hist(label, self.as_dict(), unit=self.unit, width=width)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Deterministic stage-service-time model over LLM usage.
+
+    Mirrors how a capacity plan prices a stage: a fixed floor for the
+    non-LLM work, a per-call round-trip overhead, and token-throughput
+    terms for prompt ingestion and completion generation.  Applied to the
+    (seeded, deterministic) SimLLM usage, the modeled latency of a fixed
+    workload is a pure function of its content — the property the
+    byte-identical snapshot gate rests on.
+    """
+
+    base_seconds: float = 0.002
+    seconds_per_call: float = 0.08
+    prompt_tokens_per_second: float = 10_000.0
+    completion_tokens_per_second: float = 2_000.0
+
+    def stage_seconds(self, usage: Usage) -> float:
+        """Modeled service time of one stage execution with ``usage`` spend."""
+        return (
+            self.base_seconds
+            + usage.calls * self.seconds_per_call
+            + usage.prompt_tokens / self.prompt_tokens_per_second
+            + usage.completion_tokens / self.completion_tokens_per_second
+        )
+
+
+@dataclass
+class ServeCounters:
+    """Request-accounting totals for one server lifetime (all ints)."""
+
+    submitted: int = 0  # accepted submissions (executed + coalesced + served)
+    executed: int = 0  # pipeline runs actually performed
+    coalesced: int = 0  # submissions that joined an in-flight run
+    cache_served: int = 0  # submissions resolved at submit time (memory/store)
+    rejected: int = 0  # typed queue-full rejections
+    failed: int = 0  # executed runs that raised
+    store_writes: int = 0  # reports persisted to the result store
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "cache_served": self.cache_served,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "store_writes": self.store_writes,
+        }
+
+
+@dataclass(frozen=True)
+class ServeSnapshot:
+    """One frozen export of a server's metrics.
+
+    ``stage_latency`` maps stage name to histogram dict; ``queue_depth``
+    and ``request_latency`` are histogram dicts; ``counters`` the totals.
+    ``to_json`` is canonical (sorted keys, fixed separators), so equal
+    snapshots serialize to equal bytes.
+    """
+
+    counters: dict[str, int]
+    queue_depth: dict[str, object]
+    request_latency: dict[str, object]
+    stage_latency: dict[str, dict[str, object]] = field(default_factory=dict)
+    latency_mode: str = "modeled"
+
+    def to_json(self) -> str:
+        payload = {
+            "counters": self.counters,
+            "latency_mode": self.latency_mode,
+            "queue_depth": self.queue_depth,
+            "request_latency": self.request_latency,
+            "stage_latency": self.stage_latency,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+    def render(self) -> str:
+        """The human-facing metrics report the ``serve`` CLI prints."""
+        c = self.counters
+        lines = [
+            "serve metrics"
+            f"  ({self.latency_mode} latency)",
+            "  requests: "
+            f"submitted={c['submitted']} executed={c['executed']} "
+            f"coalesced={c['coalesced']} cache={c['cache_served']} "
+            f"rejected={c['rejected']} failed={c['failed']} "
+            f"store_writes={c['store_writes']}",
+            _render_hist("queue depth at enqueue", self.queue_depth, unit=""),
+            _render_hist("request latency", self.request_latency, unit="s"),
+        ]
+        for stage, hist in self.stage_latency.items():
+            lines.append(_render_hist(f"stage {stage!r} latency", hist, unit="s"))
+        return "\n".join(lines)
+
+
+def _render_hist(label: str, snap: Mapping[str, object], unit: str, width: int = 40) -> str:
+    """Render a histogram dict (the snapshot-side twin of ``render``)."""
+    bounds: list[float] = snap["bounds"]  # type: ignore[assignment]
+    counts: list[int] = snap["counts"]  # type: ignore[assignment]
+    total: int = snap["count"]  # type: ignore[assignment]
+    lines = [f"{label}  (n={total})"]
+    if not total:
+        return lines[0]
+    peak = max(counts)
+    edges = [*[f"<= {b:g}{unit}" for b in bounds], f" > {bounds[-1]:g}{unit}"]
+    for edge, n in zip(edges, counts):
+        if not n:
+            continue
+        bar = "#" * max(1, round(width * n / peak))
+        lines.append(f"  {edge:>12s}  {n:6d}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Shared failure shape for every name registry in the repo.
+
+Five registries hand out objects by short name — diagnosis tools
+(:mod:`repro.core.registry`), workload scenarios and run series
+(:mod:`repro.workloads.scenarios`), fault plans
+(:mod:`repro.resilience.faults`), and analysis checks
+(:mod:`repro.analysis.registry`).  They all fail the same way: someone
+asked for a name nobody registered.  :class:`RegistryLookupError` is the
+one base class for that failure, so callers can catch "any unknown
+registry name" generically and the CLI renders every variant through one
+formatter (:meth:`RegistryLookupError.render_cli`) instead of hand-rolling
+five near-identical error blocks.
+
+Subclasses customize three class attributes — ``noun`` (what kind of name
+was unknown), ``available_label`` (the label on the options list), and
+``cli_noun`` (the noun the CLI error line uses, when it differs) — plus
+optionally :meth:`hints` for domain-specific guidance lines and
+:meth:`available_cli_line` when the options list is too long to inline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["RegistryLookupError"]
+
+
+class RegistryLookupError(KeyError):
+    """A registry was asked for one or more names nobody registered.
+
+    ``unknown`` is the tuple of unmatched names (a single-name lookup
+    wraps it); ``available`` is the registry's current offering, in the
+    registry's canonical order.
+    """
+
+    #: What kind of name was unknown ("tool", "scenario", "fault plan", ...).
+    noun = "entry"
+    #: Label introducing the options list in ``str(exc)``.
+    available_label = "available entries"
+    #: Noun used on the CLI error line when it differs from ``noun``
+    #: (e.g. scenario lookups speak of "selectors").  Empty → ``noun``.
+    cli_noun = ""
+
+    def __init__(self, unknown: str | Iterable[str], available: Iterable[str]) -> None:
+        names = (unknown,) if isinstance(unknown, str) else tuple(unknown)
+        super().__init__(", ".join(names))
+        self.unknown: tuple[str, ...] = names
+        self.available: tuple[str, ...] = tuple(available)
+
+    # -- shared rendering --------------------------------------------------
+
+    def _pluralized(self, noun: str) -> str:
+        return noun if len(self.unknown) == 1 else noun + "s"
+
+    def options(self) -> str:
+        """The options list as one comma-joined string (``<none>`` if empty)."""
+        return ", ".join(self.available) or "<none>"
+
+    def __str__(self) -> str:
+        names = ", ".join(repr(n) for n in self.unknown)
+        return f"unknown {self._pluralized(self.noun)} {names}; {self.available_label}: {self.options()}"
+
+    # -- CLI rendering (one formatter for all five registries) -------------
+
+    def hints(self) -> tuple[str, ...]:
+        """Domain-specific guidance lines for the CLI block (none by default)."""
+        return ()
+
+    def available_cli_line(self) -> str:
+        """The final "here are your options" line of the CLI block."""
+        return f"{self.available_label}: {self.options()}"
+
+    def render_cli(self) -> str:
+        """The friendly multi-line error block every CLI surface prints.
+
+        Shape: an ``error:`` line naming the unknown name(s), any
+        subclass hints, then where to find the valid options.  Callers
+        print this to stderr and exit 2.
+        """
+        noun = self._pluralized(self.cli_noun or self.noun)
+        lines = [f"error: unknown {noun}: {', '.join(self.unknown)}"]
+        lines.extend(self.hints())
+        lines.append(self.available_cli_line())
+        return "\n".join(lines)

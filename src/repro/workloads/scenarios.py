@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.issues import ISSUE_KEYS
+from repro.util.lookup import RegistryLookupError
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -35,6 +36,7 @@ __all__ = [
     "Scenario",
     "SeriesScenario",
     "ScenarioNotFoundError",
+    "SeriesScenarioNotFoundError",
     "DIFFICULTIES",
     "register_scenario",
     "unregister_scenario",
@@ -97,22 +99,48 @@ class Scenario:
         return frozenset((self.source, self.difficulty, *self.tags))
 
 
-class ScenarioNotFoundError(KeyError):
+class ScenarioNotFoundError(RegistryLookupError):
     """Raised for a scenario name (or selector) nobody registered."""
 
-    def __init__(self, unknown: str | Iterable[str], available: tuple[str, ...]) -> None:
-        names = (unknown,) if isinstance(unknown, str) else tuple(unknown)
-        super().__init__(", ".join(names))
-        self.unknown = names
-        self.available = available
+    noun = "scenario"
+    available_label = "available"
+    cli_noun = "scenario selector"
 
-    def __str__(self) -> str:
-        options = ", ".join(self.available) or "<none>"
-        noun = "scenario" if len(self.unknown) == 1 else "scenarios"
-        return (
-            f"unknown {noun} {', '.join(repr(n) for n in self.unknown)}; "
-            f"available: {options}"
-        )
+    def hints(self) -> tuple[str, ...]:
+        lines = []
+        # Difficulty selectors are case-sensitive like every other token;
+        # a near-miss on one gets a targeted hint.
+        for token in self.unknown:
+            if token.lower() in DIFFICULTIES and token not in DIFFICULTIES:
+                lines.append(
+                    f"hint: difficulty tiers are lowercase — did you mean {token.lower()!r}?"
+                )
+        lines.append("selectors match a scenario name, tag, source, or difficulty;")
+        lines.append(f"difficulty tiers: {', '.join(DIFFICULTIES)}")
+        lines.append(f"available tags: {', '.join(available_tags())}")
+        return tuple(lines)
+
+    def available_cli_line(self) -> str:
+        return "available scenarios: see `python -m repro list-scenarios`"
+
+
+class SeriesScenarioNotFoundError(ScenarioNotFoundError):
+    """Raised for a series-scenario name nobody registered.
+
+    Subclasses :class:`ScenarioNotFoundError` so callers catching the
+    single-trace variant keep working, but renders against the series
+    registry (series have no tag/difficulty selector surface).
+    """
+
+    noun = "series scenario"
+    available_label = "available series scenarios"
+    cli_noun = "series scenario"
+
+    def hints(self) -> tuple[str, ...]:
+        return ()
+
+    def available_cli_line(self) -> str:
+        return f"available series scenarios: {self.options()}"
 
 
 _REGISTRY: dict[str, Scenario] = {}
@@ -372,7 +400,7 @@ def get_series_scenario(name: str) -> SeriesScenario:
     try:
         return _SERIES_REGISTRY[name]
     except KeyError:
-        raise ScenarioNotFoundError(name, available_series_scenarios()) from None
+        raise SeriesScenarioNotFoundError(name, available_series_scenarios()) from None
 
 
 def build_series(series: SeriesScenario | str, seed: int = 0) -> list["LabeledTrace"]:

@@ -39,7 +39,7 @@ _BLOCKS = _python_blocks()
 
 
 def test_docs_exist():
-    """The documented surface is present: README plus the five guides."""
+    """The documented surface is present: README plus the six guides."""
     names = {p.name for p in DOC_FILES}
     assert "README.md" in names
     assert {
@@ -48,6 +48,7 @@ def test_docs_exist():
         "analysis.md",
         "regression.md",
         "resilience.md",
+        "serving.md",
     } <= names
     assert _BLOCKS, "expected runnable python snippets in the docs"
 

@@ -1,0 +1,88 @@
+"""The stable top-level API: ``repro.__all__`` is a contract.
+
+These tests pin the blessed surface.  Adding a name is a deliberate API
+decision (update ``STABLE_API`` here in the same commit); removing or
+breaking one is a major-version event.  Every exported name must resolve
+through the lazy ``__getattr__`` to a real object.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+# The blessed surface, alphabetized.  Keep in sync with repro.__all__.
+STABLE_API = sorted(
+    [
+        "DiagnosisPipeline",
+        "DiagnosisReport",
+        "DiagnosisServer",
+        "DiagnosisService",
+        "DiagnosticTool",
+        "DrishtiTool",
+        "IOAgent",
+        "IOAgentConfig",
+        "IONTool",
+        "InteractiveSession",
+        "LLMClient",
+        "PendingDiagnosis",
+        "QueueFullError",
+        "RegistryLookupError",
+        "ResultStore",
+        "SeriesDiagnosticTool",
+        "ServeSnapshot",
+        "ServiceStats",
+        "available_tools",
+        "build_tracebench",
+        "evaluate_tools",
+        "get_tool",
+        "register_scenario",
+        "register_tool",
+        "select_scenarios",
+        "trace_digest",
+    ]
+)
+
+
+def test_all_is_exactly_the_stable_surface():
+    assert sorted(repro.__all__) == STABLE_API
+
+
+@pytest.mark.parametrize("name", STABLE_API)
+def test_every_export_resolves(name):
+    obj = getattr(repro, name)
+    assert obj is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.not_a_real_export  # noqa: B018
+
+
+def test_exports_are_canonical_objects():
+    # The lazy re-export must be the same object as the defining module's —
+    # isinstance checks across the two import paths must agree.
+    from repro.core.service import DiagnosisService, ServiceStats
+    from repro.serve import DiagnosisServer, QueueFullError, ResultStore
+    from repro.util.lookup import RegistryLookupError
+
+    assert repro.DiagnosisService is DiagnosisService
+    assert repro.ServiceStats is ServiceStats
+    assert repro.DiagnosisServer is DiagnosisServer
+    assert repro.QueueFullError is QueueFullError
+    assert repro.ResultStore is ResultStore
+    assert repro.RegistryLookupError is RegistryLookupError
+
+
+def test_version_is_semver():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))
+
+
+def test_serve_subsystem_all_matches_exports():
+    serve = importlib.import_module("repro.serve")
+    for name in serve.__all__:
+        assert getattr(serve, name) is not None
